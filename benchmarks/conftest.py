@@ -1,0 +1,16 @@
+"""Shared configuration for the benchmark suite.
+
+pytest-benchmark measures harness wall time (the cost of running the
+simulator); the *scientific* outputs are the simulated seconds each
+bench prints and asserts on.  Keep rounds low -- the workloads are
+deterministic, so statistical repetition buys nothing.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def quick_benchmark(benchmark):
+    """A benchmark fixture pinned to a single warm-up-free round."""
+    benchmark.pedantic_kwargs = {"rounds": 1, "iterations": 1}
+    return benchmark

@@ -1,0 +1,132 @@
+"""Figure 5 scenario: explain a real CNN's image classification.
+
+Trains the CI-scale VGG19 on synthetic images whose *only* class
+evidence is a planted motif block (so the explanation ground truth is
+known), then explains one test prediction three ways:
+
+1. the paper's distilled explainer -- fit ``X (*) K = Y`` on the model's
+   input-output behaviour around the image, occlude blocks through the
+   one-layer kernel only (no further model queries);
+2. occlusion of the real model (black-box baseline);
+3. gradient x input (white-box baseline).
+
+All three must rank the planted motif block first.
+
+Implementation notes: the distilled model operates on the grayscale
+plane of the image with the ``tile`` output embedding, and masks to the
+image mean (the standard occlusion baseline; ``fill_value=0`` is Eq. 5
+verbatim but lets the brightness DC term mask the class signal on
+uncentred image data).
+
+Run: ``python examples/image_interpretation.py``  (a few minutes: it
+really trains the scaled network)
+"""
+
+import numpy as np
+
+from repro.baselines import gradient_input_saliency, saliency_block_grid
+from repro.core import ConvolutionDistiller, OutputEmbedding, block_contributions
+from repro.core.interpretation import normalize_scores
+from repro.data import CifarLikeSpec, SyntheticCifar100, to_grayscale
+from repro.nn import Adam, Trainer, vgg19_scaled
+
+BLOCK = 8
+GRID = 4
+
+
+def print_grid(title: str, grid: np.ndarray) -> None:
+    print(title)
+    for row in normalize_scores(grid):
+        print("   " + " ".join(f"{value:5.2f}" for value in row))
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Train a real (scaled) VGG19.  texture_strength=0 makes the
+    #    planted motif block the only class evidence, so the trained
+    #    model must rely on it -- a known ground truth for explainers.
+    # ------------------------------------------------------------------
+    dataset = SyntheticCifar100(
+        CifarLikeSpec(num_classes=2, noise_level=0.08, texture_strength=0.0),
+        seed=0,
+    )
+    train_x, train_y, test_x, test_y = dataset.train_test_split(256, 64, seed=0)
+    model = vgg19_scaled(num_classes=2, seed=0)
+    trainer = Trainer(model, Adam(model.parameters(), lr=2e-3), batch_size=32)
+    trainer.fit(train_x, train_y, epochs=8)
+    print(f"test accuracy: {trainer.evaluate(test_x, test_y):.2%}")
+
+    image = test_x[0].astype(np.float64)
+    label = int(test_y[0])
+    truth_block = dataset.motif_block(label)
+    print(f"class {label}: ground-truth motif block {truth_block}")
+
+    def model_rgb(rgb):
+        return model.forward(rgb[np.newaxis], training=False)[0]
+
+    # ------------------------------------------------------------------
+    # 2. Distilled explainer: fit K on (grayscale plane -> logits) pairs
+    #    sampled around the image (noise + random block occlusions --
+    #    the model's local input-output behaviour), then score blocks
+    #    through the distilled kernel alone.
+    # ------------------------------------------------------------------
+    rng = np.random.default_rng(1)
+    fill = float(image.mean())
+    planes, logits = [], []
+    for index in range(24):
+        variant = image + 0.05 * rng.standard_normal(image.shape)
+        if index % 2 == 1:
+            bi, bj = rng.integers(0, GRID, 2)
+            variant[:, bi * BLOCK : (bi + 1) * BLOCK, bj * BLOCK : (bj + 1) * BLOCK] = fill
+        planes.append(to_grayscale(variant[np.newaxis])[0])
+        logits.append(model_rgb(variant))
+
+    embedding = OutputEmbedding("tile")
+    distiller = ConvolutionDistiller(eps=1e-3, embedding=embedding).fit(
+        np.stack(planes), np.stack(logits)
+    )
+    gray = to_grayscale(image[np.newaxis])[0]
+    y_plane = embedding.embed(model_rgb(image), gray.shape)
+    distilled_grid = block_contributions(
+        gray,
+        distiller.kernel_,
+        y_plane,
+        block_shape=(BLOCK, BLOCK),
+        fill_value=float(gray.mean()),
+    )
+    print_grid("distilled-model block contributions:", distilled_grid)
+
+    # ------------------------------------------------------------------
+    # 3. Baselines against the real model.
+    # ------------------------------------------------------------------
+    base_logits = model_rgb(image)
+    occlusion_grid = np.zeros((GRID, GRID))
+    for bi in range(GRID):
+        for bj in range(GRID):
+            occluded = image.copy()
+            occluded[:, bi * BLOCK : (bi + 1) * BLOCK, bj * BLOCK : (bj + 1) * BLOCK] = fill
+            occlusion_grid[bi, bj] = np.linalg.norm(model_rgb(occluded) - base_logits)
+    print_grid("occlusion saliency (black-box model):", occlusion_grid)
+
+    saliency = gradient_input_saliency(model, image)
+    gradient_grid = saliency_block_grid(saliency, (BLOCK, BLOCK))
+    print_grid("gradient x input (white-box model):", gradient_grid)
+
+    # ------------------------------------------------------------------
+    # 4. Verdicts.
+    # ------------------------------------------------------------------
+    agreements = 0
+    for name, grid in [
+        ("distilled", distilled_grid),
+        ("occlusion", occlusion_grid),
+        ("gradient", gradient_grid),
+    ]:
+        top = tuple(int(v) for v in np.unravel_index(np.argmax(grid), grid.shape))
+        match = top == truth_block
+        agreements += int(match)
+        print(f"{name:>10}: top block {top}  [{'MATCH' if match else 'differs'}]")
+    print(f"{agreements}/3 explainers recovered the planted block")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: distill a black-box model and explain one prediction.
+
+The paper's whole pipeline in ~40 lines:
+
+1. take a black-box model (here: an unknown circular-convolution
+   response -- the family the distilled model is exact for);
+2. fit the distilled model ``X (*) K = Y`` with the closed-form
+   Fourier-domain solve (Eq. 4), on the simulated 128-core TPU;
+3. compute contribution factors (Eq. 5) to see *why* the model produced
+   its output;
+4. read the simulated execution time off the device ledger.
+
+Run: ``python examples/quickstart.py``
+"""
+
+import numpy as np
+
+from repro import ConvolutionDistiller, TpuBackend, feature_contributions, make_tpu_chip
+from repro.core import top_k_features
+from repro.fft import fft_circular_convolve2d
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # A black-box model: we can query it, but not look inside.
+    hidden_kernel = rng.standard_normal((16, 16))
+
+    def black_box(x):
+        return fft_circular_convolve2d(x, hidden_kernel)
+
+    # Some input whose prediction we want explained.  One feature
+    # carries most of the signal -- the explainer should find it.
+    x = 0.05 * rng.standard_normal((16, 16))
+    x[0, 0] = 1.0
+    x[11, 4] = 8.0
+    y = black_box(x)
+
+    # The proposed approach: distill on a TPU backend (bf16 MXU mode).
+    backend = TpuBackend(make_tpu_chip(num_cores=128, precision="bf16"))
+    distiller = ConvolutionDistiller(device=backend, eps=1e-9)
+    with backend.program(infeed_bytes=x.nbytes + y.nbytes):
+        distiller.fit(x, y)
+
+    print("distillation residual:", distiller.residual(x, y))
+
+    scores = feature_contributions(x, distiller.kernel_, y)
+    top = top_k_features(scores, 3)
+    print("top contributing features:", top)
+    assert top[0] == (11, 4), "the planted feature should rank first"
+
+    stats = backend.take_stats()
+    print(f"simulated TPU seconds: {stats.seconds:.6f}")
+    print("operation mix:", dict(stats.op_counts))
+
+
+if __name__ == "__main__":
+    main()

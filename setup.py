@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no `wheel` package, so PEP 660 editable
+installs (which require `bdist_wheel`) fail.  With this shim present,
+``pip install -e . --no-build-isolation`` falls back to the classic
+``setup.py develop`` path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

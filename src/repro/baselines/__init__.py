@@ -1,0 +1,28 @@
+"""Baseline explainers used for correctness cross-checks and cost contrast.
+
+* :mod:`repro.baselines.occlusion` -- black-box block/column occlusion;
+* :mod:`repro.baselines.gradient`  -- white-box gradient x input;
+* :mod:`repro.baselines.surrogate` -- the iterative optimization-based
+  surrogate the paper's closed-form solve is measured against.
+"""
+
+from repro.baselines.gradient import gradient_input_saliency, saliency_block_grid
+from repro.baselines.occlusion import (
+    occlusion_column_saliency,
+    occlusion_saliency,
+)
+from repro.baselines.surrogate import (
+    LinearSurrogateExplainer,
+    SurrogateConfig,
+    SurrogateResult,
+)
+
+__all__ = [
+    "gradient_input_saliency",
+    "saliency_block_grid",
+    "occlusion_column_saliency",
+    "occlusion_saliency",
+    "LinearSurrogateExplainer",
+    "SurrogateConfig",
+    "SurrogateResult",
+]

@@ -1,0 +1,81 @@
+"""Occlusion saliency: the classic perturbation explainer.
+
+Model-agnostic baseline used to validate the distilled explainer: zero a
+block of the input, query the *black-box model itself* (not the
+distilled kernel), and score the block by the change in the model's
+output.  On inputs with planted evidence both explainers must agree on
+the top block -- a cross-check the test suite and EXPERIMENTS.md use.
+
+This is also a cost yardstick: occlusion needs one full model forward
+per block, whereas the paper's distilled explainer re-runs only the
+one-layer kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+ModelFn = Callable[[np.ndarray], np.ndarray]
+
+
+def occlusion_saliency(
+    model: ModelFn,
+    x: np.ndarray,
+    block_shape: tuple[int, int],
+    fill_value: float = 0.0,
+    reduction: str = "l2",
+) -> np.ndarray:
+    """Block-occlusion saliency grid for one input matrix.
+
+    ``model`` maps an input matrix to an output array (any shape); the
+    score of a block is the norm of the output change when the block is
+    replaced by ``fill_value``.
+    """
+    x = np.asarray(x)
+    if x.ndim != 2:
+        raise ValueError(f"expected a matrix input, got shape {x.shape}")
+    bh, bw = block_shape
+    if bh <= 0 or bw <= 0:
+        raise ValueError(f"block shape must be positive, got {block_shape}")
+    m, n = x.shape
+    if m % bh or n % bw:
+        raise ValueError(f"block {block_shape} does not tile input {x.shape}")
+
+    baseline = np.asarray(model(x), dtype=np.float64)
+    grid = np.zeros((m // bh, n // bw))
+    for bi in range(m // bh):
+        for bj in range(n // bw):
+            occluded = x.copy()
+            occluded[bi * bh : (bi + 1) * bh, bj * bw : (bj + 1) * bw] = fill_value
+            delta = np.asarray(model(occluded), dtype=np.float64) - baseline
+            grid[bi, bj] = _norm(delta, reduction)
+    return grid
+
+
+def occlusion_column_saliency(
+    model: ModelFn, x: np.ndarray, fill_value: float = 0.0, reduction: str = "l2"
+) -> np.ndarray:
+    """Per-column occlusion (trace-table clock cycles)."""
+    x = np.asarray(x)
+    if x.ndim != 2:
+        raise ValueError(f"expected a matrix input, got shape {x.shape}")
+    baseline = np.asarray(model(x), dtype=np.float64)
+    scores = np.zeros(x.shape[1])
+    for j in range(x.shape[1]):
+        occluded = x.copy()
+        occluded[:, j] = fill_value
+        delta = np.asarray(model(occluded), dtype=np.float64) - baseline
+        scores[j] = _norm(delta, reduction)
+    return scores
+
+
+def _norm(delta: np.ndarray, reduction: str) -> float:
+    if reduction == "l2":
+        return float(np.sqrt(np.sum(delta**2)))
+    if reduction == "l1":
+        return float(np.sum(np.abs(delta)))
+    if reduction == "max_abs":
+        return float(np.max(np.abs(delta)))
+    raise ValueError(f"unknown reduction {reduction!r}")

@@ -1,0 +1,149 @@
+"""Explanation-quality metrics.
+
+The paper argues its distilled explanations are *effective* (Section
+IV-D) by exhibiting two qualitative successes.  This module gives the
+repository a quantitative vocabulary for the same question, used by the
+figure benches and the examples:
+
+* :func:`rank_agreement` -- Spearman rank correlation between two
+  explainers' score grids (do they order features the same way?);
+* :func:`top_k_recall` -- fraction of planted ground-truth features
+  recovered in an explainer's top-k;
+* :func:`dominance_margin` -- how far the top feature towers over the
+  field, the quantitative form of the paper's "significantly larger";
+* :func:`deletion_curve` / :func:`deletion_auc` -- remove features in
+  ranked order and track the model-output change: a *good* ranking
+  front-loads the change, giving a high area under the curve.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+def _flat(scores: np.ndarray) -> np.ndarray:
+    array = np.asarray(scores, dtype=np.float64).reshape(-1)
+    if array.size == 0:
+        raise ValueError("scores are empty")
+    return array
+
+
+def _rankdata(values: np.ndarray) -> np.ndarray:
+    """Average-tie ranks (1-based), matching scipy.stats.rankdata."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty_like(order, dtype=np.float64)
+    sorted_values = values[order]
+    index = 0
+    while index < len(values):
+        tie_end = index
+        while (
+            tie_end + 1 < len(values)
+            and sorted_values[tie_end + 1] == sorted_values[index]
+        ):
+            tie_end += 1
+        average_rank = (index + tie_end) / 2.0 + 1.0
+        ranks[order[index : tie_end + 1]] = average_rank
+        index = tie_end + 1
+    return ranks
+
+
+def rank_agreement(scores_a: np.ndarray, scores_b: np.ndarray) -> float:
+    """Spearman rank correlation between two score grids, in [-1, 1]."""
+    a = _flat(scores_a)
+    b = _flat(scores_b)
+    if a.shape != b.shape:
+        raise ValueError(f"score shapes differ: {a.shape} vs {b.shape}")
+    if a.size < 2:
+        raise ValueError("need at least two features to correlate")
+    ranks_a = _rankdata(a)
+    ranks_b = _rankdata(b)
+    std_a = ranks_a.std()
+    std_b = ranks_b.std()
+    if std_a == 0 or std_b == 0:
+        return 0.0
+    covariance = np.mean((ranks_a - ranks_a.mean()) * (ranks_b - ranks_b.mean()))
+    return float(covariance / (std_a * std_b))
+
+
+def top_k_recall(
+    scores: np.ndarray, truth: Sequence[tuple[int, ...]], k: int
+) -> float:
+    """Fraction of ground-truth features appearing in the top-k."""
+    from repro.core.interpretation import top_k_features
+
+    if not truth:
+        raise ValueError("ground-truth feature set is empty")
+    top = {tuple(feature) for feature in top_k_features(np.asarray(scores), k)}
+    truth_set = {tuple(int(v) for v in feature) for feature in truth}
+    return len(top & truth_set) / len(truth_set)
+
+
+def dominance_margin(scores: np.ndarray, exclude_adjacent: int = 0) -> float:
+    """Top score over the runner-up ("significantly larger", quantified).
+
+    For 1-D score vectors ``exclude_adjacent`` neighbours on each side
+    of the winner are ignored when picking the runner-up (adjacent
+    clock cycles legitimately carry reaction signal in Figure 6).
+    """
+    array = np.asarray(scores, dtype=np.float64)
+    flat = array.reshape(-1)
+    if flat.size < 2:
+        raise ValueError("need at least two scores")
+    winner = int(np.argmax(flat))
+    field = flat.copy()
+    if array.ndim == 1 and exclude_adjacent > 0:
+        low = max(0, winner - exclude_adjacent)
+        high = min(flat.size, winner + exclude_adjacent + 1)
+        field[low:high] = -np.inf
+    else:
+        field[winner] = -np.inf
+    runner_up = float(field.max())
+    if runner_up <= 0:
+        return float("inf")
+    return float(flat[winner] / runner_up)
+
+
+def deletion_curve(
+    model: Callable[[np.ndarray], np.ndarray],
+    x: np.ndarray,
+    ranking: Sequence[tuple[int, ...]],
+    fill_value: float = 0.0,
+) -> np.ndarray:
+    """Output change as ranked features are removed one by one.
+
+    ``ranking`` lists features most-important-first (element tuples for
+    2-D inputs, column indices as 1-tuples for per-column rankings).
+    Returns the cumulative L2 output change after each deletion,
+    normalized by the change when everything listed is deleted.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"expected a matrix input, got shape {x.shape}")
+    if not ranking:
+        raise ValueError("ranking is empty")
+    baseline = np.asarray(model(x), dtype=np.float64)
+    working = x.copy()
+    changes = []
+    for feature in ranking:
+        if len(feature) == 1:
+            working[:, feature[0]] = fill_value
+        elif len(feature) == 2:
+            working[feature] = fill_value
+        else:
+            raise ValueError(f"cannot interpret feature index {feature}")
+        delta = np.asarray(model(working), dtype=np.float64) - baseline
+        changes.append(float(np.sqrt(np.sum(delta**2))))
+    final = changes[-1]
+    if final == 0:
+        return np.zeros(len(changes))
+    return np.asarray(changes) / final
+
+
+def deletion_auc(curve: np.ndarray) -> float:
+    """Area under a deletion curve, in [0, 1]; higher = better ranking."""
+    curve = np.asarray(curve, dtype=np.float64)
+    if curve.size == 0:
+        raise ValueError("curve is empty")
+    return float(np.mean(curve))

@@ -1,0 +1,225 @@
+"""Task transformation: model distillation as a Fourier-domain solve.
+
+This module implements Section III-B of the paper.  The distilled model
+is a single circular-convolution kernel ``K`` satisfying ``X (*) K = Y``
+(Eq. 2).  Applying the discrete convolution theorem turns the fit into
+
+    F(X) o F(K) = F(Y)            =>    K = F^-1(F(Y) / F(X))   (Eq. 3-4)
+
+i.e. two forward transforms, one Hadamard division, one inverse
+transform -- all of which a TPU evaluates as dense matrix products.
+
+Two practical extensions (documented in DESIGN.md section 5):
+
+* **Regularization.**  ``F(X)`` can be arbitrarily small, so the raw
+  Eq. 4 division is numerically explosive.  We solve the least-squares
+  problem ``min_K sum_i ||X_i (*) K - Y_i||^2`` instead, whose closed
+  form is the Wiener deconvolution
+
+      F(K) = sum_i F(Y_i) conj(F(X_i)) / (sum_i |F(X_i)|^2 + eps).
+
+  With a single pair and ``eps -> 0`` this is exactly Eq. 4; the
+  operation count (transforms + one Hadamard division) is unchanged, so
+  the paper's acceleration story is unaffected.
+
+* **Output embedding.**  A classifier's output ``y`` lives in R^C, not
+  on the input plane.  :class:`OutputEmbedding` lifts it to an ``M x N``
+  matrix so Eq. 2 type-checks; several strategies are provided and the
+  choice is recorded on the fitted distiller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fft.fft2d import fft2, ifft2
+from repro.hw.device import Device
+
+_STRATEGIES = ("identity", "spatial", "onehot-row", "tile")
+
+
+@dataclass(frozen=True)
+class OutputEmbedding:
+    """Lifts classifier outputs ``y in R^C`` onto the input plane.
+
+    Strategies:
+
+    * ``identity``   -- the output already is an ``M x N`` matrix (e.g.
+      trace tables whose label plane equals the input plane);
+    * ``spatial``    -- the grid is split into ``C`` contiguous row bands,
+      band ``c`` is filled with ``y[c]`` (default for image classifiers;
+      keeps class evidence spatially localized so block occlusion reads
+      naturally);
+    * ``onehot-row`` -- ``y`` occupies the first row, zeros elsewhere;
+    * ``tile``       -- ``y`` repeats cyclically over the whole grid.
+    """
+
+    strategy: str = "spatial"
+
+    def __post_init__(self) -> None:
+        if self.strategy not in _STRATEGIES:
+            raise ValueError(
+                f"unknown embedding strategy {self.strategy!r}; "
+                f"expected one of {_STRATEGIES}"
+            )
+
+    def embed(self, y: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
+        """Return the ``shape`` matrix carrying the output vector ``y``."""
+        y = np.asarray(y, dtype=np.float64)
+        m, n = shape
+        if self.strategy == "identity":
+            if y.shape != shape:
+                raise ValueError(
+                    f"identity embedding needs output shape {shape}, got {y.shape}"
+                )
+            return y.copy()
+        if y.ndim != 1:
+            raise ValueError(
+                f"{self.strategy!r} embedding expects a 1-D output vector, "
+                f"got shape {y.shape}"
+            )
+        classes = y.shape[0]
+        if classes == 0:
+            raise ValueError("cannot embed an empty output vector")
+        if classes > m * n:
+            raise ValueError(
+                f"output vector ({classes} classes) does not fit a {m}x{n} plane"
+            )
+        plane = np.zeros(shape, dtype=np.float64)
+        if self.strategy == "onehot-row":
+            row = np.zeros(n)
+            count = min(classes, n)
+            row[:count] = y[:count]
+            plane[0, :] = row
+            return plane
+        if self.strategy == "tile":
+            flat = np.resize(y, m * n)
+            return flat.reshape(shape)
+        # spatial: contiguous row-major bands, one per class.
+        cells = m * n
+        band = cells // classes
+        flat = plane.reshape(-1)
+        for c in range(classes):
+            start = c * band
+            stop = start + band if c < classes - 1 else cells
+            flat[start:stop] = y[c]
+        return plane
+
+    def project(self, plane: np.ndarray, classes: int) -> np.ndarray:
+        """Read a class-score vector back out of an embedded plane.
+
+        The pseudo-inverse of :meth:`embed` (exact for planes produced by
+        ``embed``; an aggregation for arbitrary planes such as distilled
+        predictions).
+        """
+        plane = np.asarray(plane, dtype=np.float64)
+        if plane.ndim != 2:
+            raise ValueError(f"expected a matrix, got shape {plane.shape}")
+        if classes <= 0:
+            raise ValueError("class count must be positive")
+        if self.strategy == "identity":
+            raise ValueError("identity embedding has no class projection")
+        if self.strategy == "onehot-row":
+            return plane[0, :classes].copy()
+        if self.strategy == "tile":
+            flat = plane.reshape(-1)
+            scores = np.zeros(classes)
+            for c in range(classes):
+                scores[c] = flat[c::classes].mean()
+            return scores
+        cells = plane.size
+        band = cells // classes
+        flat = plane.reshape(-1)
+        scores = np.zeros(classes)
+        for c in range(classes):
+            start = c * band
+            stop = start + band if c < classes - 1 else cells
+            scores[c] = flat[start:stop].mean()
+        return scores
+
+
+def _normalize_batch(arrays, name: str) -> np.ndarray:
+    batch = np.asarray(arrays)
+    if batch.ndim == 2:
+        batch = batch[np.newaxis]
+    if batch.ndim != 3:
+        raise ValueError(
+            f"{name} must be one matrix or a batch of matrices, got shape {batch.shape}"
+        )
+    if 0 in batch.shape:
+        raise ValueError(f"{name} batch is empty")
+    return batch
+
+
+def frequency_solve(
+    inputs,
+    outputs,
+    eps: float = 1e-6,
+    device: Device | None = None,
+) -> np.ndarray:
+    """Solve ``X_i (*) K = Y_i`` for the shared kernel ``K`` (Eq. 4 / Wiener).
+
+    ``inputs`` and ``outputs`` are equal-shape matrices or batches of
+    matrices.  When ``device`` is given, every transform and Hadamard
+    operation executes on it (accumulating simulated time); otherwise a
+    pure-numpy fast path is used.
+
+    Returns the real kernel when all operands are real.
+    """
+    x_batch = _normalize_batch(inputs, "inputs")
+    y_batch = _normalize_batch(outputs, "outputs")
+    if x_batch.shape != y_batch.shape:
+        raise ValueError(
+            f"inputs and outputs must align, got {x_batch.shape} vs {y_batch.shape}"
+        )
+    if eps < 0:
+        raise ValueError(f"eps must be non-negative, got {eps}")
+    all_real = np.isrealobj(x_batch) and np.isrealobj(y_batch)
+
+    if device is None:
+        numerator = np.zeros(x_batch.shape[1:], dtype=np.complex128)
+        denominator = np.zeros(x_batch.shape[1:], dtype=np.float64)
+        for x, y in zip(x_batch, y_batch):
+            x_hat = fft2(x)
+            y_hat = fft2(y)
+            numerator += y_hat * np.conj(x_hat)
+            denominator += np.abs(x_hat) ** 2
+        kernel_hat = numerator / (denominator + eps)
+        kernel = ifft2(kernel_hat)
+    else:
+        numerator = np.zeros(x_batch.shape[1:], dtype=np.complex128)
+        denominator = np.zeros(x_batch.shape[1:], dtype=np.complex128)
+        for x, y in zip(x_batch, y_batch):
+            x_hat = device.fft2(x)
+            y_hat = device.fft2(y)
+            x_conj = device.conjugate(x_hat)
+            numerator = numerator + device.hadamard(y_hat, x_conj, op="mul")
+            denominator = denominator + device.hadamard(x_hat, x_conj, op="mul")
+        regularized = device.hadamard(
+            denominator, np.full(denominator.shape, eps, dtype=np.complex128), op="add"
+        )
+        kernel_hat = device.hadamard(numerator, regularized, op="div")
+        kernel = device.ifft2(kernel_hat)
+
+    if all_real:
+        return np.ascontiguousarray(kernel.real)
+    return kernel
+
+
+def spectrum_condition(inputs, eps: float = 0.0) -> float:
+    """Conditioning diagnostic: max/min of the regularized denominator.
+
+    Large values mean Eq. 4's division is ill-posed for this data and
+    regularization is doing real work; handy when choosing ``eps``.
+    """
+    x_batch = _normalize_batch(inputs, "inputs")
+    denominator = np.zeros(x_batch.shape[1:], dtype=np.float64)
+    for x in x_batch:
+        denominator += np.abs(fft2(x)) ** 2
+    denominator = denominator + eps
+    smallest = float(denominator.min())
+    if smallest == 0.0:
+        return float("inf")
+    return float(denominator.max()) / smallest

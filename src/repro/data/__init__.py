@@ -1,0 +1,48 @@
+"""Dataset substrate: synthetic stand-ins for the paper's benchmarks.
+
+* :mod:`repro.data.cifar` -- class-structured CIFAR-100-like images
+  with planted motif blocks (the Figure 5 ground truth);
+* :mod:`repro.data.mirai` -- MIRAI-style register/clock-cycle trace
+  tables with a planted ATTACK_VECTOR assignment cycle (the Figure 6
+  ground truth);
+* :mod:`repro.data.loader` -- batching and preprocessing helpers.
+
+See DESIGN.md section 2 for why these substitutions preserve the
+behaviour the experiments measure.
+"""
+
+from repro.data.cifar import CifarLikeSpec, SyntheticCifar100, make_cat_image
+from repro.data.loader import (
+    normalize_images,
+    one_hot,
+    to_grayscale,
+    train_test_indices,
+)
+from repro.data.windows import (
+    TraceWindow,
+    locate_cycle,
+    pad_trace,
+    sliding_windows,
+)
+from repro.data.mirai import (
+    ATTACK_MODES,
+    MiraiTraceDataset,
+    MiraiTraceSpec,
+)
+
+__all__ = [
+    "CifarLikeSpec",
+    "SyntheticCifar100",
+    "make_cat_image",
+    "normalize_images",
+    "one_hot",
+    "to_grayscale",
+    "train_test_indices",
+    "TraceWindow",
+    "locate_cycle",
+    "pad_trace",
+    "sliding_windows",
+    "ATTACK_MODES",
+    "MiraiTraceDataset",
+    "MiraiTraceSpec",
+]

@@ -1,0 +1,103 @@
+"""Windowing utilities for long execution traces.
+
+Real malware traces run for millions of cycles; detectors (and the
+paper's trace-table interpretation) consume fixed-size register x cycle
+windows.  These helpers slice long traces into model-ready windows and
+map window-level explanations back to absolute cycle indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TraceWindow:
+    """One window cut from a longer trace."""
+
+    data: np.ndarray  # (registers, window_cycles)
+    start_cycle: int
+
+    @property
+    def end_cycle(self) -> int:
+        return self.start_cycle + self.data.shape[1]
+
+    def to_absolute_cycle(self, column: int) -> int:
+        """Map a window-local column index to the trace's cycle number."""
+        if not 0 <= column < self.data.shape[1]:
+            raise IndexError(
+                f"column {column} outside window of {self.data.shape[1]} cycles"
+            )
+        return self.start_cycle + column
+
+
+def sliding_windows(
+    trace: np.ndarray, window_cycles: int, stride: int | None = None
+) -> list[TraceWindow]:
+    """Cut a ``(registers, cycles)`` trace into overlapping windows.
+
+    ``stride`` defaults to the window length (non-overlapping).  A final
+    partial window is dropped, matching fixed-input detectors.
+    """
+    trace = np.asarray(trace)
+    if trace.ndim != 2:
+        raise ValueError(f"expected a (registers, cycles) trace, got {trace.shape}")
+    if window_cycles <= 0:
+        raise ValueError(f"window length must be positive, got {window_cycles}")
+    stride = window_cycles if stride is None else stride
+    if stride <= 0:
+        raise ValueError(f"stride must be positive, got {stride}")
+    total = trace.shape[1]
+    windows = []
+    for start in range(0, total - window_cycles + 1, stride):
+        windows.append(
+            TraceWindow(data=trace[:, start : start + window_cycles], start_cycle=start)
+        )
+    return windows
+
+
+def locate_cycle(
+    windows: list[TraceWindow], window_scores: list[np.ndarray]
+) -> tuple[int, float]:
+    """Find the globally most contributing cycle across windows.
+
+    ``window_scores[i]`` holds per-column contributions of window ``i``
+    (e.g. from :func:`repro.core.interpretation.column_contributions`).
+    Overlapping windows vote; the absolute cycle with the highest summed
+    score wins.  Returns ``(cycle, score)``.
+    """
+    if len(windows) != len(window_scores):
+        raise ValueError(
+            f"{len(windows)} windows but {len(window_scores)} score vectors"
+        )
+    if not windows:
+        raise ValueError("no windows given")
+    totals: dict[int, float] = {}
+    for window, scores in zip(windows, window_scores):
+        scores = np.asarray(scores)
+        if scores.shape != (window.data.shape[1],):
+            raise ValueError(
+                f"score vector of shape {scores.shape} does not match window "
+                f"of {window.data.shape[1]} cycles"
+            )
+        for column, score in enumerate(scores):
+            cycle = window.to_absolute_cycle(column)
+            totals[cycle] = totals.get(cycle, 0.0) + float(score)
+    best_cycle = max(totals, key=totals.get)
+    return best_cycle, totals[best_cycle]
+
+
+def pad_trace(trace: np.ndarray, window_cycles: int, fill_value: float = 0.0) -> np.ndarray:
+    """Right-pad a trace so its length is a multiple of the window."""
+    trace = np.asarray(trace)
+    if trace.ndim != 2:
+        raise ValueError(f"expected a (registers, cycles) trace, got {trace.shape}")
+    if window_cycles <= 0:
+        raise ValueError(f"window length must be positive, got {window_cycles}")
+    remainder = trace.shape[1] % window_cycles
+    if remainder == 0:
+        return trace.copy()
+    padding = window_cycles - remainder
+    return np.pad(trace, ((0, 0), (0, padding)), constant_values=fill_value)

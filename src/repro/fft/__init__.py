@@ -1,0 +1,57 @@
+"""Fourier-transform substrate.
+
+The paper's task transformation (Section III-B) rewrites model distillation
+as ``K = F^-1(F(Y) / F(X))``, and its data-decomposition step (Section
+III-C) evaluates the 2-D transform as two matrix products with DFT
+matrices, ``X = (W_M . x) . W_N`` (Eq. 13).  This package implements the
+whole Fourier stack from scratch:
+
+* :mod:`repro.fft.dft_matrix` -- DFT matrices ``W_N`` and their algebra;
+* :mod:`repro.fft.fft`        -- 1-D FFT (iterative radix-2 Cooley-Tukey
+  for power-of-two lengths, Bluestein chirp-z for everything else);
+* :mod:`repro.fft.fft2d`      -- 2-D transforms in both row-column FFT
+  form and the matmul form that maps onto a systolic array;
+* :mod:`repro.fft.convolution` -- direct and FFT-based circular/linear
+  convolution, the bridge used by the convolution theorem (Eq. 3).
+
+``numpy.fft`` is deliberately not used anywhere in this package; the test
+suite uses it as an independent oracle.
+"""
+
+from repro.fft.dft_matrix import (
+    dft_matrix,
+    idft_matrix,
+    dft_matrix_cache_info,
+    clear_dft_matrix_cache,
+)
+from repro.fft.fft import fft, ifft, bit_reversal_permutation, is_power_of_two
+from repro.fft.fft2d import fft2, ifft2, fft2_matmul, ifft2_matmul
+from repro.fft.convolution import (
+    circular_convolve,
+    circular_convolve2d,
+    fft_circular_convolve,
+    fft_circular_convolve2d,
+    linear_convolve,
+    linear_convolve2d,
+)
+
+__all__ = [
+    "dft_matrix",
+    "idft_matrix",
+    "dft_matrix_cache_info",
+    "clear_dft_matrix_cache",
+    "fft",
+    "ifft",
+    "bit_reversal_permutation",
+    "is_power_of_two",
+    "fft2",
+    "ifft2",
+    "fft2_matmul",
+    "ifft2_matmul",
+    "circular_convolve",
+    "circular_convolve2d",
+    "fft_circular_convolve",
+    "fft_circular_convolve2d",
+    "linear_convolve",
+    "linear_convolve2d",
+]

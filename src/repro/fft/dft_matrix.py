@@ -1,0 +1,126 @@
+"""Discrete Fourier transform matrices.
+
+The paper's Eq. 10-13 express the 2-D DFT of an ``M x N`` input as two
+matrix products with the Fourier matrices ``W_M`` and ``W_N``:
+
+    X = (W_M . x) . W_N                                         (Eq. 13)
+
+which is the form a TPU's Matrix Multiply Unit evaluates natively.  This
+module builds those matrices.
+
+Normalization conventions
+-------------------------
+``norm="backward"`` (default) builds the *unnormalized* analysis matrix
+with entries ``exp(-2j*pi*m*k/N)``; the matching synthesis matrix carries
+the full ``1/N``.  This convention makes the discrete convolution theorem
+exact -- ``F(x (*) k) = F(x) o F(k)`` -- which the distillation solve
+(Eq. 4) relies on.
+
+``norm="ortho"`` builds the unitary matrix ``exp(-2j*pi*m*k/N)/sqrt(N)``
+exactly as written in the paper's Eq. 6/9; it is its own conjugate-
+transpose inverse, a property the tests assert.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+_VALID_NORMS = ("backward", "ortho", "forward")
+
+# A process-wide cache: benchmark sweeps repeatedly request the same
+# W_256/W_512/W_1024 matrices and rebuilding them dominates runtime.
+_CACHE: dict[tuple[int, str, bool], np.ndarray] = {}
+_CACHE_LOCK = threading.Lock()
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
+
+
+def _validate(n: int, norm: str) -> None:
+    if not isinstance(n, (int, np.integer)):
+        raise TypeError(f"DFT size must be an integer, got {type(n).__name__}")
+    if n <= 0:
+        raise ValueError(f"DFT size must be positive, got {n}")
+    if norm not in _VALID_NORMS:
+        raise ValueError(f"norm must be one of {_VALID_NORMS}, got {norm!r}")
+
+
+def _scale(n: int, norm: str, inverse: bool) -> float:
+    if norm == "ortho":
+        return 1.0 / np.sqrt(n)
+    if norm == "backward":
+        return 1.0 / n if inverse else 1.0
+    # norm == "forward": scaling lives entirely on the analysis side.
+    return 1.0 if inverse else 1.0 / n
+
+
+def dft_matrix(n: int, norm: str = "backward") -> np.ndarray:
+    """Return the ``n x n`` DFT analysis matrix ``W_n``.
+
+    ``W_n[m, k] = scale * exp(-2j*pi*m*k/n)`` where ``scale`` follows the
+    normalization convention described in the module docstring.  The
+    matrix is symmetric (``W_n == W_n.T``), so it can be applied to rows
+    (``x @ W_n``) or columns (``W_n @ x``) interchangeably.
+
+    Results are cached; callers must treat the returned array as
+    read-only (it is marked non-writeable).
+    """
+    return _cached_matrix(n, norm, inverse=False)
+
+
+def idft_matrix(n: int, norm: str = "backward") -> np.ndarray:
+    """Return the ``n x n`` inverse-DFT (synthesis) matrix.
+
+    For every norm, ``idft_matrix(n, norm) @ dft_matrix(n, norm)`` is the
+    identity.
+    """
+    return _cached_matrix(n, norm, inverse=True)
+
+
+def _cached_matrix(n: int, norm: str, inverse: bool) -> np.ndarray:
+    global _CACHE_HITS, _CACHE_MISSES
+    _validate(n, norm)
+    key = (int(n), norm, inverse)
+    with _CACHE_LOCK:
+        cached = _CACHE.get(key)
+        if cached is not None:
+            _CACHE_HITS += 1
+            return cached
+        _CACHE_MISSES += 1
+    matrix = _build_matrix(int(n), norm, inverse)
+    matrix.setflags(write=False)
+    with _CACHE_LOCK:
+        _CACHE[key] = matrix
+    return matrix
+
+
+def _build_matrix(n: int, norm: str, inverse: bool) -> np.ndarray:
+    sign = 1.0 if inverse else -1.0
+    indices = np.arange(n)
+    # Outer product of indices, reduced mod n before exponentiation to
+    # keep the phase argument small (better accuracy for large n).
+    exponents = np.mod(np.outer(indices, indices), n)
+    angles = sign * 2.0 * np.pi * exponents / n
+    matrix = np.exp(1j * angles)
+    matrix *= _scale(n, norm, inverse)
+    return matrix
+
+
+def dft_matrix_cache_info() -> dict[str, int]:
+    """Return cache statistics (entries, hits, misses)."""
+    with _CACHE_LOCK:
+        return {
+            "entries": len(_CACHE),
+            "hits": _CACHE_HITS,
+            "misses": _CACHE_MISSES,
+        }
+
+
+def clear_dft_matrix_cache() -> None:
+    """Drop all cached DFT matrices (used by tests and memory-bound runs)."""
+    global _CACHE_HITS, _CACHE_MISSES
+    with _CACHE_LOCK:
+        _CACHE.clear()
+        _CACHE_HITS = 0
+        _CACHE_MISSES = 0

@@ -1,0 +1,201 @@
+"""1-D fast Fourier transforms implemented from scratch.
+
+Two algorithms cover all input lengths:
+
+* power-of-two lengths use an **iterative radix-2 Cooley-Tukey** kernel
+  (decimation in time with an explicit bit-reversal permutation), fully
+  vectorized over leading batch axes;
+* every other length uses **Bluestein's chirp-z algorithm**, which
+  re-expresses an arbitrary-length DFT as a circular convolution of
+  power-of-two length and therefore reuses the radix-2 kernel.
+
+The inverse transform uses the conjugation identity
+``ifft(x) = conj(fft(conj(x))) / n`` so a single forward kernel serves
+both directions.
+
+Normalization follows :mod:`repro.fft.dft_matrix`: the default
+``norm="backward"`` matches ``numpy.fft`` and keeps the convolution
+theorem scale-free, which the distillation solve (paper Eq. 4) requires.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+_VALID_NORMS = ("backward", "ortho", "forward")
+
+# Twiddle-factor plans, keyed by transform length.  Computing the
+# twiddles is O(n) per stage, and sweeps re-run the same lengths, so a
+# tiny plan cache is a large constant-factor win.
+_TWIDDLE_CACHE: dict[int, list[np.ndarray]] = {}
+_BITREV_CACHE: dict[int, np.ndarray] = {}
+_PLAN_LOCK = threading.Lock()
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True when ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def next_power_of_two(n: int) -> int:
+    """Return the smallest power of two ``>= n``."""
+    if n <= 0:
+        raise ValueError(f"expected a positive length, got {n}")
+    return 1 << (int(n) - 1).bit_length()
+
+
+def bit_reversal_permutation(n: int) -> np.ndarray:
+    """Return the bit-reversal index permutation for a power-of-two ``n``.
+
+    Element ``i`` of the output holds the integer whose ``log2(n)``-bit
+    binary representation is the reverse of ``i``'s.
+    """
+    if not is_power_of_two(n):
+        raise ValueError(f"bit reversal requires a power-of-two length, got {n}")
+    with _PLAN_LOCK:
+        cached = _BITREV_CACHE.get(n)
+        if cached is not None:
+            return cached
+    bits = n.bit_length() - 1
+    indices = np.arange(n, dtype=np.int64)
+    reversed_indices = np.zeros(n, dtype=np.int64)
+    work = indices.copy()
+    for _ in range(bits):
+        reversed_indices = (reversed_indices << 1) | (work & 1)
+        work >>= 1
+    reversed_indices.setflags(write=False)
+    with _PLAN_LOCK:
+        _BITREV_CACHE[n] = reversed_indices
+    return reversed_indices
+
+
+def _twiddle_plan(n: int) -> list[np.ndarray]:
+    """Per-stage twiddle factors ``exp(-2j*pi*k/size)`` for radix-2."""
+    with _PLAN_LOCK:
+        cached = _TWIDDLE_CACHE.get(n)
+        if cached is not None:
+            return cached
+    plan = []
+    size = 2
+    while size <= n:
+        half = size // 2
+        stage = np.exp(-2j * np.pi * np.arange(half) / size)
+        stage.setflags(write=False)
+        plan.append(stage)
+        size *= 2
+    with _PLAN_LOCK:
+        _TWIDDLE_CACHE[n] = plan
+    return plan
+
+
+def _fft_radix2(x: np.ndarray) -> np.ndarray:
+    """Forward unnormalized FFT along the last axis; length must be 2^k."""
+    n = x.shape[-1]
+    if n == 1:
+        return x.astype(np.complex128, copy=True)
+    data = x[..., bit_reversal_permutation(n)].astype(np.complex128)
+    for stage_twiddles in _twiddle_plan(n):
+        half = stage_twiddles.shape[0]
+        size = half * 2
+        shaped = data.reshape(data.shape[:-1] + (n // size, size))
+        even = shaped[..., :half]
+        odd = shaped[..., half:] * stage_twiddles
+        data = np.concatenate((even + odd, even - odd), axis=-1)
+        data = data.reshape(data.shape[:-2] + (n,))
+    return data
+
+
+def _fft_bluestein(x: np.ndarray) -> np.ndarray:
+    """Forward unnormalized DFT of arbitrary length via the chirp-z trick.
+
+    Writing ``mk = (m^2 + k^2 - (k-m)^2) / 2`` turns the DFT sum into a
+    circular convolution with the chirp sequence ``exp(j*pi*k^2/n)``,
+    which we evaluate at a padded power-of-two length with the radix-2
+    kernel.
+    """
+    n = x.shape[-1]
+    k = np.arange(n)
+    # exp(-j*pi*k^2/n); use mod 2n on k^2 to keep the phase argument small.
+    chirp = np.exp(-1j * np.pi * np.mod(k * k, 2 * n) / n)
+    padded_len = next_power_of_two(2 * n - 1)
+
+    a = np.zeros(x.shape[:-1] + (padded_len,), dtype=np.complex128)
+    a[..., :n] = x * chirp
+
+    b = np.zeros(padded_len, dtype=np.complex128)
+    b[:n] = np.conj(chirp)
+    b[padded_len - (n - 1):] = np.conj(chirp[1:][::-1])
+
+    spectrum = _fft_radix2(a) * _fft_radix2(b)
+    # Inverse FFT of the product via conjugation (still power-of-two).
+    convolved = np.conj(_fft_radix2(np.conj(spectrum))) / padded_len
+    return convolved[..., :n] * chirp
+
+
+def _forward_scale(n: int, norm: str) -> float:
+    if norm == "backward":
+        return 1.0
+    if norm == "ortho":
+        return 1.0 / np.sqrt(n)
+    return 1.0 / n
+
+
+def fft(x: np.ndarray, axis: int = -1, norm: str = "backward") -> np.ndarray:
+    """Compute the 1-D DFT of ``x`` along ``axis``.
+
+    Accepts real or complex input of any length and any batch shape.
+    Power-of-two lengths take the radix-2 path; others take Bluestein.
+    """
+    if norm not in _VALID_NORMS:
+        raise ValueError(f"norm must be one of {_VALID_NORMS}, got {norm!r}")
+    array = np.asarray(x)
+    if array.ndim == 0:
+        raise ValueError("fft requires at least a 1-D input")
+    if array.shape[axis] == 0:
+        raise ValueError("fft of an empty axis is undefined")
+    moved = np.moveaxis(array, axis, -1)
+    n = moved.shape[-1]
+    if is_power_of_two(n):
+        result = _fft_radix2(moved)
+    else:
+        result = _fft_bluestein(moved)
+    scale = _forward_scale(n, norm)
+    if scale != 1.0:
+        result = result * scale
+    return np.moveaxis(result, -1, axis)
+
+
+def ifft(x: np.ndarray, axis: int = -1, norm: str = "backward") -> np.ndarray:
+    """Inverse 1-D DFT, the exact inverse of :func:`fft` for every norm."""
+    if norm not in _VALID_NORMS:
+        raise ValueError(f"norm must be one of {_VALID_NORMS}, got {norm!r}")
+    array = np.asarray(x)
+    if array.ndim == 0:
+        raise ValueError("ifft requires at least a 1-D input")
+    n = array.shape[axis]
+    if n == 0:
+        raise ValueError("ifft of an empty axis is undefined")
+    unnormalized = np.conj(fft(np.conj(array), axis=axis, norm="backward"))
+    if norm == "backward":
+        return unnormalized / n
+    if norm == "ortho":
+        return unnormalized / np.sqrt(n)
+    return unnormalized
+
+
+def fft_plan_cache_info() -> dict[str, int]:
+    """Return the number of cached twiddle plans and bit-reversal tables."""
+    with _PLAN_LOCK:
+        return {
+            "twiddle_plans": len(_TWIDDLE_CACHE),
+            "bit_reversal_tables": len(_BITREV_CACHE),
+        }
+
+
+def clear_fft_plan_cache() -> None:
+    """Drop all cached FFT plans."""
+    with _PLAN_LOCK:
+        _TWIDDLE_CACHE.clear()
+        _BITREV_CACHE.clear()

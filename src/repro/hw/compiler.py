@@ -1,0 +1,202 @@
+"""Lowering tensor-level op graphs into TPU instruction programs.
+
+The eager backends dispatch one kernel per op; a compiled TPU program
+fuses a whole computation -- e.g. the distillation solve's three
+transforms and Hadamard stages -- into a single instruction stream with
+one host round trip.  This module provides that lowering:
+
+* an :class:`OpGraph` of named tensor ops (matmul / hadamard /
+  transpose / host transfers) in execution order;
+* :func:`lower` -- translate the graph into a :class:`repro.hw.isa.Program`
+  for a given core configuration, expanding complex matmuls into real
+  MXU passes and sizing every instruction's cycle/second cost;
+* :func:`solve_graph` -- the canonical graph of the paper's Eq. 4 solve
+  (the thing Figure 4 times);
+* :func:`compiled_seconds` -- price a graph end to end under the core's
+  scheduler (one dispatch, overlapped DMA), the counterpart of summing
+  eager per-op costs.
+
+The ablation bench compares fused-program pricing against eager per-op
+pricing on the same graph -- the quantitative version of the paper's
+"simple computation equivalent to one forward pass" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.isa import Instruction, Opcode, Program
+from repro.hw.mxu import matmul_cycles
+from repro.hw.tpu import TpuCoreConfig
+
+
+@dataclass(frozen=True)
+class Op:
+    """One tensor-level operation in an :class:`OpGraph`.
+
+    ``kind`` is one of ``matmul``, ``hadamard``, ``transpose``,
+    ``read_host``, ``write_host``.  Shapes are element counts or matmul
+    geometry; ``complex_values`` expands matmuls into the 4 (or 3) real
+    MXU products and quadruples elementwise flops.
+    """
+
+    kind: str
+    name: str = ""
+    m: int = 0
+    k: int = 0
+    n: int = 0
+    elements: int = 0
+    nbytes: int = 0
+    complex_values: bool = False
+
+    def __post_init__(self) -> None:
+        kinds = ("matmul", "hadamard", "transpose", "read_host", "write_host")
+        if self.kind not in kinds:
+            raise ValueError(f"unknown op kind {self.kind!r}; expected one of {kinds}")
+        if self.kind == "matmul" and (self.m <= 0 or self.k <= 0 or self.n <= 0):
+            raise ValueError(f"matmul op {self.name!r} needs positive m, k, n")
+        if self.kind in ("hadamard", "transpose") and self.elements <= 0:
+            raise ValueError(f"{self.kind} op {self.name!r} needs positive elements")
+        if self.kind in ("read_host", "write_host") and self.nbytes <= 0:
+            raise ValueError(f"{self.kind} op {self.name!r} needs positive nbytes")
+
+
+@dataclass
+class OpGraph:
+    """An ordered tensor-op sequence to be lowered as one program."""
+
+    ops: list[Op] = field(default_factory=list)
+
+    def matmul(self, m: int, k: int, n: int, name: str = "", complex_values: bool = False) -> "OpGraph":
+        self.ops.append(Op("matmul", name=name, m=m, k=k, n=n, complex_values=complex_values))
+        return self
+
+    def hadamard(self, elements: int, name: str = "", complex_values: bool = False) -> "OpGraph":
+        self.ops.append(Op("hadamard", name=name, elements=elements, complex_values=complex_values))
+        return self
+
+    def transpose(self, elements: int, name: str = "") -> "OpGraph":
+        self.ops.append(Op("transpose", name=name, elements=elements))
+        return self
+
+    def read_host(self, nbytes: int, name: str = "") -> "OpGraph":
+        self.ops.append(Op("read_host", name=name, nbytes=nbytes))
+        return self
+
+    def write_host(self, nbytes: int, name: str = "") -> "OpGraph":
+        self.ops.append(Op("write_host", name=name, nbytes=nbytes))
+        return self
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+def lower(
+    graph: OpGraph,
+    core: TpuCoreConfig,
+    host_bandwidth_bytes_per_sec: float,
+    complex_matmul_real_products: int = 4,
+) -> Program:
+    """Translate an op graph into a priced instruction stream."""
+    if host_bandwidth_bytes_per_sec <= 0:
+        raise ValueError("host bandwidth must be positive")
+    program = Program()
+    vpu_rate = core.vpu_lanes * core.vpu_ops_per_lane_per_cycle
+    for op in graph.ops:
+        if op.kind == "matmul":
+            passes = complex_matmul_real_products if op.complex_values else 1
+            stats = matmul_cycles(op.m, op.k, op.n, core.mxu)
+            load = core.mxu.rows
+            stream = max(1, (stats.cycles - stats.weight_load_cycles
+                             + stats.hidden_weight_load_cycles) // stats.tiles)
+            for _ in range(passes):
+                for tile in range(stats.tiles):
+                    program.emit(Instruction(Opcode.LOAD_WEIGHTS, cycles=load,
+                                             label=f"{op.name}/w{tile}"))
+                    program.emit(Instruction(Opcode.MATMUL, cycles=stream,
+                                             label=f"{op.name}/mm{tile}"))
+        elif op.kind == "hadamard":
+            flops = op.elements * (4.0 if op.complex_values else 1.0)
+            cycles = max(1, int(flops / vpu_rate))
+            program.emit(Instruction(Opcode.HADAMARD, cycles=cycles, label=op.name))
+        elif op.kind == "transpose":
+            cycles = max(1, int(op.elements * 0.5 / vpu_rate))
+            program.emit(Instruction(Opcode.TRANSPOSE, cycles=cycles, label=op.name))
+        elif op.kind == "read_host":
+            program.emit(Instruction(
+                Opcode.READ_HOST,
+                seconds=op.nbytes / host_bandwidth_bytes_per_sec,
+                label=op.name,
+            ))
+        else:  # write_host
+            program.emit(Instruction(
+                Opcode.WRITE_HOST,
+                seconds=op.nbytes / host_bandwidth_bytes_per_sec,
+                label=op.name,
+            ))
+    return program
+
+
+def solve_graph(size: int, pairs: int = 1) -> OpGraph:
+    """The paper's Eq. 4 distillation solve as an op graph.
+
+    Per pair: read X and Y (fp32), transform both (two complex matmuls
+    each, Eq. 13), accumulate the Wiener numerator/denominator (three
+    complex Hadamards), then one division, one inverse transform, and
+    the kernel write-back.
+    """
+    if size <= 0 or pairs <= 0:
+        raise ValueError("size and pairs must be positive")
+    elements = size * size
+    graph = OpGraph()
+    for pair in range(pairs):
+        graph.read_host(2 * elements * 4, name=f"p{pair}/xy_in")
+        for operand in ("x", "y"):
+            graph.matmul(size, size, size, name=f"p{pair}/{operand}_rows",
+                         complex_values=True)
+            graph.matmul(size, size, size, name=f"p{pair}/{operand}_cols",
+                         complex_values=True)
+        graph.hadamard(elements, name=f"p{pair}/conj", complex_values=False)
+        graph.hadamard(elements, name=f"p{pair}/num", complex_values=True)
+        graph.hadamard(elements, name=f"p{pair}/den", complex_values=True)
+    graph.hadamard(elements, name="wiener_div", complex_values=True)
+    graph.matmul(size, size, size, name="k_rows", complex_values=True)
+    graph.matmul(size, size, size, name="k_cols", complex_values=True)
+    graph.write_host(elements * 8, name="k_out")
+    return graph
+
+
+def compiled_seconds(
+    graph: OpGraph,
+    core: TpuCoreConfig,
+    host_bandwidth_bytes_per_sec: float,
+    dispatch_latency_sec: float,
+    clock_hz: float | None = None,
+) -> float:
+    """Price a graph as ONE fused program: single dispatch, DMA overlap."""
+    from repro.hw.isa import Scheduler
+
+    program = lower(graph, core, host_bandwidth_bytes_per_sec)
+    scheduler = Scheduler(clock_hz or core.clock_hz)
+    return dispatch_latency_sec + scheduler.run(program).seconds
+
+
+def eager_seconds(
+    graph: OpGraph,
+    core: TpuCoreConfig,
+    host_bandwidth_bytes_per_sec: float,
+    dispatch_latency_sec: float,
+    clock_hz: float | None = None,
+) -> float:
+    """Price a graph op by op: every op pays its own dispatch, no overlap."""
+    from repro.hw.isa import Scheduler
+
+    scheduler = Scheduler(
+        clock_hz or core.clock_hz, overlap_dma=False, overlap_weight_load=False
+    )
+    total = 0.0
+    for op in graph.ops:
+        single = OpGraph(ops=[op])
+        program = lower(single, core, host_bandwidth_bytes_per_sec)
+        total += dispatch_latency_sec + scheduler.run(program).seconds
+    return total

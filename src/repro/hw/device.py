@@ -1,0 +1,298 @@
+"""The common device abstraction shared by the CPU, GPU and TPU backends.
+
+The paper deploys *the same algorithm* (matmul-form Fourier transforms,
+data decomposition, parallel computation) on three hardware
+configurations and compares time.  We mirror that: a :class:`Device`
+executes tensor operations *functionally* (numpy math, with
+device-specific numeric effects such as int8 quantization) while
+accumulating *simulated time* in a :class:`DeviceStats` ledger.
+
+Simulated seconds come from each backend's cost model -- they are the
+numbers the paper's tables report.  Wall-clock time of the simulation
+itself is irrelevant and never mixed in.
+
+Backends implement the ``_*_seconds`` cost hooks and may override the
+``_*_compute`` numeric hooks; the base class provides the operation
+bookkeeping, composite ops (FFT-form convolution) and cost-only variants
+used by large workload sweeps where materializing results is pointless.
+"""
+
+from __future__ import annotations
+
+import abc
+import contextlib
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fft.fft2d import fft2, ifft2
+
+
+@dataclass
+class DeviceStats:
+    """Accumulated simulated-execution ledger for one device."""
+
+    seconds: float = 0.0
+    macs: int = 0
+    bytes_moved: int = 0
+    op_counts: Counter = field(default_factory=Counter)
+    op_seconds: dict[str, float] = field(default_factory=dict)
+
+    def record(self, op: str, seconds: float, macs: int = 0, bytes_moved: int = 0) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative simulated time for {op!r}")
+        self.seconds += seconds
+        self.macs += macs
+        self.bytes_moved += bytes_moved
+        self.op_counts[op] += 1
+        self.op_seconds[op] = self.op_seconds.get(op, 0.0) + seconds
+
+    def merge(self, other: "DeviceStats") -> None:
+        self.seconds += other.seconds
+        self.macs += other.macs
+        self.bytes_moved += other.bytes_moved
+        self.op_counts.update(other.op_counts)
+        for op, sec in other.op_seconds.items():
+            self.op_seconds[op] = self.op_seconds.get(op, 0.0) + sec
+
+    def copy(self) -> "DeviceStats":
+        fresh = DeviceStats()
+        fresh.merge(self)
+        return fresh
+
+
+class Device(abc.ABC):
+    """A hardware backend: functional execution + simulated timing.
+
+    Numeric results flow back to the caller; simulated seconds accumulate
+    in :attr:`stats` until :meth:`take_stats` harvests them.
+    """
+
+    #: Number of real multiplies one complex multiply costs on hardware
+    #: without native complex support (4 = naive; 3 = Karatsuba-style).
+    complex_matmul_real_products: int = 4
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.stats = DeviceStats()
+
+    # ------------------------------------------------------------------
+    # Stats plumbing
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        self.stats = DeviceStats()
+
+    def take_stats(self) -> DeviceStats:
+        """Return the accumulated ledger and start a fresh one."""
+        harvested = self.stats
+        self.stats = DeviceStats()
+        return harvested
+
+    # ------------------------------------------------------------------
+    # Cost hooks every backend must provide (simulated seconds)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def matmul_seconds(self, m: int, k: int, n: int) -> float:
+        """Simulated time of one real ``m x k @ k x n`` product."""
+
+    @abc.abstractmethod
+    def elementwise_seconds(self, elements: int, flops_per_element: float = 1.0) -> float:
+        """Simulated time of an elementwise kernel over ``elements`` values."""
+
+    @abc.abstractmethod
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Simulated time to move ``nbytes`` between host and device."""
+
+    # ------------------------------------------------------------------
+    # Numeric hooks (backends override to inject quantization etc.)
+    # ------------------------------------------------------------------
+    def _matmul_compute(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.asarray(a) @ np.asarray(b)
+
+    # ------------------------------------------------------------------
+    # Public operations
+    # ------------------------------------------------------------------
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Real or complex matrix product with simulated timing."""
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if a.ndim != 2 or b.ndim != 2:
+            raise ValueError(f"matmul expects 2-D operands, got {a.shape} and {b.shape}")
+        if a.shape[1] != b.shape[0]:
+            raise ValueError(f"inner dimensions disagree: {a.shape} @ {b.shape}")
+        m, k = a.shape
+        n = b.shape[1]
+        if np.iscomplexobj(a) or np.iscomplexobj(b):
+            factor = self.complex_matmul_real_products
+            seconds = factor * self.matmul_seconds(m, k, n)
+            result = self._complex_matmul_compute(a, b)
+            self.stats.record("matmul_complex", seconds, macs=factor * m * k * n)
+            return result
+        seconds = self.matmul_seconds(m, k, n)
+        result = self._matmul_compute(a, b)
+        self.stats.record("matmul", seconds, macs=m * k * n)
+        return result
+
+    def _complex_matmul_compute(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=np.complex128)
+        b = np.asarray(b, dtype=np.complex128)
+        real = self._matmul_compute(a.real, b.real) - self._matmul_compute(a.imag, b.imag)
+        imag = self._matmul_compute(a.real, b.imag) + self._matmul_compute(a.imag, b.real)
+        return real + 1j * imag
+
+    def hadamard(self, a: np.ndarray, b: np.ndarray, op: str = "mul") -> np.ndarray:
+        """Point-wise combine: ``mul``, ``div``, ``add`` or ``sub``.
+
+        ``div`` is the paper's Eq. 4 Hadamard division; callers wanting
+        regularization add it to the denominator beforehand.
+        """
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if a.shape != b.shape:
+            raise ValueError(f"hadamard operands must match, got {a.shape} and {b.shape}")
+        operations = {
+            "mul": np.multiply,
+            "div": np.divide,
+            "add": np.add,
+            "sub": np.subtract,
+        }
+        if op not in operations:
+            raise ValueError(f"unknown hadamard op {op!r}; expected one of {sorted(operations)}")
+        complex_factor = 4.0 if (np.iscomplexobj(a) or np.iscomplexobj(b)) else 1.0
+        seconds = self.elementwise_seconds(a.size, flops_per_element=complex_factor)
+        result = operations[op](a, b)
+        self.stats.record(f"hadamard_{op}", seconds)
+        return result
+
+    def conjugate(self, a: np.ndarray) -> np.ndarray:
+        """Complex conjugate (VPU sign-flip pass over the imaginary plane)."""
+        a = np.asarray(a)
+        seconds = self.elementwise_seconds(a.size, flops_per_element=0.5)
+        result = np.conj(a)
+        self.stats.record("conjugate", seconds)
+        return result
+
+    def scale(self, a: np.ndarray, factor: float) -> np.ndarray:
+        """Multiply by a scalar (VPU elementwise pass)."""
+        a = np.asarray(a)
+        seconds = self.elementwise_seconds(a.size)
+        result = a * factor
+        self.stats.record("scale", seconds)
+        return result
+
+    def transpose(self, a: np.ndarray) -> np.ndarray:
+        """Matrix transpose (memory shuffle, no arithmetic)."""
+        a = np.asarray(a)
+        if a.ndim != 2:
+            raise ValueError(f"transpose expects a matrix, got shape {a.shape}")
+        seconds = self.elementwise_seconds(a.size, flops_per_element=0.5)
+        result = a.T.copy()
+        self.stats.record("transpose", seconds)
+        return result
+
+    @contextlib.contextmanager
+    def program(self, infeed_bytes: int = 0, outfeed_bytes: int = 0):
+        """Scope one dispatched program: charges data movement around it.
+
+        On CPU/GPU this prices the host transfers bracketing a batch of
+        eager ops; accelerator backends override it to add their launch
+        round trip (the TPU's dispatch latency).
+        """
+        if infeed_bytes:
+            self.host_to_device(infeed_bytes)
+        yield self
+        if outfeed_bytes:
+            self.device_to_host(outfeed_bytes)
+
+    def host_to_device(self, nbytes: int) -> None:
+        """Account an input DMA transfer."""
+        seconds = self.transfer_seconds(nbytes)
+        self.stats.record("host_to_device", seconds, bytes_moved=nbytes)
+
+    def device_to_host(self, nbytes: int) -> None:
+        """Account an output DMA transfer."""
+        seconds = self.transfer_seconds(nbytes)
+        self.stats.record("device_to_host", seconds, bytes_moved=nbytes)
+
+    # ------------------------------------------------------------------
+    # Fourier operations (matmul form -- the paper's Eq. 13 dataflow)
+    # ------------------------------------------------------------------
+    def fft2_seconds(self, m: int, n: int) -> float:
+        """Simulated time of one 2-D DFT in matmul form.
+
+        ``(W_M . x) . W_N`` = two complex products.  Backends with a
+        cheaper native FFT (CPU/GPU running library FFTs) override this.
+        """
+        factor = self.complex_matmul_real_products
+        return factor * (self.matmul_seconds(m, m, n) + self.matmul_seconds(m, n, n))
+
+    def fft2(self, x: np.ndarray) -> np.ndarray:
+        """2-D DFT with simulated matmul-form timing.
+
+        The functional result uses the fast row-column kernels (bit-exact
+        enough for all downstream math); the *cost* is the matmul form
+        actually lowered onto this device.
+        """
+        x = np.asarray(x)
+        if x.ndim != 2:
+            raise ValueError(f"fft2 expects a matrix, got shape {x.shape}")
+        m, n = x.shape
+        seconds = self.fft2_seconds(m, n)
+        result = fft2(x)
+        factor = self.complex_matmul_real_products
+        self.stats.record("fft2", seconds, macs=factor * (m * m * n + m * n * n))
+        return result
+
+    def ifft2(self, x: np.ndarray) -> np.ndarray:
+        """Inverse 2-D DFT; same cost structure as :meth:`fft2`."""
+        x = np.asarray(x)
+        if x.ndim != 2:
+            raise ValueError(f"ifft2 expects a matrix, got shape {x.shape}")
+        m, n = x.shape
+        seconds = self.fft2_seconds(m, n)
+        result = ifft2(x)
+        factor = self.complex_matmul_real_products
+        self.stats.record("ifft2", seconds, macs=factor * (m * m * n + m * n * n))
+        return result
+
+    def conv2d_circular(self, x: np.ndarray, k: np.ndarray) -> np.ndarray:
+        """Circular convolution via the convolution theorem (Eq. 3).
+
+        Composite of fft2(x), fft2(k), a Hadamard product and one
+        inverse transform -- each op individually accounted.
+        """
+        x = np.asarray(x)
+        k = np.asarray(k)
+        if x.shape != k.shape:
+            raise ValueError(f"operands must share a shape, got {x.shape} and {k.shape}")
+        spectrum = self.hadamard(self.fft2(x), self.fft2(k), op="mul")
+        result = self.ifft2(spectrum)
+        if np.isrealobj(x) and np.isrealobj(k):
+            return result.real
+        return result
+
+    # ------------------------------------------------------------------
+    # Cost-only accounting (large workloads, e.g. Table I training time)
+    # ------------------------------------------------------------------
+    def account_matmul(self, m: int, k: int, n: int, count: int = 1, complex_ops: bool = False) -> float:
+        """Record the cost of ``count`` matmuls without executing them."""
+        factor = self.complex_matmul_real_products if complex_ops else 1
+        seconds = count * factor * self.matmul_seconds(m, k, n)
+        self.stats.record("matmul_accounted", seconds, macs=count * factor * m * k * n)
+        return seconds
+
+    def account_elementwise(self, elements: int, flops_per_element: float = 1.0, count: int = 1) -> float:
+        """Record the cost of ``count`` elementwise kernels without executing."""
+        seconds = count * self.elementwise_seconds(elements, flops_per_element)
+        self.stats.record("elementwise_accounted", seconds)
+        return seconds
+
+    def account_transfer(self, nbytes: int, count: int = 1) -> float:
+        """Record the cost of ``count`` host transfers without executing."""
+        seconds = count * self.transfer_seconds(nbytes)
+        self.stats.record("transfer_accounted", seconds, bytes_moved=count * nbytes)
+        return seconds
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

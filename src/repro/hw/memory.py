@@ -1,0 +1,162 @@
+"""Memory hierarchy models: HBM, unified buffer, accumulators, host link.
+
+The TPU timing model needs three things from a memory: *capacity* (does
+the working set fit -- the paper's 64 GB HBM), *bandwidth* (how many
+cycles a transfer occupies) and *latency*.  This module provides a small
+explicit allocator with peak tracking so capacity violations surface as
+:class:`MemoryCapacityError` rather than silently optimistic timing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+
+class MemoryCapacityError(Exception):
+    """Raised when an allocation exceeds a memory region's capacity."""
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Static description of one memory region."""
+
+    name: str
+    capacity_bytes: int
+    bandwidth_bytes_per_sec: float
+    latency_sec: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError(f"{self.name}: capacity must be positive")
+        if self.bandwidth_bytes_per_sec <= 0:
+            raise ValueError(f"{self.name}: bandwidth must be positive")
+        if self.latency_sec < 0:
+            raise ValueError(f"{self.name}: latency cannot be negative")
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Time to move ``nbytes`` through this region once."""
+        if nbytes < 0:
+            raise ValueError(f"cannot transfer a negative byte count ({nbytes})")
+        if nbytes == 0:
+            return 0.0
+        return self.latency_sec + nbytes / self.bandwidth_bytes_per_sec
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Handle returned by :meth:`MemoryRegion.alloc`."""
+
+    region: str
+    label: str
+    nbytes: int
+    serial: int
+
+
+@dataclass
+class MemoryRegion:
+    """A memory region with explicit allocation accounting.
+
+    Not a data store -- numeric payloads live in numpy; this tracks the
+    *footprint* so the simulator can reject working sets that would not
+    fit the modelled hardware.
+    """
+
+    spec: MemorySpec
+    allocated_bytes: int = 0
+    peak_bytes: int = 0
+    _live: dict[int, Allocation] = field(default_factory=dict, repr=False)
+    _serial: itertools.count = field(default_factory=itertools.count, repr=False)
+
+    def alloc(self, nbytes: int, label: str = "") -> Allocation:
+        """Reserve ``nbytes``; raises :class:`MemoryCapacityError` on overflow."""
+        if nbytes < 0:
+            raise ValueError(f"allocation size cannot be negative ({nbytes})")
+        if self.allocated_bytes + nbytes > self.spec.capacity_bytes:
+            raise MemoryCapacityError(
+                f"{self.spec.name}: allocating {nbytes} B would exceed capacity "
+                f"({self.allocated_bytes}/{self.spec.capacity_bytes} B in use, "
+                f"label={label!r})"
+            )
+        handle = Allocation(
+            region=self.spec.name,
+            label=label,
+            nbytes=nbytes,
+            serial=next(self._serial),
+        )
+        self._live[handle.serial] = handle
+        self.allocated_bytes += nbytes
+        self.peak_bytes = max(self.peak_bytes, self.allocated_bytes)
+        return handle
+
+    def free(self, handle: Allocation) -> None:
+        """Release a previous allocation; double-free raises ``KeyError``."""
+        stored = self._live.pop(handle.serial, None)
+        if stored is None:
+            raise KeyError(
+                f"{self.spec.name}: allocation {handle.serial} ({handle.label!r}) "
+                "is not live (double free?)"
+            )
+        self.allocated_bytes -= stored.nbytes
+
+    def free_all(self) -> None:
+        """Release every live allocation (end-of-program cleanup)."""
+        self._live.clear()
+        self.allocated_bytes = 0
+
+    @property
+    def live_allocations(self) -> tuple[Allocation, ...]:
+        return tuple(self._live.values())
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Delegate to the spec's bandwidth/latency model."""
+        return self.spec.transfer_seconds(nbytes)
+
+
+GIB = 1024**3
+MIB = 1024**2
+
+
+def hbm_spec(capacity_bytes: int = 8 * GIB, bandwidth: float = 300e9) -> MemorySpec:
+    """Per-core HBM slice.
+
+    The paper's TPUv2 setup exposes 64 GB HBM across the pod slice; per
+    core that is 8 GiB at roughly 300 GB/s (one core's share of the
+    600 GB/s chip bandwidth).
+    """
+    return MemorySpec(
+        name="hbm",
+        capacity_bytes=capacity_bytes,
+        bandwidth_bytes_per_sec=bandwidth,
+        latency_sec=5e-7,
+    )
+
+
+def unified_buffer_spec(capacity_bytes: int = 24 * MIB) -> MemorySpec:
+    """On-chip unified buffer (activation storage feeding the MXU)."""
+    return MemorySpec(
+        name="unified_buffer",
+        capacity_bytes=capacity_bytes,
+        bandwidth_bytes_per_sec=4e12,
+        latency_sec=0.0,
+    )
+
+
+def accumulator_spec(capacity_bytes: int = 4 * MIB) -> MemorySpec:
+    """32-bit accumulator banks collecting MXU partial sums."""
+    return MemorySpec(
+        name="accumulators",
+        capacity_bytes=capacity_bytes,
+        bandwidth_bytes_per_sec=4e12,
+        latency_sec=0.0,
+    )
+
+
+def host_link_spec(bandwidth: float = 12e9) -> MemorySpec:
+    """Host-to-device link (PCIe-class), used by READ_HOST/WRITE_HOST."""
+    return MemorySpec(
+        name="host_link",
+        capacity_bytes=64 * GIB,
+        bandwidth_bytes_per_sec=bandwidth,
+        latency_sec=2e-6,
+    )

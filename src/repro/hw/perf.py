@@ -1,0 +1,87 @@
+"""Performance-analysis utilities: rooflines, speedups, energy, reports.
+
+Small, dependency-free helpers shared by the benchmark harness and the
+ablation suite.  Nothing here affects simulation results; it only
+interprets them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.device import DeviceStats
+
+
+def speedup(baseline_seconds: float, accelerated_seconds: float) -> float:
+    """How many times faster the accelerated run is (paper's "Nx" columns)."""
+    if baseline_seconds < 0 or accelerated_seconds < 0:
+        raise ValueError("times cannot be negative")
+    if accelerated_seconds == 0:
+        raise ZeroDivisionError("accelerated time is zero; speedup undefined")
+    return baseline_seconds / accelerated_seconds
+
+
+def roofline_attainable_flops(
+    operational_intensity: float, peak_flops: float, memory_bandwidth: float
+) -> float:
+    """Classic roofline: min(peak, intensity * bandwidth).
+
+    ``operational_intensity`` is FLOPs per byte moved.
+    """
+    if operational_intensity < 0:
+        raise ValueError("operational intensity cannot be negative")
+    if peak_flops <= 0 or memory_bandwidth <= 0:
+        raise ValueError("peaks must be positive")
+    return min(peak_flops, operational_intensity * memory_bandwidth)
+
+
+def operational_intensity(flops: float, bytes_moved: float) -> float:
+    """FLOPs per byte; infinite traffic-free kernels return ``inf``."""
+    if flops < 0 or bytes_moved < 0:
+        raise ValueError("counts cannot be negative")
+    if bytes_moved == 0:
+        return float("inf")
+    return flops / bytes_moved
+
+
+def matmul_operational_intensity(m: int, k: int, n: int, bytes_per_element: int = 4) -> float:
+    """Intensity of a dense matmul reading both operands and writing the result."""
+    flops = 2.0 * m * k * n
+    traffic = bytes_per_element * (m * k + k * n + m * n)
+    return operational_intensity(flops, traffic)
+
+
+@dataclass(frozen=True)
+class AmdahlBreakdown:
+    """Serial-vs-parallel decomposition of one accelerated workload."""
+
+    serial_seconds: float
+    parallel_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.serial_seconds + self.parallel_seconds
+
+    def speedup_with_cores(self, cores: int) -> float:
+        """Amdahl's law: the ceiling Algorithm 1 runs into as p grows."""
+        if cores <= 0:
+            raise ValueError("core count must be positive")
+        if self.total_seconds == 0:
+            return 1.0
+        accelerated = self.serial_seconds + self.parallel_seconds / cores
+        return self.total_seconds / accelerated
+
+
+def format_stats(stats: DeviceStats, label: str = "") -> str:
+    """Human-readable one-stop summary of a simulated-run ledger."""
+    lines = []
+    header = f"DeviceStats {label}".strip()
+    lines.append(header)
+    lines.append(f"  simulated seconds: {stats.seconds:.6f}")
+    lines.append(f"  MACs:              {stats.macs:,}")
+    lines.append(f"  bytes moved:       {stats.bytes_moved:,}")
+    for op in sorted(stats.op_counts):
+        count = stats.op_counts[op]
+        sec = stats.op_seconds.get(op, 0.0)
+        lines.append(f"  {op:<22} x{count:<6} {sec:.6f}s")
+    return "\n".join(lines)

@@ -1,0 +1,180 @@
+"""Quantization: the first of the TPU's two speed mechanisms (Section II-A).
+
+The paper attributes TPU performance to *quantization* ("uses 8-bit
+integers to approximate 16-bit or 32-bit floating-point numbers") and the
+*systolic array*.  This module implements symmetric per-tensor integer
+quantization exactly as a TPU front-end would:
+
+* a real tensor is scaled into the signed ``bits``-bit integer grid,
+  rounded, and clipped;
+* matrix products are computed on the integer grid with 32-bit
+  accumulation and rescaled back to floats;
+* bfloat16 rounding is provided for the higher-precision MXU mode used
+  by the Fourier-domain distillation solve (int8 FFTs would destroy the
+  solve; TPUv2 MXUs natively support bfloat16).
+
+Error bounds are part of the public contract: for symmetric quantization
+with step ``s``, ``|x - dequantize(quantize(x))| <= s/2`` for all inputs
+within range, which property tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """An integer tensor plus the scale that maps it back to reals.
+
+    ``dequantized = values * scale``.  Symmetric quantization has no zero
+    point: 0.0 always maps to integer 0, which keeps zero-padding (used
+    heavily by the distillation masks) exact.
+    """
+
+    values: np.ndarray
+    scale: float
+    bits: int
+
+    @property
+    def qmax(self) -> int:
+        return (1 << (self.bits - 1)) - 1
+
+
+def quantization_scale(x: np.ndarray, bits: int = 8) -> float:
+    """Return the symmetric per-tensor scale for ``x``.
+
+    The scale maps ``max(|x|)`` to the largest representable integer.
+    An all-zero tensor returns scale 1.0 so dequantization stays exact.
+    """
+    if bits < 2:
+        raise ValueError(f"quantization needs at least 2 bits, got {bits}")
+    max_abs = float(np.max(np.abs(x))) if np.asarray(x).size else 0.0
+    if max_abs == 0.0:
+        return 1.0
+    qmax = (1 << (bits - 1)) - 1
+    return max_abs / qmax
+
+
+def quantize(x: np.ndarray, bits: int = 8) -> QuantizedTensor:
+    """Symmetrically quantize a real tensor to ``bits``-bit integers."""
+    if np.iscomplexobj(x):
+        raise TypeError("quantize expects a real tensor; split complex parts first")
+    array = np.asarray(x, dtype=np.float64)
+    scale = quantization_scale(array, bits)
+    qmax = (1 << (bits - 1)) - 1
+    storage = np.int8 if bits <= 8 else (np.int16 if bits <= 16 else np.int32)
+    values = np.clip(np.round(array / scale), -qmax, qmax).astype(storage)
+    return QuantizedTensor(values=values, scale=scale, bits=bits)
+
+
+def dequantize(q: QuantizedTensor) -> np.ndarray:
+    """Map a quantized tensor back to floats."""
+    return q.values.astype(np.float64) * q.scale
+
+
+def quantization_error_bound(x: np.ndarray, bits: int = 8) -> float:
+    """Worst-case absolute round-trip error: half a quantization step."""
+    return quantization_scale(x, bits) / 2.0
+
+
+def quantized_matmul(a: np.ndarray, b: np.ndarray, bits: int = 8) -> np.ndarray:
+    """Integer matmul with 32-bit accumulation, rescaled to floats.
+
+    This is the arithmetic the systolic array actually performs: both
+    operands are quantized, multiplied on the integer grid (products
+    accumulate exactly in int32/int64), and the result carries the
+    product of the two scales.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError(
+            f"quantized_matmul expects 2-D operands, got {a.shape} and {b.shape}"
+        )
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"inner dimensions disagree: {a.shape} @ {b.shape}")
+    qa = quantize(a, bits)
+    qb = quantize(b, bits)
+    accumulated = qa.values.astype(np.int64) @ qb.values.astype(np.int64)
+    return accumulated.astype(np.float64) * (qa.scale * qb.scale)
+
+
+def quantized_complex_matmul(
+    a: np.ndarray, b: np.ndarray, bits: int = 8
+) -> np.ndarray:
+    """Complex matmul decomposed into four quantized real products.
+
+    ``(Ar + jAi)(Br + jBi) = (ArBr - AiBi) + j(ArBi + AiBr)`` -- the
+    decomposition the TPU backend uses to run complex DFT matmuls on a
+    real-valued MXU.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    real = quantized_matmul(a.real, b.real, bits) - quantized_matmul(
+        a.imag, b.imag, bits
+    )
+    imag = quantized_matmul(a.real, b.imag, bits) + quantized_matmul(
+        a.imag, b.real, bits
+    )
+    return real + 1j * imag
+
+
+def to_bfloat16(x: np.ndarray) -> np.ndarray:
+    """Round a float array to bfloat16 precision (kept in float32 storage).
+
+    bfloat16 is float32 with the mantissa truncated to 7 bits.  We
+    implement round-to-nearest-even on the mantissa by integer
+    manipulation of the float32 bit pattern -- the same numeric behaviour
+    as TPU bf16 MXU inputs.
+    """
+    array = np.asarray(x)
+    if np.iscomplexobj(array):
+        return to_bfloat16(array.real) + 1j * to_bfloat16(array.imag)
+    bits = np.asarray(array, dtype=np.float32).view(np.uint32)
+    # Round to nearest even at bit 16.
+    rounding_bias = ((bits >> 16) & 1) + np.uint32(0x7FFF)
+    rounded = (bits + rounding_bias) & np.uint32(0xFFFF0000)
+    return rounded.view(np.float32).astype(array.dtype if array.dtype == np.float64 else np.float32)
+
+
+@dataclass(frozen=True)
+class PrecisionSpec:
+    """Numeric mode of an MXU.
+
+    ``int8``  -- quantized inference mode (paper Section II-A);
+    ``bf16``  -- bfloat16 mode used for the Fourier-domain solve;
+    ``fp32``  -- exact float mode (reference / validation).
+
+    ``bytes_per_element`` drives the memory-traffic part of the timing
+    model; ``macs_per_pe_per_cycle`` the compute part.
+    """
+
+    name: str
+    bytes_per_element: int
+    macs_per_pe_per_cycle: float
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Round ``x`` to this precision (no-op for fp32)."""
+        if self.name == "bf16":
+            return to_bfloat16(x)
+        return np.asarray(x)
+
+
+INT8 = PrecisionSpec(name="int8", bytes_per_element=1, macs_per_pe_per_cycle=1.0)
+BF16 = PrecisionSpec(name="bf16", bytes_per_element=2, macs_per_pe_per_cycle=1.0)
+FP32 = PrecisionSpec(name="fp32", bytes_per_element=4, macs_per_pe_per_cycle=0.25)
+
+_PRECISIONS = {"int8": INT8, "bf16": BF16, "fp32": FP32}
+
+
+def precision_spec(name: str) -> PrecisionSpec:
+    """Look up a precision mode by name."""
+    try:
+        return _PRECISIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown precision {name!r}; expected one of {sorted(_PRECISIONS)}"
+        ) from None

@@ -1,0 +1,91 @@
+"""Neural-network substrate (pure numpy, forward + backward).
+
+Supplies the two benchmark models the paper evaluates -- VGG19
+(:func:`repro.nn.vgg.vgg19`) and ResNet50
+(:func:`repro.nn.resnet.resnet50`) -- together with the layers,
+losses, optimizers and training loop needed to really train their
+CI-scale variants, and the FLOP census (:mod:`repro.nn.flops`) that
+feeds the hardware cost models for the full-size architectures.
+"""
+
+from repro.nn.flops import (
+    MatmulShape,
+    ModelCensus,
+    input_bytes_per_sample,
+    model_census,
+)
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool,
+    Layer,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.losses import accuracy, cross_entropy, mse, softmax
+from repro.nn.model import ResidualBlock, Sequential, conv_bn_relu
+from repro.nn.optim import Adam, Optimizer, SGD
+from repro.nn.quantized import (
+    ActivationQuantizer,
+    quantize_model_weights,
+    quantized_accuracy,
+    weight_quantization_error,
+)
+from repro.nn.schedules import CosineDecay, Schedule, StepDecay, WarmupWrapper
+from repro.nn.resnet import RESNET50_BLOCKS, build_resnet, resnet50, resnet_scaled
+from repro.nn.train import (
+    EpochMetrics,
+    Trainer,
+    TrainingHistory,
+    minibatches,
+)
+from repro.nn.vgg import VGG19_CONFIG, build_vgg, vgg19, vgg19_scaled
+
+__all__ = [
+    "MatmulShape",
+    "ModelCensus",
+    "input_bytes_per_sample",
+    "model_census",
+    "BatchNorm2d",
+    "Conv2d",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "GlobalAvgPool",
+    "Layer",
+    "MaxPool2d",
+    "ReLU",
+    "accuracy",
+    "cross_entropy",
+    "mse",
+    "softmax",
+    "ResidualBlock",
+    "Sequential",
+    "conv_bn_relu",
+    "Adam",
+    "Optimizer",
+    "SGD",
+    "ActivationQuantizer",
+    "quantize_model_weights",
+    "quantized_accuracy",
+    "weight_quantization_error",
+    "CosineDecay",
+    "Schedule",
+    "StepDecay",
+    "WarmupWrapper",
+    "RESNET50_BLOCKS",
+    "build_resnet",
+    "resnet50",
+    "resnet_scaled",
+    "EpochMetrics",
+    "Trainer",
+    "TrainingHistory",
+    "minibatches",
+    "VGG19_CONFIG",
+    "build_vgg",
+    "vgg19",
+    "vgg19_scaled",
+]

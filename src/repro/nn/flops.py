@@ -1,0 +1,164 @@
+"""Static FLOP/byte census of a model: the bridge to the hardware models.
+
+Table I's simulated training/testing times come from counting the dense
+arithmetic a model performs per sample and asking each device's cost
+model how long that arithmetic takes (plus its per-op overheads,
+transfers and collectives).  The census walks a built model and records,
+for every compute layer, the matmul geometry that executes it:
+
+* a conv layer is an im2col matmul of
+  ``(out_h * out_w) x (C_in * k^2) @ (C_in * k^2) x C_out`` per sample;
+* a dense layer is a ``1 x in @ in x out`` per sample (batched);
+* normalization/activation/pool layers count as elementwise passes.
+
+The census is exact for the architectures in this repository because the
+layers themselves execute via the same matmul decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.model import ResidualBlock, Sequential
+
+
+@dataclass(frozen=True)
+class MatmulShape:
+    """One matmul executed per sample, ``(m x k) @ (k x n)``."""
+
+    m: int
+    k: int
+    n: int
+    label: str = ""
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.k * self.n
+
+
+@dataclass
+class ModelCensus:
+    """Per-sample arithmetic inventory of one model."""
+
+    name: str
+    input_shape: tuple[int, ...]
+    matmuls: list[MatmulShape] = field(default_factory=list)
+    elementwise_elements: int = 0
+    parameter_count: int = 0
+
+    @property
+    def forward_macs(self) -> int:
+        return sum(shape.macs for shape in self.matmuls)
+
+    @property
+    def forward_flops(self) -> int:
+        return 2 * self.forward_macs + self.elementwise_elements
+
+    @property
+    def layer_op_count(self) -> int:
+        """Number of device kernels one forward pass launches (eager mode)."""
+        return len(self.matmuls) + max(1, self.elementwise_elements and 1)
+
+    def training_macs(self, backward_multiplier: float = 2.0) -> int:
+        """Forward + backward arithmetic per sample.
+
+        The standard estimate: backward costs ~2x forward (gradient
+        w.r.t. activations and w.r.t. weights each mirror the forward
+        matmuls).
+        """
+        return int(self.forward_macs * (1.0 + backward_multiplier))
+
+
+def _spatial_after(layer, spatial: int) -> int:
+    if isinstance(layer, Conv2d):
+        kh = layer.weights.shape[2]
+        return (spatial + 2 * layer.padding - kh) // layer.stride + 1
+    if isinstance(layer, MaxPool2d):
+        return spatial // layer.size
+    return spatial
+
+
+def model_census(
+    model: Sequential, input_shape: tuple[int, int, int], name: str = "model"
+) -> ModelCensus:
+    """Walk a built model and count its per-sample arithmetic.
+
+    ``input_shape`` is ``(channels, height, width)``; heights and widths
+    must be square for this census (all paper models are).
+    """
+    channels, height, width = input_shape
+    if height != width:
+        raise ValueError(f"census expects square inputs, got {height}x{width}")
+    census = ModelCensus(
+        name=name,
+        input_shape=input_shape,
+        parameter_count=model.parameter_count(),
+    )
+    _walk(model, channels, height, census)
+    return census
+
+
+def _walk(container, channels: int, spatial: int, census: ModelCensus) -> tuple[int, int]:
+    for layer in container.layers:
+        if isinstance(layer, ResidualBlock):
+            branch_channels, branch_spatial = _walk(
+                layer.main, channels, spatial, census
+            )
+            if layer.projection is not None:
+                _walk(layer.projection, channels, spatial, census)
+            channels, spatial = branch_channels, branch_spatial
+            census.elementwise_elements += channels * spatial * spatial  # the add
+            continue
+        if isinstance(layer, Conv2d):
+            out_channels, in_channels, kh, kw = layer.weights.shape
+            out_spatial = _spatial_after(layer, spatial)
+            census.matmuls.append(
+                MatmulShape(
+                    m=out_spatial * out_spatial,
+                    k=in_channels * kh * kw,
+                    n=out_channels,
+                    label=f"conv{kh}x{kw}-{in_channels}->{out_channels}",
+                )
+            )
+            channels, spatial = out_channels, out_spatial
+            continue
+        if isinstance(layer, Dense):
+            in_features, out_features = layer.weights.shape
+            census.matmuls.append(
+                MatmulShape(m=1, k=in_features, n=out_features, label="dense")
+            )
+            channels, spatial = out_features, 1
+            continue
+        if isinstance(layer, (BatchNorm2d, ReLU, Dropout)):
+            census.elementwise_elements += channels * spatial * spatial
+            continue
+        if isinstance(layer, MaxPool2d):
+            spatial = _spatial_after(layer, spatial)
+            census.elementwise_elements += channels * spatial * spatial
+            continue
+        if isinstance(layer, GlobalAvgPool):
+            census.elementwise_elements += channels * spatial * spatial
+            spatial = 1
+            continue
+        if isinstance(layer, Flatten):
+            channels, spatial = channels * spatial * spatial, 1
+            continue
+        raise TypeError(f"census does not know layer type {type(layer).__name__}")
+    return channels, spatial
+
+
+def input_bytes_per_sample(input_shape: tuple[int, int, int], bytes_per_value: int = 4) -> int:
+    """Host-transfer footprint of one sample."""
+    return int(np.prod(input_shape)) * bytes_per_value

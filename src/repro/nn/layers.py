@@ -1,0 +1,352 @@
+"""Neural-network layers with forward and backward passes (pure numpy).
+
+The paper's benchmarks train VGG19 and ResNet50 classifiers; this module
+supplies the layer zoo those architectures need, each with an explicit
+``forward``/``backward`` pair so the training loop, the gradient-based
+baseline explainer, and the FLOP census all share one implementation.
+
+Conventions
+-----------
+* activations are ``(batch, channels, height, width)`` or
+  ``(batch, features)``;
+* ``forward(x, training=...)`` caches whatever ``backward`` needs;
+* ``backward(grad)`` returns the gradient w.r.t. the input and stores
+  parameter gradients on the layer (``grad_weights`` etc.);
+* parameters are plain numpy arrays exposed via ``parameters()`` /
+  ``gradients()`` so optimizers stay trivially simple.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Layer:
+    """Base layer: stateless by default, subclasses add parameters."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> list[np.ndarray]:
+        return []
+
+    def gradients(self) -> list[np.ndarray]:
+        return []
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int):
+    """Unfold sliding windows into columns for matmul-form convolution.
+
+    Returns ``(columns, out_h, out_w)`` where columns has shape
+    ``(batch * out_h * out_w, channels * kh * kw)`` -- convolution then
+    is a single dense matmul, which is both fast in numpy and exactly
+    how the workload is costed on the simulated devices.
+    """
+    batch, channels, height, width = x.shape
+    out_h = (height + 2 * pad - kh) // stride + 1
+    out_w = (width + 2 * pad - kw) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"kernel {kh}x{kw} with stride {stride} does not fit input "
+            f"{height}x{width} (pad {pad})"
+        )
+    padded = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    windows = np.lib.stride_tricks.sliding_window_view(padded, (kh, kw), axis=(2, 3))
+    strided = windows[:, :, ::stride, ::stride, :, :]
+    # (batch, out_h, out_w, channels, kh, kw) -> rows of patches
+    patches = strided.transpose(0, 2, 3, 1, 4, 5).reshape(
+        batch * out_h * out_w, channels * kh * kw
+    )
+    return np.ascontiguousarray(patches), out_h, out_w
+
+
+def _col2im(cols: np.ndarray, x_shape, kh: int, kw: int, stride: int, pad: int):
+    """Fold patch-gradient columns back onto the (padded) input grid."""
+    batch, channels, height, width = x_shape
+    out_h = (height + 2 * pad - kh) // stride + 1
+    out_w = (width + 2 * pad - kw) // stride + 1
+    padded = np.zeros((batch, channels, height + 2 * pad, width + 2 * pad))
+    shaped = cols.reshape(batch, out_h, out_w, channels, kh, kw).transpose(
+        0, 3, 1, 2, 4, 5
+    )
+    for i in range(kh):
+        for j in range(kw):
+            padded[:, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride] += shaped[
+                :, :, :, :, i, j
+            ]
+    if pad == 0:
+        return padded
+    return padded[:, :, pad:-pad, pad:-pad]
+
+
+class Conv2d(Layer):
+    """2-D convolution via im2col + matmul."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        padding: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if in_channels <= 0 or out_channels <= 0 or kernel_size <= 0:
+            raise ValueError("conv geometry must be positive")
+        if stride <= 0 or padding < 0:
+            raise ValueError("invalid stride/padding")
+        rng = rng or np.random.default_rng(0)
+        fan_in = in_channels * kernel_size * kernel_size
+        scale = np.sqrt(2.0 / fan_in)  # He initialization for ReLU nets
+        self.weights = rng.standard_normal(
+            (out_channels, in_channels, kernel_size, kernel_size)
+        ) * scale
+        self.bias = np.zeros(out_channels)
+        self.stride = stride
+        self.padding = padding
+        self.grad_weights = np.zeros_like(self.weights)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._cache = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out_channels, in_channels, kh, kw = self.weights.shape
+        if x.ndim != 4 or x.shape[1] != in_channels:
+            raise ValueError(
+                f"expected (B, {in_channels}, H, W), got {x.shape}"
+            )
+        cols, out_h, out_w = _im2col(x, kh, kw, self.stride, self.padding)
+        flat_weights = self.weights.reshape(out_channels, -1)
+        out = cols @ flat_weights.T + self.bias
+        batch = x.shape[0]
+        out = out.reshape(batch, out_h, out_w, out_channels).transpose(0, 3, 1, 2)
+        if training:
+            self._cache = (x.shape, cols)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward before forward(training=True)")
+        x_shape, cols = self._cache
+        out_channels, _, kh, kw = self.weights.shape
+        batch, _, out_h, out_w = grad.shape
+        grad_flat = grad.transpose(0, 2, 3, 1).reshape(-1, out_channels)
+        self.grad_weights = (grad_flat.T @ cols).reshape(self.weights.shape)
+        self.grad_bias = grad_flat.sum(axis=0)
+        grad_cols = grad_flat @ self.weights.reshape(out_channels, -1)
+        return _col2im(grad_cols, x_shape, kh, kw, self.stride, self.padding)
+
+    def parameters(self) -> list[np.ndarray]:
+        return [self.weights, self.bias]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [self.grad_weights, self.grad_bias]
+
+
+class Dense(Layer):
+    """Fully connected layer."""
+
+    def __init__(
+        self, in_features: int, out_features: int, rng: np.random.Generator | None = None
+    ) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("dense geometry must be positive")
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(2.0 / in_features)
+        self.weights = rng.standard_normal((in_features, out_features)) * scale
+        self.bias = np.zeros(out_features)
+        self.grad_weights = np.zeros_like(self.weights)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._input = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.weights.shape[0]:
+            raise ValueError(
+                f"expected (B, {self.weights.shape[0]}), got {x.shape}"
+            )
+        if training:
+            self._input = x
+        return x @ self.weights + self.bias
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward before forward(training=True)")
+        self.grad_weights = self._input.T @ grad
+        self.grad_bias = grad.sum(axis=0)
+        return grad @ self.weights.T
+
+    def parameters(self) -> list[np.ndarray]:
+        return [self.weights, self.bias]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [self.grad_weights, self.grad_bias]
+
+
+class ReLU(Layer):
+    def __init__(self) -> None:
+        self._mask = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._mask = x > 0
+        return np.maximum(x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward before forward(training=True)")
+        return grad * self._mask
+
+
+class BatchNorm2d(Layer):
+    """Per-channel batch normalization with running statistics."""
+
+    def __init__(self, channels: int, momentum: float = 0.9, eps: float = 1e-5) -> None:
+        if channels <= 0:
+            raise ValueError("channel count must be positive")
+        if not 0 <= momentum < 1:
+            raise ValueError("momentum must be in [0, 1)")
+        self.gamma = np.ones(channels)
+        self.beta = np.zeros(channels)
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+        self.momentum = momentum
+        self.eps = eps
+        self.grad_gamma = np.zeros_like(self.gamma)
+        self.grad_beta = np.zeros_like(self.beta)
+        self._cache = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.gamma.shape[0]:
+            raise ValueError(f"expected (B, {self.gamma.shape[0]}, H, W), got {x.shape}")
+        if training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        mean_b = mean[None, :, None, None]
+        std_b = np.sqrt(var + self.eps)[None, :, None, None]
+        normalized = (x - mean_b) / std_b
+        if training:
+            self._cache = (normalized, std_b)
+        return self.gamma[None, :, None, None] * normalized + self.beta[None, :, None, None]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward before forward(training=True)")
+        normalized, std_b = self._cache
+        self.grad_gamma = (grad * normalized).sum(axis=(0, 2, 3))
+        self.grad_beta = grad.sum(axis=(0, 2, 3))
+        count = grad.shape[0] * grad.shape[2] * grad.shape[3]
+        gamma_b = self.gamma[None, :, None, None]
+        grad_norm = grad * gamma_b
+        mean_gn = grad_norm.mean(axis=(0, 2, 3), keepdims=True)
+        mean_gn_x = (grad_norm * normalized).mean(axis=(0, 2, 3), keepdims=True)
+        return (grad_norm - mean_gn - normalized * mean_gn_x) / std_b
+
+    def parameters(self) -> list[np.ndarray]:
+        return [self.gamma, self.beta]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [self.grad_gamma, self.grad_beta]
+
+
+class MaxPool2d(Layer):
+    """Non-overlapping max pooling (kernel == stride)."""
+
+    def __init__(self, size: int = 2) -> None:
+        if size <= 0:
+            raise ValueError("pool size must be positive")
+        self.size = size
+        self._cache = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        batch, channels, height, width = x.shape
+        s = self.size
+        if height % s or width % s:
+            raise ValueError(f"pool size {s} does not tile input {height}x{width}")
+        shaped = x.reshape(batch, channels, height // s, s, width // s, s)
+        out = shaped.max(axis=(3, 5))
+        if training:
+            mask = shaped == out[:, :, :, None, :, None]
+            # Break ties: keep only the first max per window.
+            flat = mask.reshape(batch, channels, height // s, width // s, s * s)
+            first = np.argmax(flat, axis=-1)
+            clean = np.zeros_like(flat)
+            idx = np.indices(first.shape)
+            clean[idx[0], idx[1], idx[2], idx[3], first] = True
+            self._cache = (x.shape, clean.reshape(mask.shape))
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward before forward(training=True)")
+        x_shape, mask = self._cache
+        expanded = grad[:, :, :, None, :, None] * mask
+        batch, channels, height, width = x_shape
+        return expanded.reshape(batch, channels, height, width)
+
+
+class GlobalAvgPool(Layer):
+    """Average over the spatial grid: (B, C, H, W) -> (B, C)."""
+
+    def __init__(self) -> None:
+        self._shape = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward before forward(training=True)")
+        batch, channels, height, width = self._shape
+        spread = grad[:, :, None, None] / (height * width)
+        return np.broadcast_to(spread, self._shape).copy()
+
+
+class Flatten(Layer):
+    def __init__(self) -> None:
+        self._shape = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward before forward(training=True)")
+        return grad.reshape(self._shape)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference."""
+
+    def __init__(self, rate: float = 0.5, rng: np.random.Generator | None = None) -> None:
+        if not 0 <= rate < 1:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self.rng = rng or np.random.default_rng(0)
+        self._mask = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        return grad * self._mask

@@ -1,0 +1,72 @@
+"""Loss functions with analytic gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max-shift stabilization."""
+    logits = np.asarray(logits, dtype=np.float64)
+    if logits.ndim != 2:
+        raise ValueError(f"expected (batch, classes) logits, got {logits.shape}")
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def cross_entropy(
+    logits: np.ndarray, labels: np.ndarray, label_smoothing: float = 0.0
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy and its gradient w.r.t. the logits.
+
+    ``labels`` are integer class ids.  With label smoothing ``s`` the
+    target distribution is ``(1-s)`` on the true class and ``s/C``
+    elsewhere.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValueError(f"expected (batch, classes) logits, got {logits.shape}")
+    if labels.shape != (logits.shape[0],):
+        raise ValueError(
+            f"labels shape {labels.shape} does not match batch of {logits.shape[0]}"
+        )
+    if not 0 <= label_smoothing < 1:
+        raise ValueError(f"label smoothing must be in [0, 1), got {label_smoothing}")
+    classes = logits.shape[1]
+    if labels.min() < 0 or labels.max() >= classes:
+        raise ValueError("label id outside class range")
+
+    probabilities = softmax(logits)
+    batch = logits.shape[0]
+    target = np.full_like(probabilities, label_smoothing / classes)
+    target[np.arange(batch), labels] += 1.0 - label_smoothing
+
+    clipped = np.clip(probabilities, 1e-12, None)
+    loss = float(-np.sum(target * np.log(clipped)) / batch)
+    grad = (probabilities - target) / batch
+    return loss, grad
+
+
+def mse(predictions: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error and gradient (distillation-quality metric)."""
+    predictions = np.asarray(predictions, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if predictions.shape != targets.shape:
+        raise ValueError(
+            f"shape mismatch: {predictions.shape} vs {targets.shape}"
+        )
+    delta = predictions - targets
+    loss = float(np.mean(delta**2))
+    grad = 2.0 * delta / delta.size
+    return loss, grad
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy in [0, 1]."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.ndim != 2 or labels.shape != (logits.shape[0],):
+        raise ValueError("logits must be (batch, classes) with matching labels")
+    return float(np.mean(np.argmax(logits, axis=1) == labels))

@@ -1,0 +1,123 @@
+"""Model containers: Sequential chains and residual blocks.
+
+ResNet50's bottleneck blocks need a branching graph; everything else the
+paper uses is a chain.  A :class:`ResidualBlock` *is itself a layer*
+(holding its two branches), so entire networks remain a single
+:class:`Sequential`, which keeps the training loop and the FLOP census
+simple and uniform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import BatchNorm2d, Conv2d, Layer, ReLU
+
+
+class Sequential(Layer):
+    """A chain of layers executed in order."""
+
+    def __init__(self, layers: list[Layer]) -> None:
+        if not layers:
+            raise ValueError("a model needs at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        out = grad
+        for layer in reversed(self.layers):
+            out = layer.backward(out)
+        return out
+
+    def parameters(self) -> list[np.ndarray]:
+        return [p for layer in self.layers for p in layer.parameters()]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [g for layer in self.layers for g in layer.gradients()]
+
+    def parameter_count(self) -> int:
+        return sum(int(np.prod(p.shape)) for p in self.parameters())
+
+    def state_dict(self) -> list[np.ndarray]:
+        """Copies of every parameter, in traversal order."""
+        return [p.copy() for p in self.parameters()]
+
+    def load_state_dict(self, state: list[np.ndarray]) -> None:
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ValueError(
+                f"state has {len(state)} tensors, model expects {len(params)}"
+            )
+        for param, saved in zip(params, state):
+            if param.shape != saved.shape:
+                raise ValueError(
+                    f"shape mismatch: model {param.shape} vs state {saved.shape}"
+                )
+            param[...] = saved
+
+
+class ResidualBlock(Layer):
+    """A ResNet bottleneck: main branch plus (optionally projected) skip.
+
+    ``main`` is any layer chain; ``projection`` (1x1 conv + BN) adapts
+    the skip path when the block changes channel count or stride.
+    The trailing ReLU after the add is part of the block.
+    """
+
+    def __init__(self, main: Sequential, projection: Sequential | None = None) -> None:
+        self.main = main
+        self.projection = projection
+        self.relu = ReLU()
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        branch = self.main.forward(x, training=training)
+        skip = x if self.projection is None else self.projection.forward(
+            x, training=training
+        )
+        if branch.shape != skip.shape:
+            raise ValueError(
+                f"residual branches disagree: main {branch.shape} vs skip {skip.shape}"
+            )
+        return self.relu.forward(branch + skip, training=training)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad = self.relu.backward(grad)
+        grad_main = self.main.backward(grad)
+        grad_skip = grad if self.projection is None else self.projection.backward(grad)
+        return grad_main + grad_skip
+
+    def parameters(self) -> list[np.ndarray]:
+        params = self.main.parameters()
+        if self.projection is not None:
+            params = params + self.projection.parameters()
+        return params
+
+    def gradients(self) -> list[np.ndarray]:
+        grads = self.main.gradients()
+        if self.projection is not None:
+            grads = grads + self.projection.gradients()
+        return grads
+
+
+def conv_bn_relu(
+    in_channels: int,
+    out_channels: int,
+    kernel_size: int = 3,
+    stride: int = 1,
+    padding: int = 1,
+    rng: np.random.Generator | None = None,
+    relu: bool = True,
+) -> list[Layer]:
+    """The conv/BN/ReLU triple both architectures are built from."""
+    layers: list[Layer] = [
+        Conv2d(in_channels, out_channels, kernel_size, stride, padding, rng=rng),
+        BatchNorm2d(out_channels),
+    ]
+    if relu:
+        layers.append(ReLU())
+    return layers

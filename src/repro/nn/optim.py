@@ -1,0 +1,92 @@
+"""Optimizers operating on (parameters, gradients) lists in place."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Optimizer:
+    """Base optimizer bound to a model's parameter list."""
+
+    def __init__(self, parameters: list[np.ndarray], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not parameters:
+            raise ValueError("no parameters to optimize")
+        self.parameters = parameters
+        self.lr = lr
+
+    def step(self, gradients: list[np.ndarray]) -> None:
+        raise NotImplementedError
+
+    def _check(self, gradients: list[np.ndarray]) -> None:
+        if len(gradients) != len(self.parameters):
+            raise ValueError(
+                f"{len(gradients)} gradients for {len(self.parameters)} parameters"
+            )
+
+
+class SGD(Optimizer):
+    """SGD with classical momentum and optional weight decay."""
+
+    def __init__(
+        self,
+        parameters: list[np.ndarray],
+        lr: float = 0.01,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0 <= momentum < 1:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError("weight decay cannot be negative")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.velocity = [np.zeros_like(p) for p in parameters]
+
+    def step(self, gradients: list[np.ndarray]) -> None:
+        self._check(gradients)
+        for param, grad, vel in zip(self.parameters, gradients, self.velocity):
+            update = grad + self.weight_decay * param
+            vel *= self.momentum
+            vel += update
+            param -= self.lr * vel
+
+
+class Adam(Optimizer):
+    """Adam with bias correction."""
+
+    def __init__(
+        self,
+        parameters: list[np.ndarray],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0 <= beta1 < 1 or not 0 <= beta2 < 1:
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.first_moment = [np.zeros_like(p) for p in parameters]
+        self.second_moment = [np.zeros_like(p) for p in parameters]
+        self.steps = 0
+
+    def step(self, gradients: list[np.ndarray]) -> None:
+        self._check(gradients)
+        self.steps += 1
+        correction1 = 1.0 - self.beta1**self.steps
+        correction2 = 1.0 - self.beta2**self.steps
+        for param, grad, m1, m2 in zip(
+            self.parameters, gradients, self.first_moment, self.second_moment
+        ):
+            m1 *= self.beta1
+            m1 += (1 - self.beta1) * grad
+            m2 *= self.beta2
+            m2 += (1 - self.beta2) * grad**2
+            m1_hat = m1 / correction1
+            m2_hat = m2 / correction2
+            param -= self.lr * m1_hat / (np.sqrt(m2_hat) + self.eps)

@@ -1,0 +1,102 @@
+"""Post-training quantization of trained models (TPU deployment mode).
+
+Section II-A's quantization step, applied to whole networks: weights
+(and optionally activations) are rounded through the int8 grid, so the
+"TPU accuracy" columns of Table I can be *measured* rather than
+asserted.  Two modes:
+
+* :func:`quantize_model_weights` -- weight-only: every parameter tensor
+  round-trips through symmetric int8 (what the Table I harness uses);
+* :class:`ActivationQuantizer` -- a forward-pass wrapper that also
+  rounds the activations flowing between layers, the full int8
+  inference path.
+
+Both are reversible: the original float parameters are kept and can be
+restored.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hw.quantize import dequantize, quantize
+from repro.nn.model import Sequential
+
+
+def quantize_model_weights(model: Sequential, bits: int = 8) -> list[np.ndarray]:
+    """Round every parameter through the int grid, in place.
+
+    Returns the saved float state so callers can restore with
+    ``model.load_state_dict(saved)``.
+    """
+    saved = model.state_dict()
+    for parameter in model.parameters():
+        parameter[...] = dequantize(quantize(parameter, bits=bits))
+    return saved
+
+
+def weight_quantization_error(model: Sequential, bits: int = 8) -> float:
+    """Mean absolute parameter perturbation the int grid introduces."""
+    total = 0.0
+    count = 0
+    for parameter in model.parameters():
+        rounded = dequantize(quantize(parameter, bits=bits))
+        total += float(np.sum(np.abs(rounded - parameter)))
+        count += parameter.size
+    if count == 0:
+        raise ValueError("model has no parameters")
+    return total / count
+
+
+class ActivationQuantizer:
+    """Forward-pass wrapper that quantizes inter-layer activations.
+
+    Wraps a :class:`Sequential` and mimics its inference interface; each
+    layer's output is rounded through the int8 grid before feeding the
+    next layer, modelling the unified buffer's 8-bit storage.
+    """
+
+    def __init__(self, model: Sequential, bits: int = 8) -> None:
+        if bits < 2:
+            raise ValueError(f"need at least 2 bits, got {bits}")
+        self.model = model
+        self.bits = bits
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            raise ValueError("ActivationQuantizer is an inference-only wrapper")
+        out = np.asarray(x)
+        for layer in self.model.layers:
+            out = layer.forward(out, training=False)
+            out = dequantize(quantize(out, bits=self.bits))
+        return out
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+
+def quantized_accuracy(
+    model: Sequential,
+    inputs: np.ndarray,
+    labels: np.ndarray,
+    bits: int = 8,
+    quantize_activations: bool = False,
+    batch_size: int = 32,
+) -> float:
+    """Top-1 accuracy of the int-quantized model (weights restored after)."""
+    from repro.nn.losses import accuracy
+
+    saved = quantize_model_weights(model, bits=bits)
+    try:
+        forward = (
+            ActivationQuantizer(model, bits=bits).forward
+            if quantize_activations
+            else (lambda x, training=False: model.forward(x, training=training))
+        )
+        predictions = []
+        for start in range(0, inputs.shape[0], batch_size):
+            batch = inputs[start : start + batch_size]
+            predictions.append(forward(batch, training=False))
+        return accuracy(np.vstack(predictions), labels)
+    finally:
+        model.load_state_dict(saved)

@@ -1,0 +1,85 @@
+"""Learning-rate schedules.
+
+Small composable schedules the trainer can apply per epoch.  Each
+schedule maps ``epoch -> learning rate`` given a base rate; the
+:class:`repro.nn.train.Trainer` mutates its optimizer's ``lr`` before
+every epoch when one is attached.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+class Schedule:
+    """Base schedule: constant learning rate."""
+
+    def __init__(self, base_lr: float) -> None:
+        if base_lr <= 0:
+            raise ValueError(f"base learning rate must be positive, got {base_lr}")
+        self.base_lr = base_lr
+
+    def lr(self, epoch: int) -> float:
+        if epoch < 0:
+            raise ValueError(f"epoch cannot be negative, got {epoch}")
+        return self.base_lr
+
+
+@dataclass(frozen=True)
+class _StepSpec:
+    step_epochs: int
+    gamma: float
+
+
+class StepDecay(Schedule):
+    """Multiply the rate by ``gamma`` every ``step_epochs`` epochs."""
+
+    def __init__(self, base_lr: float, step_epochs: int, gamma: float = 0.1) -> None:
+        super().__init__(base_lr)
+        if step_epochs <= 0:
+            raise ValueError("step interval must be positive")
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        self.spec = _StepSpec(step_epochs=step_epochs, gamma=gamma)
+
+    def lr(self, epoch: int) -> float:
+        super().lr(epoch)
+        drops = epoch // self.spec.step_epochs
+        return self.base_lr * (self.spec.gamma**drops)
+
+
+class CosineDecay(Schedule):
+    """Cosine annealing from the base rate to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, base_lr: float, total_epochs: int, min_lr: float = 0.0) -> None:
+        super().__init__(base_lr)
+        if total_epochs <= 0:
+            raise ValueError("total epochs must be positive")
+        if min_lr < 0 or min_lr > base_lr:
+            raise ValueError("min_lr must be in [0, base_lr]")
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def lr(self, epoch: int) -> float:
+        super().lr(epoch)
+        progress = min(1.0, epoch / self.total_epochs)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class WarmupWrapper(Schedule):
+    """Linear warm-up for the first ``warmup_epochs``, then the inner schedule."""
+
+    def __init__(self, inner: Schedule, warmup_epochs: int) -> None:
+        super().__init__(inner.base_lr)
+        if warmup_epochs < 0:
+            raise ValueError("warm-up length cannot be negative")
+        self.inner = inner
+        self.warmup_epochs = warmup_epochs
+
+    def lr(self, epoch: int) -> float:
+        super().lr(epoch)
+        if self.warmup_epochs and epoch < self.warmup_epochs:
+            return self.base_lr * (epoch + 1) / self.warmup_epochs
+        return self.inner.lr(epoch)

@@ -1,0 +1,105 @@
+"""VGG19 builder (paper benchmark 1: VGG19 on CIFAR-100).
+
+The canonical VGG19 configuration is sixteen 3x3 convolution layers in
+five pooled stages followed by the classifier head.  ``width_mult`` and
+``input_size`` scale the network down so that *real training runs* (the
+accuracy column of Table I) terminate in CI time on the numpy substrate,
+while :func:`repro.nn.flops.model_census` of the **full-width** network
+drives the simulated-time columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Dense, Dropout, Flatten, MaxPool2d, ReLU
+from repro.nn.model import Sequential, conv_bn_relu
+
+# Channels per conv layer, "M" = 2x2 max pool.  This is torchvision's
+# vgg19 configuration ("E").
+VGG19_CONFIG = [
+    64, 64, "M",
+    128, 128, "M",
+    256, 256, 256, 256, "M",
+    512, 512, 512, 512, "M",
+    512, 512, 512, 512, "M",
+]
+
+
+def build_vgg(
+    config: list,
+    num_classes: int = 100,
+    in_channels: int = 3,
+    input_size: int = 32,
+    width_mult: float = 1.0,
+    hidden_dim: int = 512,
+    dropout: float = 0.5,
+    seed: int = 0,
+) -> Sequential:
+    """Assemble a VGG-style network from a channel configuration."""
+    if width_mult <= 0:
+        raise ValueError(f"width_mult must be positive, got {width_mult}")
+    if input_size <= 0 or num_classes <= 0:
+        raise ValueError("input size and class count must be positive")
+    pools = sum(1 for item in config if item == "M")
+    if input_size % (2**pools):
+        raise ValueError(
+            f"input size {input_size} is not divisible by 2^{pools} pooling stages"
+        )
+    rng = np.random.default_rng(seed)
+    layers = []
+    channels = in_channels
+    for item in config:
+        if item == "M":
+            layers.append(MaxPool2d(2))
+            continue
+        out_channels = max(1, int(round(item * width_mult)))
+        layers.extend(conv_bn_relu(channels, out_channels, rng=rng))
+        channels = out_channels
+    final_spatial = input_size // (2**pools)
+    flat = channels * final_spatial * final_spatial
+    hidden = max(1, int(round(hidden_dim * width_mult)))
+    layers.extend(
+        [
+            Flatten(),
+            Dense(flat, hidden, rng=rng),
+            ReLU(),
+            Dropout(dropout, rng=rng),
+            Dense(hidden, num_classes, rng=rng),
+        ]
+    )
+    return Sequential(layers)
+
+
+def vgg19(
+    num_classes: int = 100,
+    input_size: int = 32,
+    width_mult: float = 1.0,
+    seed: int = 0,
+) -> Sequential:
+    """The paper's first benchmark model (full size by default)."""
+    return build_vgg(
+        VGG19_CONFIG,
+        num_classes=num_classes,
+        input_size=input_size,
+        width_mult=width_mult,
+        seed=seed,
+    )
+
+
+def vgg19_scaled(num_classes: int = 10, seed: int = 0) -> Sequential:
+    """A width-scaled VGG19 that trains in seconds on the numpy substrate.
+
+    Same depth and topology as VGG19 (all sixteen conv layers, five
+    pools); only channel counts shrink.  Used for the *accuracy* column
+    of the Table I reproduction.
+    """
+    return build_vgg(
+        VGG19_CONFIG,
+        num_classes=num_classes,
+        input_size=32,
+        width_mult=0.0625,  # 4 /64 base channels
+        hidden_dim=256,
+        dropout=0.2,
+        seed=seed,
+    )

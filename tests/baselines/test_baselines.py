@@ -1,0 +1,192 @@
+"""Baseline explainers, and their agreement with the distilled explainer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    LinearSurrogateExplainer,
+    SurrogateConfig,
+    gradient_input_saliency,
+    occlusion_column_saliency,
+    occlusion_saliency,
+    saliency_block_grid,
+)
+from repro.fft import fft_circular_convolve2d
+from repro.hw import CpuDevice
+
+
+def planted_linear_model(shape=(8, 8), seed=0, hot=(4, 5), strength=10.0):
+    """A linear 'black box' whose output hinges on one input element."""
+    rng = np.random.default_rng(seed)
+    weights = 0.05 * rng.standard_normal(shape)
+    weights[hot] = strength
+
+    def model(x):
+        return np.array([np.sum(weights * x)])
+
+    return model, hot
+
+
+class TestOcclusion:
+    def test_planted_block_wins(self):
+        model, hot = planted_linear_model()
+        x = np.ones((8, 8))
+        grid = occlusion_saliency(model, x, block_shape=(2, 2))
+        top = np.unravel_index(np.argmax(grid), grid.shape)
+        assert top == (hot[0] // 2, hot[1] // 2)
+
+    def test_planted_column_wins(self):
+        model, hot = planted_linear_model()
+        scores = occlusion_column_saliency(model, np.ones((8, 8)))
+        assert int(np.argmax(scores)) == hot[1]
+
+    def test_zero_input_blocks_score_zero_for_linear_model(self):
+        model, _ = planted_linear_model()
+        x = np.zeros((8, 8))
+        grid = occlusion_saliency(model, x, block_shape=(4, 4))
+        np.testing.assert_allclose(grid, 0.0, atol=1e-12)
+
+    def test_reductions(self):
+        model, _ = planted_linear_model()
+        x = np.ones((8, 8))
+        for reduction in ("l2", "l1", "max_abs"):
+            grid = occlusion_saliency(model, x, (4, 4), reduction=reduction)
+            assert np.all(grid >= 0)
+        with pytest.raises(ValueError):
+            occlusion_saliency(model, x, (4, 4), reduction="sum")
+
+    def test_validation(self):
+        model, _ = planted_linear_model()
+        with pytest.raises(ValueError):
+            occlusion_saliency(model, np.ones(8), (2, 2))
+        with pytest.raises(ValueError):
+            occlusion_saliency(model, np.ones((8, 8)), (3, 3))
+        with pytest.raises(ValueError):
+            occlusion_column_saliency(model, np.ones(8))
+
+    def test_agreement_with_distilled_explainer(self):
+        """Both explainers must surface the same planted block."""
+        from repro.core import ConvolutionDistiller, block_contributions
+
+        rng = np.random.default_rng(1)
+        x = 0.01 * rng.standard_normal((8, 8))
+        x[0, 0] = 1.0
+        x[4:6, 2:4] = 8.0
+        kernel_true = rng.standard_normal((8, 8))
+        y = fft_circular_convolve2d(x, kernel_true)
+
+        # Distilled path.
+        distiller = ConvolutionDistiller(eps=1e-10).fit(x, y)
+        distilled_grid = block_contributions(x, distiller.kernel_, y, (2, 2))
+
+        # Occlusion path against the true black box.
+        def black_box(matrix):
+            return fft_circular_convolve2d(matrix, kernel_true)
+
+        occlusion_grid = occlusion_saliency(black_box, x, (2, 2))
+        assert np.unravel_index(np.argmax(distilled_grid), (4, 4)) == np.unravel_index(
+            np.argmax(occlusion_grid), (4, 4)
+        )
+
+
+class TestGradientSaliency:
+    def build_model(self, seed=0):
+        from repro.nn import Dense, Flatten, ReLU, Sequential
+
+        rng = np.random.default_rng(seed)
+        return Sequential(
+            [Flatten(), Dense(16, 8, rng=rng), ReLU(), Dense(8, 2, rng=rng)]
+        )
+
+    def test_shape_and_nonnegativity(self):
+        model = self.build_model()
+        x = np.random.default_rng(1).standard_normal((1, 4, 4))
+        saliency = gradient_input_saliency(model, x)
+        assert saliency.shape == (1, 4, 4)
+        assert np.all(saliency >= 0)
+
+    def test_class_index_selection(self):
+        model = self.build_model()
+        x = np.random.default_rng(2).standard_normal((1, 4, 4))
+        s0 = gradient_input_saliency(model, x, class_index=0)
+        s1 = gradient_input_saliency(model, x, class_index=1)
+        assert not np.allclose(s0, s1)
+
+    def test_zero_input_gives_zero_saliency(self):
+        model = self.build_model()
+        saliency = gradient_input_saliency(model, np.zeros((1, 4, 4)))
+        np.testing.assert_allclose(saliency, 0.0)
+
+    def test_validation(self):
+        model = self.build_model()
+        with pytest.raises(ValueError):
+            gradient_input_saliency(model, np.ones((4, 4)))
+        with pytest.raises(ValueError):
+            gradient_input_saliency(model, np.ones((1, 4, 4)), class_index=7)
+
+    def test_block_grid_aggregation(self):
+        saliency = np.ones((2, 8, 8))
+        grid = saliency_block_grid(saliency, (4, 4))
+        np.testing.assert_allclose(grid, np.full((2, 2), 32.0))
+        with pytest.raises(ValueError):
+            saliency_block_grid(np.ones((8, 8)), (3, 3))
+
+
+class TestSurrogate:
+    def test_recovers_planted_feature(self):
+        model, hot = planted_linear_model(shape=(4, 4), hot=(2, 1), strength=5.0)
+        explainer = LinearSurrogateExplainer(
+            SurrogateConfig(num_perturbations=150, iterations=200), seed=0
+        )
+        result = explainer.explain(model, np.ones((4, 4)))
+        top = np.unravel_index(np.argmax(result.weights), (4, 4))
+        assert top == hot
+        assert result.converged
+
+    def test_loss_decreases(self):
+        model, _ = planted_linear_model(shape=(4, 4), hot=(2, 1))
+        explainer = LinearSurrogateExplainer(seed=1)
+        result = explainer.explain(model, np.ones((4, 4)))
+        assert result.losses[-1] < result.losses[0]
+
+    def test_device_accounting(self):
+        model, _ = planted_linear_model(shape=(4, 4), hot=(2, 1))
+        device = CpuDevice()
+        config = SurrogateConfig(num_perturbations=50, iterations=10)
+        LinearSurrogateExplainer(config, seed=2).explain(
+            model, np.ones((4, 4)), device=device
+        )
+        assert device.stats.op_counts["matmul_accounted"] == 20  # 2 per iteration
+
+    def test_fit_cost_scales_with_iterations(self):
+        device = CpuDevice()
+        few = LinearSurrogateExplainer(
+            SurrogateConfig(iterations=10)
+        ).fit_cost_seconds(1024, device)
+        many = LinearSurrogateExplainer(
+            SurrogateConfig(iterations=1000)
+        ).fit_cost_seconds(1024, device)
+        assert many == pytest.approx(100 * few)
+
+    def test_surrogate_slower_than_closed_form_on_cpu(self):
+        """The paper's premise: iterative optimization costs far more
+        than the one-pass Fourier solve for the same feature plane."""
+        device = CpuDevice()
+        features = 1024 * 1024  # a 1024x1024 plane
+        iterative = LinearSurrogateExplainer(
+            SurrogateConfig(num_perturbations=200, iterations=300)
+        ).fit_cost_seconds(features, device)
+        closed_form = 3 * device.fft2_seconds(1024, 1024)
+        assert iterative > closed_form
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SurrogateConfig(num_perturbations=0)
+        with pytest.raises(ValueError):
+            SurrogateConfig(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SurrogateConfig(mask_probability=0.0)
+        explainer = LinearSurrogateExplainer()
+        model, _ = planted_linear_model()
+        with pytest.raises(ValueError):
+            explainer.explain(model, np.ones(4))

@@ -1,0 +1,78 @@
+"""Concurrent batch distillation (Section III-D end to end)."""
+
+import numpy as np
+import pytest
+
+from repro.core import distill_batch, make_tpu_chip
+from repro.core.transform import frequency_solve
+from repro.fft import fft_circular_convolve2d
+
+
+def small_chip(num_cores=4):
+    return make_tpu_chip(num_cores=num_cores, precision="fp32", mxu_rows=8, mxu_cols=8)
+
+
+def planted_pairs(count, shape=(8, 8), seed=0):
+    rng = np.random.default_rng(seed)
+    pairs = []
+    for _ in range(count):
+        x = rng.standard_normal(shape)
+        x[0, 0] += 5.0 * np.prod(shape) ** 0.5
+        kernel = rng.standard_normal(shape)
+        pairs.append((x, fft_circular_convolve2d(x, kernel), kernel))
+    return pairs
+
+
+class TestCorrectness:
+    def test_kernels_match_single_pair_solve(self):
+        chip = small_chip()
+        data = planted_pairs(3)
+        result = distill_batch([(x, y) for x, y, _ in data], chip, eps=0.0)
+        for (x, y, _), kernel in zip(data, result.kernels):
+            expected = frequency_solve(x, y, eps=0.0)
+            np.testing.assert_allclose(kernel, expected, atol=1e-5)
+
+    def test_recovers_planted_kernels(self):
+        chip = small_chip()
+        data = planted_pairs(2, seed=1)
+        result = distill_batch([(x, y) for x, y, _ in data], chip, eps=0.0)
+        for (_, _, kernel_true), kernel in zip(data, result.kernels):
+            np.testing.assert_allclose(kernel, kernel_true, atol=1e-5)
+
+    def test_real_pairs_give_real_kernels(self):
+        chip = small_chip()
+        data = planted_pairs(2, seed=2)
+        result = distill_batch([(x, y) for x, y, _ in data], chip)
+        for kernel in result.kernels:
+            assert np.isrealobj(kernel)
+
+
+class TestTiming:
+    def test_parallel_beats_serial(self):
+        chip = small_chip(num_cores=4)
+        data = planted_pairs(4, shape=(16, 16), seed=3)
+        result = distill_batch([(x, y) for x, y, _ in data], chip)
+        assert result.elapsed_seconds < result.serial_seconds
+        assert result.parallel_speedup > 1.5
+
+    def test_single_pair_has_no_parallel_gain_across_pairs(self):
+        chip = small_chip(num_cores=4)
+        data = planted_pairs(1, seed=4)
+        result = distill_batch([(x, y) for x, y, _ in data], chip)
+        # One pair: batch elapsed equals its own serial time.
+        assert result.elapsed_seconds == pytest.approx(result.serial_seconds)
+
+
+class TestValidation:
+    def test_empty_batch(self):
+        with pytest.raises(ValueError):
+            distill_batch([], small_chip())
+
+    def test_negative_eps(self):
+        data = planted_pairs(1)
+        with pytest.raises(ValueError):
+            distill_batch([(data[0][0], data[0][1])], small_chip(), eps=-1.0)
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            distill_batch([(np.ones((4, 4)), np.ones((4, 5)))], small_chip())

@@ -1,0 +1,150 @@
+"""Algorithm 1: sharded 2-D Fourier transform across TPU cores."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DecomposedFourier, make_tpu_chip, shard_slices
+from repro.fft import fft2
+
+
+def small_chip(num_cores=4, precision="fp32"):
+    return make_tpu_chip(
+        num_cores=num_cores, precision=precision, mxu_rows=8, mxu_cols=8
+    )
+
+
+class TestShardSlices:
+    def test_even_split(self):
+        assert shard_slices(8, 4) == [slice(0, 2), slice(2, 4), slice(4, 6), slice(6, 8)]
+
+    def test_remainder_goes_to_early_shards(self):
+        pieces = shard_slices(10, 4)
+        lengths = [p.stop - p.start for p in pieces]
+        assert lengths == [3, 3, 2, 2]
+
+    def test_covers_everything_without_overlap(self):
+        pieces = shard_slices(17, 5)
+        covered = []
+        for piece in pieces:
+            covered.extend(range(piece.start, piece.stop))
+        assert covered == list(range(17))
+
+    def test_more_shards_than_elements(self):
+        pieces = shard_slices(2, 5)
+        lengths = [p.stop - p.start for p in pieces]
+        assert lengths == [1, 1, 0, 0, 0]
+
+    def test_paper_bound_holds(self):
+        """No core gets more than ceil(max{M,N}/p) 1-D transforms."""
+        import math
+
+        for total, cores in [(64, 4), (100, 8), (31, 7)]:
+            pieces = shard_slices(total, cores)
+            biggest = max(p.stop - p.start for p in pieces)
+            assert biggest <= math.ceil(total / cores)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            shard_slices(0, 4)
+        with pytest.raises(ValueError):
+            shard_slices(4, 0)
+
+
+class TestDecomposedTransform:
+    @pytest.mark.parametrize("shape", [(8, 8), (16, 8), (8, 16), (12, 12)])
+    @pytest.mark.parametrize("cores", [1, 2, 4])
+    def test_merge_equals_direct_fft2(self, shape, cores):
+        """The paper's central correctness claim: merging per-core results
+        'exactly matches the desired 2-D Fourier transform result'."""
+        chip = small_chip(num_cores=4)
+        rng = np.random.default_rng(shape[0] * 10 + cores)
+        x = rng.standard_normal(shape)
+        result, _ = DecomposedFourier(chip, cores=cores).fft2(x)
+        np.testing.assert_allclose(result, fft2(x), atol=1e-6)
+
+    def test_inverse_round_trip(self):
+        chip = small_chip()
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((8, 8)) + 1j * rng.standard_normal((8, 8))
+        forward, _ = DecomposedFourier(chip).fft2(x)
+        back, _ = DecomposedFourier(chip).ifft2(forward)
+        np.testing.assert_allclose(back, x, atol=1e-6)
+
+    def test_report_structure(self):
+        chip = small_chip()
+        x = np.random.default_rng(1).standard_normal((8, 8))
+        _, report = DecomposedFourier(chip, cores=4).fft2(x)
+        assert report.shape == (8, 8)
+        assert report.cores_used == 4
+        assert [stage.name for stage in report.stages] == ["rows", "columns"]
+        assert report.elapsed_seconds > 0
+        assert report.elapsed_seconds == pytest.approx(
+            report.compute_seconds + report.communication_seconds
+        )
+
+    def test_more_cores_reduce_elapsed_time(self):
+        """Scalability: the whole point of Algorithm 1."""
+        x = np.random.default_rng(2).standard_normal((64, 64))
+        chip = make_tpu_chip(num_cores=8, precision="fp32", mxu_rows=8, mxu_cols=8)
+        _, report_1 = DecomposedFourier(chip, cores=1).fft2(x)
+        chip.reset()
+        _, report_8 = DecomposedFourier(chip, cores=8).fft2(x)
+        assert report_8.compute_seconds < report_1.compute_seconds
+
+    def test_single_core_has_no_communication(self):
+        chip = small_chip(num_cores=1)
+        x = np.random.default_rng(3).standard_normal((8, 8))
+        _, report = DecomposedFourier(chip).fft2(x)
+        assert report.communication_seconds == 0.0
+
+    def test_stage_balance(self):
+        """Balanced shards: core times within a stage are comparable."""
+        chip = small_chip(num_cores=4)
+        x = np.random.default_rng(4).standard_normal((16, 16))
+        _, report = DecomposedFourier(chip, cores=4).fft2(x)
+        for stage in report.stages:
+            times = np.array(stage.per_core_seconds)
+            assert times.max() <= 2.0 * times.min() + 1e-12
+
+    def test_cores_bounded_by_extent(self):
+        """A 4x4 transform on 8 cores uses at most 4 per stage."""
+        chip = small_chip(num_cores=8)
+        x = np.random.default_rng(5).standard_normal((4, 4))
+        result, report = DecomposedFourier(chip).fft2(x)
+        np.testing.assert_allclose(result, fft2(x), atol=1e-6)
+        for stage in report.stages:
+            assert len(stage.per_core_seconds) <= 4
+
+    def test_bf16_chip_close_to_exact(self):
+        chip = small_chip(precision="bf16")
+        x = np.random.default_rng(6).standard_normal((8, 8))
+        result, _ = DecomposedFourier(chip).fft2(x)
+        exact = fft2(x)
+        assert np.max(np.abs(result - exact)) < 0.05 * np.max(np.abs(exact)) + 0.05
+
+    def test_validation(self):
+        chip = small_chip(num_cores=2)
+        with pytest.raises(ValueError):
+            DecomposedFourier(chip, cores=5)
+        with pytest.raises(ValueError):
+            DecomposedFourier(chip).fft2(np.ones(4))
+        with pytest.raises(ValueError):
+            DecomposedFourier(chip).ifft2(np.ones((2, 2, 2)))
+
+
+class TestProperties:
+    @given(
+        m=st.sampled_from([4, 8, 12, 16]),
+        n=st.sampled_from([4, 8, 12, 16]),
+        cores=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_merge_matches_fft2_property(self, m, n, cores, seed):
+        chip = small_chip(num_cores=4)
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((m, n))
+        result, _ = DecomposedFourier(chip, cores=cores).fft2(x)
+        np.testing.assert_allclose(result, fft2(x), atol=1e-5)

@@ -1,0 +1,178 @@
+"""Explanation-quality metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    deletion_auc,
+    deletion_curve,
+    dominance_margin,
+    rank_agreement,
+    top_k_recall,
+)
+
+
+class TestRankAgreement:
+    def test_identical_rankings(self):
+        scores = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert rank_agreement(scores, scores * 7.0) == pytest.approx(1.0)
+
+    def test_reversed_rankings(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert rank_agreement(a, -a) == pytest.approx(-1.0)
+
+    def test_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal(50)
+        b = a + 0.5 * rng.standard_normal(50)
+        expected = scipy_stats.spearmanr(a, b).statistic
+        assert rank_agreement(a, b) == pytest.approx(expected, abs=1e-10)
+
+    def test_handles_ties(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        a = np.array([1.0, 1.0, 2.0, 3.0, 3.0, 3.0])
+        b = np.array([2.0, 1.0, 1.0, 3.0, 4.0, 3.0])
+        expected = scipy_stats.spearmanr(a, b).statistic
+        assert rank_agreement(a, b) == pytest.approx(expected, abs=1e-10)
+
+    def test_constant_scores_give_zero(self):
+        assert rank_agreement(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rank_agreement(np.ones(3), np.ones(4))
+        with pytest.raises(ValueError):
+            rank_agreement(np.ones(1), np.ones(1))
+        with pytest.raises(ValueError):
+            rank_agreement(np.zeros(0), np.zeros(0))
+
+
+class TestTopKRecall:
+    def test_full_recall(self):
+        scores = np.array([[9.0, 1.0], [8.0, 0.5]])
+        truth = [(0, 0), (1, 0)]
+        assert top_k_recall(scores, truth, k=2) == 1.0
+
+    def test_partial_recall(self):
+        scores = np.array([9.0, 1.0, 8.0, 0.5])
+        truth = [(0,), (1,)]
+        assert top_k_recall(scores, truth, k=2) == 0.5
+
+    def test_empty_truth_rejected(self):
+        with pytest.raises(ValueError):
+            top_k_recall(np.ones(3), [], k=1)
+
+
+class TestDominanceMargin:
+    def test_basic(self):
+        assert dominance_margin(np.array([1.0, 4.0, 2.0])) == pytest.approx(2.0)
+
+    def test_adjacent_exclusion(self):
+        scores = np.array([0.1, 0.9, 1.0, 0.8, 0.2])
+        plain = dominance_margin(scores)
+        excluded = dominance_margin(scores, exclude_adjacent=1)
+        assert plain == pytest.approx(1.0 / 0.9)
+        assert excluded == pytest.approx(1.0 / 0.2)
+
+    def test_grid_input(self):
+        grid = np.array([[0.1, 1.0], [0.5, 0.2]])
+        assert dominance_margin(grid) == pytest.approx(2.0)
+
+    def test_nonpositive_runner_up_is_infinite(self):
+        assert dominance_margin(np.array([0.0, 5.0])) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dominance_margin(np.array([1.0]))
+
+
+class TestDeletionCurve:
+    def linear_model(self, weights):
+        return lambda x: np.array([np.sum(weights * x)])
+
+    def test_good_ranking_front_loads_change(self):
+        rng = np.random.default_rng(1)
+        weights = np.abs(rng.standard_normal((4, 4)))
+        model = self.linear_model(weights)
+        x = np.ones((4, 4))
+        order = np.argsort(weights.reshape(-1))[::-1]
+        good = [tuple(int(v) for v in np.unravel_index(i, (4, 4))) for i in order]
+        bad = list(reversed(good))
+        good_auc = deletion_auc(deletion_curve(model, x, good))
+        bad_auc = deletion_auc(deletion_curve(model, x, bad))
+        assert good_auc > bad_auc
+
+    def test_curve_ends_at_one(self):
+        model = self.linear_model(np.ones((2, 2)))
+        curve = deletion_curve(model, np.ones((2, 2)), [(0, 0), (0, 1), (1, 0), (1, 1)])
+        assert curve[-1] == pytest.approx(1.0)
+
+    def test_column_ranking(self):
+        model = self.linear_model(np.ones((3, 3)))
+        curve = deletion_curve(model, np.ones((3, 3)), [(0,), (1,), (2,)])
+        np.testing.assert_allclose(curve, [1 / 3, 2 / 3, 1.0], atol=1e-10)
+
+    def test_validation(self):
+        model = self.linear_model(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            deletion_curve(model, np.ones(4), [(0, 0)])
+        with pytest.raises(ValueError):
+            deletion_curve(model, np.ones((2, 2)), [])
+        with pytest.raises(ValueError):
+            deletion_curve(model, np.ones((2, 2)), [(0, 0, 0)])
+        with pytest.raises(ValueError):
+            deletion_auc(np.zeros(0))
+
+    def test_no_change_model_gives_zero_curve(self):
+        model = lambda x: np.array([0.0])
+        curve = deletion_curve(model, np.ones((2, 2)), [(0, 0), (1, 1)])
+        np.testing.assert_array_equal(curve, np.zeros(2))
+
+
+class TestCrossExplainerAgreement:
+    def test_distilled_and_occlusion_rank_alike_on_planted_input(self):
+        """End-to-end: the metrics certify the two explainers agree."""
+        from repro.baselines import occlusion_saliency
+        from repro.core import ConvolutionDistiller, block_contributions
+        from repro.fft import fft_circular_convolve2d
+
+        rng = np.random.default_rng(2)
+        x = 0.01 * rng.standard_normal((8, 8))
+        x[0, 0] = 1.0
+        x[2:4, 4:6] = 6.0
+        kernel = rng.standard_normal((8, 8))
+        y = fft_circular_convolve2d(x, kernel)
+
+        distiller = ConvolutionDistiller(eps=1e-10).fit(x, y)
+        distilled = block_contributions(x, distiller.kernel_, y, (2, 2))
+        occlusion = occlusion_saliency(
+            lambda m: fft_circular_convolve2d(m, kernel), x, (2, 2)
+        )
+        assert rank_agreement(distilled, occlusion) > 0.7
+        assert top_k_recall(distilled, [(1, 2)], k=1) == 1.0
+
+
+class TestProperties:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_rank_agreement_symmetric_and_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal(20)
+        b = rng.standard_normal(20)
+        r_ab = rank_agreement(a, b)
+        r_ba = rank_agreement(b, a)
+        assert r_ab == pytest.approx(r_ba)
+        assert -1.0 - 1e-9 <= r_ab <= 1.0 + 1e-9
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_agreement_invariant_to_monotone_transforms(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal(15)
+        b = rng.standard_normal(15)
+        base = rank_agreement(a, b)
+        transformed = rank_agreement(np.exp(a), b)
+        assert transformed == pytest.approx(base, abs=1e-9)

@@ -1,0 +1,135 @@
+"""Trace windowing utilities."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    MiraiTraceDataset,
+    MiraiTraceSpec,
+    TraceWindow,
+    locate_cycle,
+    pad_trace,
+    sliding_windows,
+)
+
+
+class TestSlidingWindows:
+    def test_non_overlapping_default(self):
+        trace = np.arange(32.0).reshape(2, 16)
+        windows = sliding_windows(trace, window_cycles=4)
+        assert len(windows) == 4
+        assert windows[0].start_cycle == 0
+        assert windows[-1].start_cycle == 12
+        np.testing.assert_array_equal(windows[1].data, trace[:, 4:8])
+
+    def test_overlapping_stride(self):
+        trace = np.ones((2, 10))
+        windows = sliding_windows(trace, window_cycles=4, stride=2)
+        starts = [w.start_cycle for w in windows]
+        assert starts == [0, 2, 4, 6]
+
+    def test_partial_tail_dropped(self):
+        trace = np.ones((2, 10))
+        windows = sliding_windows(trace, window_cycles=4)
+        assert len(windows) == 2  # cycles 8..9 dropped
+
+    def test_absolute_cycle_mapping(self):
+        window = TraceWindow(data=np.ones((2, 4)), start_cycle=8)
+        assert window.to_absolute_cycle(3) == 11
+        assert window.end_cycle == 12
+        with pytest.raises(IndexError):
+            window.to_absolute_cycle(4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sliding_windows(np.ones(8), 4)
+        with pytest.raises(ValueError):
+            sliding_windows(np.ones((2, 8)), 0)
+        with pytest.raises(ValueError):
+            sliding_windows(np.ones((2, 8)), 4, stride=0)
+
+
+class TestLocateCycle:
+    def test_single_window(self):
+        windows = [TraceWindow(np.ones((2, 4)), start_cycle=0)]
+        scores = [np.array([0.1, 0.9, 0.2, 0.0])]
+        cycle, score = locate_cycle(windows, scores)
+        assert cycle == 1
+        assert score == pytest.approx(0.9)
+
+    def test_overlapping_windows_vote(self):
+        windows = [
+            TraceWindow(np.ones((2, 4)), start_cycle=0),
+            TraceWindow(np.ones((2, 4)), start_cycle=2),
+        ]
+        # Cycle 3 scores 0.4 in each window: combined 0.8 beats any single.
+        scores = [np.array([0.0, 0.1, 0.2, 0.4]), np.array([0.1, 0.4, 0.3, 0.1])]
+        cycle, score = locate_cycle(windows, scores)
+        assert cycle == 3
+        assert score == pytest.approx(0.8)
+
+    def test_validation(self):
+        windows = [TraceWindow(np.ones((2, 4)), start_cycle=0)]
+        with pytest.raises(ValueError):
+            locate_cycle(windows, [])
+        with pytest.raises(ValueError):
+            locate_cycle(windows, [np.ones(3)])
+        with pytest.raises(ValueError):
+            locate_cycle([], [])
+
+
+class TestPadTrace:
+    def test_pads_to_multiple(self):
+        padded = pad_trace(np.ones((2, 10)), window_cycles=4)
+        assert padded.shape == (2, 12)
+        np.testing.assert_array_equal(padded[:, 10:], np.zeros((2, 2)))
+
+    def test_exact_multiple_untouched(self):
+        trace = np.ones((2, 8))
+        padded = pad_trace(trace, 4)
+        np.testing.assert_array_equal(padded, trace)
+        assert padded is not trace  # copy, not alias
+
+    def test_custom_fill(self):
+        padded = pad_trace(np.ones((1, 3)), 4, fill_value=7.0)
+        assert padded[0, 3] == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pad_trace(np.ones(8), 4)
+        with pytest.raises(ValueError):
+            pad_trace(np.ones((2, 8)), 0)
+
+
+class TestEndToEndLocalization:
+    def test_attack_cycle_found_in_long_trace(self):
+        """Windowed interpretation localizes the attack cycle in a trace
+        longer than the detector's input window."""
+        from repro.core import ConvolutionDistiller, column_contributions
+        from repro.fft import fft_circular_convolve2d
+
+        spec = MiraiTraceSpec(registers=8, cycles=8)
+        dataset = MiraiTraceDataset(spec, seed=5)
+        rng = np.random.default_rng(5)
+        detector_kernel = rng.standard_normal((8, 8))
+
+        fit_traces = np.stack([dataset.sample(i % 2 == 1, rng)[0] for i in range(12)])
+        fit_outputs = np.stack(
+            [fft_circular_convolve2d(t, detector_kernel) for t in fit_traces]
+        )
+        distiller = ConvolutionDistiller(eps=1e-6).fit(fit_traces, fit_outputs)
+
+        # Long trace: benign activity with one malicious window spliced in.
+        benign_a, _ = dataset.sample(False, rng)
+        malicious, info = dataset.sample(True, rng)
+        benign_b, _ = dataset.sample(False, rng)
+        long_trace = np.concatenate([benign_a, malicious, benign_b], axis=1)
+        true_cycle = 8 + info["attack_cycle"]
+
+        windows = sliding_windows(long_trace, window_cycles=8)
+        scores = []
+        for window in windows:
+            output = fft_circular_convolve2d(window.data, detector_kernel)
+            scores.append(column_contributions(window.data, distiller.kernel_, output))
+        found_cycle, _ = locate_cycle(windows, scores)
+        assert found_cycle == true_cycle

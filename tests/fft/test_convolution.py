@@ -1,0 +1,175 @@
+"""Tests for convolution: the convolution theorem is the paper's Eq. 3."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fft import (
+    circular_convolve,
+    circular_convolve2d,
+    fft2,
+    fft_circular_convolve,
+    fft_circular_convolve2d,
+    linear_convolve,
+    linear_convolve2d,
+)
+
+
+class TestCircular1D:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 8, 13, 16])
+    def test_fft_path_matches_direct(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.standard_normal(n)
+        k = rng.standard_normal(n)
+        np.testing.assert_allclose(
+            fft_circular_convolve(x, k), circular_convolve(x, k), atol=1e-8
+        )
+
+    def test_identity_kernel(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        delta = np.array([1.0, 0.0, 0.0, 0.0])
+        np.testing.assert_allclose(circular_convolve(x, delta), x, atol=1e-12)
+
+    def test_shift_kernel_rolls_input(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        shift_one = np.array([0.0, 1.0, 0.0, 0.0])
+        np.testing.assert_allclose(
+            circular_convolve(x, shift_one), np.roll(x, 1), atol=1e-12
+        )
+
+    def test_commutativity(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(8)
+        k = rng.standard_normal(8)
+        np.testing.assert_allclose(
+            circular_convolve(x, k), circular_convolve(k, x), atol=1e-10
+        )
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            circular_convolve(np.ones(4), np.ones(5))
+        with pytest.raises(ValueError):
+            fft_circular_convolve(np.ones(4), np.ones(5))
+
+    def test_real_inputs_give_real_output(self):
+        rng = np.random.default_rng(2)
+        out = fft_circular_convolve(rng.standard_normal(8), rng.standard_normal(8))
+        assert np.isrealobj(out)
+
+    def test_complex_inputs_give_complex_output(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(8) + 1j * rng.standard_normal(8)
+        out = fft_circular_convolve(x, x)
+        assert np.iscomplexobj(out)
+
+
+class TestCircular2D:
+    @pytest.mark.parametrize("shape", [(1, 1), (2, 2), (4, 4), (3, 5), (4, 6), (8, 8)])
+    def test_fft_path_matches_direct(self, shape):
+        rng = np.random.default_rng(shape[0] * 10 + shape[1])
+        x = rng.standard_normal(shape)
+        k = rng.standard_normal(shape)
+        np.testing.assert_allclose(
+            fft_circular_convolve2d(x, k), circular_convolve2d(x, k), atol=1e-8
+        )
+
+    def test_convolution_theorem_explicitly(self):
+        """F(X (*) K) == F(X) o F(K) -- paper Eq. 3 verbatim."""
+        rng = np.random.default_rng(9)
+        x = rng.standard_normal((6, 6))
+        k = rng.standard_normal((6, 6))
+        left = fft2(circular_convolve2d(x, k))
+        right = fft2(x) * fft2(k)
+        np.testing.assert_allclose(left, right, atol=1e-8)
+
+    def test_identity_kernel_2d(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((5, 5))
+        delta = np.zeros((5, 5))
+        delta[0, 0] = 1.0
+        np.testing.assert_allclose(circular_convolve2d(x, delta), x, atol=1e-12)
+
+    def test_shift_kernel_2d(self):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((4, 4))
+        kernel = np.zeros((4, 4))
+        kernel[1, 2] = 1.0
+        expected = np.roll(np.roll(x, 1, axis=0), 2, axis=1)
+        np.testing.assert_allclose(circular_convolve2d(x, kernel), expected, atol=1e-12)
+
+    def test_mismatched_shapes_raise(self):
+        with pytest.raises(ValueError):
+            circular_convolve2d(np.ones((2, 3)), np.ones((3, 2)))
+        with pytest.raises(ValueError):
+            fft_circular_convolve2d(np.ones((2, 3)), np.ones((3, 2)))
+
+
+class TestLinear:
+    def test_linear_1d_matches_numpy_convolve(self):
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal(9)
+        k = rng.standard_normal(4)
+        np.testing.assert_allclose(
+            linear_convolve(x, k), np.convolve(x, k), atol=1e-8
+        )
+
+    def test_linear_2d_matches_scipy(self):
+        scipy_signal = pytest.importorskip("scipy.signal")
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((5, 6))
+        k = rng.standard_normal((3, 3))
+        np.testing.assert_allclose(
+            linear_convolve2d(x, k), scipy_signal.convolve2d(x, k), atol=1e-8
+        )
+
+    def test_output_shape(self):
+        out = linear_convolve(np.ones(5), np.ones(3))
+        assert out.shape == (7,)
+        out2 = linear_convolve2d(np.ones((4, 5)), np.ones((2, 3)))
+        assert out2.shape == (5, 7)
+
+
+class TestProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=24),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_theorem_any_length_1d(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n)
+        k = rng.standard_normal(n)
+        np.testing.assert_allclose(
+            fft_circular_convolve(x, k), circular_convolve(x, k), atol=1e-7
+        )
+
+    @given(
+        m=st.integers(min_value=1, max_value=8),
+        n=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_theorem_any_shape_2d(self, m, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((m, n))
+        k = rng.standard_normal((m, n))
+        np.testing.assert_allclose(
+            fft_circular_convolve2d(x, k), circular_convolve2d(x, k), atol=1e-7
+        )
+
+    @given(
+        n=st.sampled_from([4, 8, 6]),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_linearity_in_input(self, n, seed):
+        """Linearity of X -> X (*) K underpins the fast contribution-factor
+        path in repro.core.interpretation."""
+        rng = np.random.default_rng(seed)
+        x1 = rng.standard_normal((n, n))
+        x2 = rng.standard_normal((n, n))
+        k = rng.standard_normal((n, n))
+        combined = fft_circular_convolve2d(x1 + x2, k)
+        separate = fft_circular_convolve2d(x1, k) + fft_circular_convolve2d(x2, k)
+        np.testing.assert_allclose(combined, separate, atol=1e-7)

@@ -1,0 +1,94 @@
+"""Unit tests for DFT matrix construction and its algebraic properties."""
+
+import numpy as np
+import pytest
+
+from repro.fft import (
+    clear_dft_matrix_cache,
+    dft_matrix,
+    dft_matrix_cache_info,
+    idft_matrix,
+)
+
+SIZES = [1, 2, 3, 4, 5, 7, 8, 12, 16, 31, 32, 64]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_backward_matrix_matches_definition(n):
+    w = dft_matrix(n)
+    m, k = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    expected = np.exp(-2j * np.pi * m * k / n)
+    np.testing.assert_allclose(w, expected, atol=1e-12)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_matrix_is_symmetric(n):
+    w = dft_matrix(n)
+    np.testing.assert_allclose(w, w.T, atol=0)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("norm", ["backward", "ortho", "forward"])
+def test_synthesis_inverts_analysis(n, norm):
+    product = idft_matrix(n, norm) @ dft_matrix(n, norm)
+    np.testing.assert_allclose(product, np.eye(n), atol=1e-10)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_ortho_matrix_is_unitary(n):
+    w = dft_matrix(n, norm="ortho")
+    np.testing.assert_allclose(w @ w.conj().T, np.eye(n), atol=1e-10)
+
+
+@pytest.mark.parametrize("n", [2, 4, 8, 16])
+def test_matrix_application_matches_numpy_fft(n):
+    rng = np.random.default_rng(7)
+    x = rng.standard_normal(n)
+    np.testing.assert_allclose(dft_matrix(n) @ x, np.fft.fft(x), atol=1e-10)
+
+
+def test_ortho_matches_paper_scaling():
+    # Paper Eq. 9: X[k] = (1/sqrt(M)) sum x[m] e^{-j 2 pi mk/M}.
+    n = 8
+    rng = np.random.default_rng(11)
+    x = rng.standard_normal(n)
+    np.testing.assert_allclose(
+        dft_matrix(n, norm="ortho") @ x, np.fft.fft(x, norm="ortho"), atol=1e-10
+    )
+
+
+def test_invalid_size_raises():
+    with pytest.raises(ValueError):
+        dft_matrix(0)
+    with pytest.raises(ValueError):
+        dft_matrix(-3)
+    with pytest.raises(TypeError):
+        dft_matrix(3.5)
+
+
+def test_invalid_norm_raises():
+    with pytest.raises(ValueError):
+        dft_matrix(4, norm="bogus")
+
+
+def test_cache_returns_same_object_and_counts_hits():
+    clear_dft_matrix_cache()
+    first = dft_matrix(16)
+    second = dft_matrix(16)
+    assert first is second
+    info = dft_matrix_cache_info()
+    assert info["hits"] >= 1
+    assert info["entries"] >= 1
+
+
+def test_cached_matrix_is_read_only():
+    w = dft_matrix(8)
+    with pytest.raises(ValueError):
+        w[0, 0] = 0.0
+
+
+def test_clear_cache_resets_counters():
+    dft_matrix(32)
+    clear_dft_matrix_cache()
+    info = dft_matrix_cache_info()
+    assert info == {"entries": 0, "hits": 0, "misses": 0}

@@ -1,0 +1,112 @@
+"""Tests for the 2-D transforms: row-column FFT vs matmul (MXU) form."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fft import fft2, fft2_matmul, ifft2, ifft2_matmul
+
+SHAPES = [(1, 1), (2, 2), (4, 4), (8, 8), (4, 8), (8, 4), (3, 5), (6, 9), (16, 16)]
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+def test_fft2_matches_numpy(shape):
+    rng = np.random.default_rng(shape[0] * 100 + shape[1])
+    x = rng.standard_normal(shape)
+    np.testing.assert_allclose(fft2(x), np.fft.fft2(x), atol=1e-8)
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+def test_matmul_form_matches_fft_form(shape):
+    """Paper Eq. 13: (W_M . x) . W_N equals the row-column FFT."""
+    rng = np.random.default_rng(shape[0] * 100 + shape[1] + 1)
+    x = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+    np.testing.assert_allclose(fft2_matmul(x), fft2(x), atol=1e-8)
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+@pytest.mark.parametrize("norm", ["backward", "ortho"])
+def test_round_trip(shape, norm):
+    rng = np.random.default_rng(3)
+    x = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+    np.testing.assert_allclose(ifft2(fft2(x, norm=norm), norm=norm), x, atol=1e-8)
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+def test_matmul_round_trip(shape):
+    rng = np.random.default_rng(4)
+    x = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+    np.testing.assert_allclose(ifft2_matmul(fft2_matmul(x)), x, atol=1e-8)
+
+
+def test_ortho_norm_matches_paper_definition():
+    # Paper Eq. 6 normalizes by 1/sqrt(MN).
+    rng = np.random.default_rng(5)
+    x = rng.standard_normal((4, 6))
+    np.testing.assert_allclose(
+        fft2(x, norm="ortho"), np.fft.fft2(x, norm="ortho"), atol=1e-9
+    )
+
+
+def test_non_2d_input_raises():
+    with pytest.raises(ValueError):
+        fft2(np.zeros(4))
+    with pytest.raises(ValueError):
+        fft2_matmul(np.zeros((2, 3, 4)))
+    with pytest.raises(ValueError):
+        ifft2(np.zeros((0, 4)))
+    with pytest.raises(ValueError):
+        ifft2_matmul(np.zeros(7))
+
+
+class TestProperties:
+    @given(
+        m=st.integers(min_value=1, max_value=24),
+        n=st.integers(min_value=1, max_value=24),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_agrees_with_numpy_any_shape(self, m, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((m, n))
+        np.testing.assert_allclose(fft2(x), np.fft.fft2(x), atol=1e-7)
+
+    @given(
+        m=st.integers(min_value=1, max_value=16),
+        n=st.integers(min_value=1, max_value=16),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_two_paths_agree_any_shape(self, m, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((m, n)) + 1j * rng.standard_normal((m, n))
+        np.testing.assert_allclose(fft2_matmul(x), fft2(x), atol=1e-7)
+
+    @given(
+        m=st.sampled_from([2, 4, 8, 3, 6]),
+        n=st.sampled_from([2, 4, 8, 5, 7]),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_parseval_2d(self, m, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((m, n))
+        spectrum = fft2(x)
+        np.testing.assert_allclose(
+            np.sum(np.abs(spectrum) ** 2) / (m * n), np.sum(x**2), rtol=1e-8
+        )
+
+    @given(
+        m=st.sampled_from([4, 8]),
+        n=st.sampled_from([4, 8]),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_separability_rows_then_columns(self, m, n, seed):
+        """The two-stage order in Algorithm 1 (rows first) is immaterial."""
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((m, n))
+        rows_then_cols = fft2(x)
+        cols_then_rows = fft2(x.T).T
+        np.testing.assert_allclose(rows_then_cols, cols_then_rows, atol=1e-8)

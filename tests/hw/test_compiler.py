@@ -1,0 +1,114 @@
+"""Op-graph lowering and fused-vs-eager program pricing."""
+
+import pytest
+
+from repro.hw import Op, OpGraph, Opcode, compiled_seconds, eager_seconds, lower, solve_graph
+from repro.hw.mxu import MxuConfig
+from repro.hw.tpu import TpuCoreConfig
+
+
+def small_core():
+    return TpuCoreConfig(mxu=MxuConfig(rows=8, cols=8, precision="bf16"))
+
+
+class TestOpValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Op("conv3d")
+
+    def test_matmul_needs_geometry(self):
+        with pytest.raises(ValueError):
+            Op("matmul", m=0, k=4, n=4)
+
+    def test_hadamard_needs_elements(self):
+        with pytest.raises(ValueError):
+            Op("hadamard", elements=0)
+
+    def test_transfers_need_bytes(self):
+        with pytest.raises(ValueError):
+            Op("read_host", nbytes=0)
+
+
+class TestLowering:
+    def test_matmul_expands_to_tiles(self):
+        graph = OpGraph().matmul(4, 16, 16, name="mm")
+        program = lower(graph, small_core(), host_bandwidth_bytes_per_sec=1e9)
+        histogram = program.opcode_histogram()
+        assert histogram[Opcode.LOAD_WEIGHTS] == 4  # 2 k-tiles x 2 n-tiles
+        assert histogram[Opcode.MATMUL] == 4
+
+    def test_complex_matmul_quadruples_passes(self):
+        real = lower(OpGraph().matmul(4, 8, 8), small_core(), 1e9)
+        cplx = lower(
+            OpGraph().matmul(4, 8, 8, complex_values=True), small_core(), 1e9
+        )
+        assert len(cplx) == 4 * len(real)
+
+    def test_host_ops_priced_in_seconds(self):
+        graph = OpGraph().read_host(1_000_000, name="in")
+        program = lower(graph, small_core(), host_bandwidth_bytes_per_sec=1e6)
+        instruction = program.instructions[0]
+        assert instruction.opcode == Opcode.READ_HOST
+        assert instruction.seconds == pytest.approx(1.0)
+
+    def test_hadamard_and_transpose_cycles(self):
+        graph = OpGraph().hadamard(1024, name="h").transpose(1024, name="t")
+        program = lower(graph, small_core(), 1e9)
+        kinds = [i.opcode for i in program.instructions]
+        assert kinds == [Opcode.HADAMARD, Opcode.TRANSPOSE]
+        assert all(i.cycles >= 1 for i in program.instructions)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            lower(OpGraph().hadamard(4), small_core(), 0.0)
+
+
+class TestSolveGraph:
+    def test_structure(self):
+        graph = solve_graph(size=8, pairs=1)
+        kinds = [op.kind for op in graph.ops]
+        assert kinds.count("matmul") == 6  # 2 per transform x 3 transforms
+        assert kinds.count("read_host") == 1
+        assert kinds.count("write_host") == 1
+        assert kinds.count("hadamard") == 4
+
+    def test_pairs_scale_the_graph(self):
+        one = solve_graph(size=8, pairs=1)
+        three = solve_graph(size=8, pairs=3)
+        assert len(three) > 2 * len(one)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            solve_graph(size=0)
+        with pytest.raises(ValueError):
+            solve_graph(size=8, pairs=0)
+
+
+class TestFusedVsEager:
+    def test_fused_program_is_cheaper(self):
+        """The paper's structural claim, quantified: one dispatched
+        program with overlap beats per-op dispatches."""
+        graph = solve_graph(size=64)
+        core = small_core()
+        fused = compiled_seconds(graph, core, 1e9, dispatch_latency_sec=1e-3)
+        eager = eager_seconds(graph, core, 1e9, dispatch_latency_sec=1e-3)
+        assert fused < eager
+        # With ~12 ops the dispatch saving alone is ~11 ms.
+        assert eager - fused > 10e-3
+
+    def test_fused_advantage_grows_with_pair_count(self):
+        core = small_core()
+        gap_one = eager_seconds(
+            solve_graph(64, pairs=1), core, 1e9, 1e-3
+        ) - compiled_seconds(solve_graph(64, pairs=1), core, 1e9, 1e-3)
+        gap_four = eager_seconds(
+            solve_graph(64, pairs=4), core, 1e9, 1e-3
+        ) - compiled_seconds(solve_graph(64, pairs=4), core, 1e9, 1e-3)
+        assert gap_four > gap_one
+
+    def test_zero_dispatch_still_benefits_from_overlap(self):
+        graph = solve_graph(size=64)
+        core = small_core()
+        fused = compiled_seconds(graph, core, 1e6, dispatch_latency_sec=0.0)
+        eager = eager_seconds(graph, core, 1e6, dispatch_latency_sec=0.0)
+        assert fused <= eager

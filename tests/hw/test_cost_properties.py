@@ -1,0 +1,124 @@
+"""Property tests on the device cost models.
+
+The tables' credibility rests on the cost models behaving like physical
+systems: monotone in work, superadditive under op splitting (overheads),
+insensitive to nothing they should depend on.  Hypothesis sweeps the
+parameter space.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.backend import TpuBackend, make_tpu_chip
+from repro.hw import CpuDevice, GpuDevice, TpuCore
+
+DEVICE_FACTORIES = [
+    ("cpu", CpuDevice),
+    ("gpu", GpuDevice),
+    ("tpu-core", TpuCore),
+    ("tpu-chip", lambda: TpuBackend(make_tpu_chip(num_cores=8))),
+]
+
+dims = st.integers(min_value=1, max_value=512)
+
+
+@pytest.mark.parametrize("name,factory", DEVICE_FACTORIES)
+class TestMatmulCostProperties:
+    @given(m=dims, k=dims, n=dims)
+    @settings(max_examples=30, deadline=None)
+    def test_positive(self, name, factory, m, k, n):
+        assert factory().matmul_seconds(m, k, n) > 0
+
+    @given(m=dims, k=dims, n=dims)
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_each_dimension(self, name, factory, m, k, n):
+        device = factory()
+        base = device.matmul_seconds(m, k, n)
+        assert device.matmul_seconds(2 * m, k, n) >= base
+        assert device.matmul_seconds(m, 2 * k, n) >= base
+        assert device.matmul_seconds(m, k, 2 * n) >= base
+
+    @given(m=dims, k=dims, n=dims)
+    @settings(max_examples=30, deadline=None)
+    def test_splitting_never_cheaper(self, name, factory, m, k, n):
+        """Two half-sized ops cost at least the fused op (overheads)."""
+        device = factory()
+        fused = device.matmul_seconds(2 * m, k, n)
+        split = 2 * device.matmul_seconds(m, k, n)
+        assert split >= fused * (1 - 1e-9)
+
+    @given(elements=st.integers(min_value=1, max_value=1 << 22))
+    @settings(max_examples=30, deadline=None)
+    def test_elementwise_monotone(self, name, factory, elements):
+        device = factory()
+        assert (
+            device.elementwise_seconds(2 * elements)
+            >= device.elementwise_seconds(elements) > 0
+        )
+
+    @given(nbytes=st.integers(min_value=0, max_value=1 << 26))
+    @settings(max_examples=30, deadline=None)
+    def test_transfer_monotone(self, name, factory, nbytes):
+        device = factory()
+        assert device.transfer_seconds(2 * nbytes) >= device.transfer_seconds(nbytes)
+        assert device.transfer_seconds(0) == 0.0
+
+
+class TestFftCostProperties:
+    @given(size=st.sampled_from([32, 64, 128, 256, 512]))
+    @settings(max_examples=20, deadline=None)
+    def test_fft_cost_superquadratic_for_matmul_form(self, size):
+        """Matmul-form transforms scale ~n^3 once compute dominates the
+        per-op overhead: doubling n costs >4x (at tiny sizes the fixed
+        dispatch overhead flattens the curve, which is also correct)."""
+        device = CpuDevice()
+        assert device.fft2_seconds(2 * size, 2 * size) > 4 * device.fft2_seconds(
+            size, size
+        )
+
+    @given(size=st.sampled_from([64, 128, 256, 512]))
+    @settings(max_examples=20, deadline=None)
+    def test_tpu_backend_cost_between_zero_and_single_core(self, size):
+        chip_backend = TpuBackend(make_tpu_chip(num_cores=8))
+        single = TpuBackend(make_tpu_chip(num_cores=1))
+        many = chip_backend.fft2_seconds(size, size)
+        assert many > 0
+        # Sharding adds communication; it can exceed single-core at
+        # small sizes but never by more than the collective itself.
+        collective = 2 * chip_backend.chip.interconnect.all_reduce_seconds(
+            size * size * 16, 8
+        )
+        assert many <= single.fft2_seconds(size, size) + collective + 1e-9
+
+
+class TestProgramScopes:
+    def test_cpu_program_charges_local_copies(self):
+        device = CpuDevice()
+        with device.program(infeed_bytes=1 << 20, outfeed_bytes=1 << 20):
+            pass
+        stats = device.take_stats()
+        assert stats.op_counts["host_to_device"] == 1
+        assert stats.op_counts["device_to_host"] == 1
+
+    def test_gpu_program_charges_pcie(self):
+        device = GpuDevice()
+        with device.program(infeed_bytes=1 << 20):
+            pass
+        stats = device.take_stats()
+        assert stats.seconds >= (1 << 20) / device.config.pcie_bandwidth_bytes_per_sec
+
+    def test_zero_byte_program_is_free_on_eager_devices(self):
+        device = CpuDevice()
+        with device.program():
+            pass
+        assert device.stats.seconds == 0.0
+
+    def test_ops_inside_scope_still_accumulate(self):
+        device = CpuDevice()
+        with device.program(infeed_bytes=100):
+            device.matmul(np.ones((4, 4)), np.ones((4, 4)))
+        stats = device.take_stats()
+        assert stats.op_counts["matmul"] == 1
+        assert stats.op_counts["host_to_device"] == 1

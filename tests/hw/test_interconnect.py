@@ -1,0 +1,84 @@
+"""Ring all-reduce cost model (the paper's tf.cross_replica_sum)."""
+
+import pytest
+
+from repro.hw import Interconnect, InterconnectConfig
+
+
+def fabric(bandwidth=100.0, latency=0.0, topology="ring"):
+    return Interconnect(
+        InterconnectConfig(
+            link_bandwidth_bytes_per_sec=bandwidth,
+            link_latency_sec=latency,
+            topology=topology,
+        )
+    )
+
+
+class TestAllReduce:
+    def test_single_core_is_free(self):
+        assert fabric().all_reduce_seconds(1000, 1) == 0.0
+
+    def test_zero_bytes_is_free(self):
+        assert fabric().all_reduce_seconds(0, 8) == 0.0
+
+    def test_two_core_formula(self):
+        # p=2: 2*(p-1)=2 steps of nbytes/2 each -> nbytes/bw total.
+        assert fabric(bandwidth=100.0).all_reduce_seconds(100, 2) == pytest.approx(1.0)
+
+    def test_bandwidth_term_saturates_with_cores(self):
+        """Ring all-reduce moves 2*(p-1)/p * nbytes per link: the per-core
+        traffic approaches 2x payload as p grows, it does not diverge."""
+        t8 = fabric(bandwidth=100.0).all_reduce_seconds(100, 8)
+        t128 = fabric(bandwidth=100.0).all_reduce_seconds(100, 128)
+        assert t8 < t128 < 2.0 * 100 / 100.0 + 1e-9
+
+    def test_latency_term_grows_linearly_with_cores(self):
+        no_latency = fabric(latency=0.0).all_reduce_seconds(100, 16)
+        with_latency = fabric(latency=0.01).all_reduce_seconds(100, 16)
+        assert with_latency == pytest.approx(no_latency + 2 * 15 * 0.01)
+
+    def test_all_to_all_faster_than_ring(self):
+        ring = fabric(latency=1e-3).all_reduce_seconds(1000, 16)
+        direct = fabric(latency=1e-3, topology="all-to-all").all_reduce_seconds(1000, 16)
+        assert direct < ring
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            fabric().all_reduce_seconds(-1, 4)
+        with pytest.raises(ValueError):
+            fabric().all_reduce_seconds(10, 0)
+
+
+class TestOtherCollectives:
+    def test_all_gather_zero_cases(self):
+        assert fabric().all_gather_seconds(0, 8) == 0.0
+        assert fabric().all_gather_seconds(100, 1) == 0.0
+
+    def test_all_gather_scales_with_shards(self):
+        t4 = fabric(bandwidth=10.0).all_gather_seconds(10, 4)
+        t8 = fabric(bandwidth=10.0).all_gather_seconds(10, 8)
+        assert t8 > t4
+
+    def test_broadcast_pipeline(self):
+        t = fabric(bandwidth=100.0, latency=0.01).broadcast_seconds(200, 4)
+        assert t == pytest.approx(2.0 + 3 * 0.01)
+
+    def test_point_to_point(self):
+        t = fabric(bandwidth=100.0, latency=0.5).point_to_point_seconds(100)
+        assert t == pytest.approx(0.5 + 1.0)
+        assert fabric().point_to_point_seconds(0) == 0.0
+
+
+class TestConfigValidation:
+    def test_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            InterconnectConfig(link_bandwidth_bytes_per_sec=0)
+
+    def test_bad_latency(self):
+        with pytest.raises(ValueError):
+            InterconnectConfig(link_latency_sec=-1)
+
+    def test_bad_topology(self):
+        with pytest.raises(ValueError):
+            InterconnectConfig(topology="torus")

@@ -1,0 +1,154 @@
+"""Instruction set and scheduler: overlap policies and pricing."""
+
+import pytest
+
+from repro.hw import Instruction, Opcode, Program, Scheduler
+
+
+def make_program(*instructions):
+    program = Program()
+    for instruction in instructions:
+        program.emit(instruction)
+    return program
+
+
+class TestInstruction:
+    def test_engine_classification(self):
+        assert Instruction(Opcode.READ_HOST, seconds=1.0).engine == "dma"
+        assert Instruction(Opcode.MATMUL, cycles=10).engine == "compute"
+        assert Instruction(Opcode.CROSS_REPLICA_SUM, seconds=0.1).engine == "network"
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.MATMUL, cycles=-1)
+        with pytest.raises(ValueError):
+            Instruction(Opcode.READ_HOST, seconds=-0.1)
+
+
+class TestProgram:
+    def test_histogram(self):
+        program = make_program(
+            Instruction(Opcode.MATMUL, cycles=5),
+            Instruction(Opcode.MATMUL, cycles=5),
+            Instruction(Opcode.READ_HOST, seconds=0.1),
+        )
+        histogram = program.opcode_histogram()
+        assert histogram[Opcode.MATMUL] == 2
+        assert histogram[Opcode.READ_HOST] == 1
+
+    def test_compute_cycles_sums_compute_engine_only(self):
+        program = make_program(
+            Instruction(Opcode.MATMUL, cycles=5),
+            Instruction(Opcode.ACTIVATE, cycles=3),
+            Instruction(Opcode.READ_HOST, seconds=99.0),
+        )
+        assert program.compute_cycles() == 8
+
+    def test_extend(self):
+        first = make_program(Instruction(Opcode.MATMUL, cycles=1))
+        second = make_program(Instruction(Opcode.ACTIVATE, cycles=2))
+        first.extend(second)
+        assert len(first) == 2
+
+
+class TestScheduler:
+    def test_pure_compute_pricing(self):
+        scheduler = Scheduler(clock_hz=100.0)
+        program = make_program(Instruction(Opcode.MATMUL, cycles=50))
+        assert scheduler.run(program).seconds == pytest.approx(0.5)
+
+    def test_dma_overlaps_with_compute(self):
+        scheduler = Scheduler(clock_hz=100.0, overlap_dma=True)
+        program = make_program(
+            Instruction(Opcode.READ_HOST, seconds=0.3),
+            Instruction(Opcode.MATMUL, cycles=50),  # 0.5 s
+        )
+        assert scheduler.run(program).seconds == pytest.approx(0.5)
+
+    def test_dma_serializes_when_overlap_disabled(self):
+        scheduler = Scheduler(clock_hz=100.0, overlap_dma=False)
+        program = make_program(
+            Instruction(Opcode.READ_HOST, seconds=0.3),
+            Instruction(Opcode.MATMUL, cycles=50),
+        )
+        assert scheduler.run(program).seconds == pytest.approx(0.8)
+
+    def test_network_always_serializes(self):
+        scheduler = Scheduler(clock_hz=100.0, overlap_dma=True)
+        program = make_program(
+            Instruction(Opcode.MATMUL, cycles=50),
+            Instruction(Opcode.CROSS_REPLICA_SUM, seconds=0.2),
+        )
+        assert scheduler.run(program).seconds == pytest.approx(0.7)
+
+    def test_weight_load_hides_behind_previous_matmul(self):
+        scheduler = Scheduler(clock_hz=1.0, overlap_weight_load=True)
+        program = make_program(
+            Instruction(Opcode.LOAD_WEIGHTS, cycles=10),  # first load exposed
+            Instruction(Opcode.MATMUL, cycles=100),
+            Instruction(Opcode.LOAD_WEIGHTS, cycles=10),  # hidden
+            Instruction(Opcode.MATMUL, cycles=100),
+        )
+        result = scheduler.run(program)
+        assert result.hidden_weight_load_cycles == 10
+        assert result.seconds == pytest.approx(10 + 100 + 0 + 100)
+
+    def test_weight_load_partially_hidden_by_short_matmul(self):
+        scheduler = Scheduler(clock_hz=1.0, overlap_weight_load=True)
+        program = make_program(
+            Instruction(Opcode.MATMUL, cycles=4),
+            Instruction(Opcode.LOAD_WEIGHTS, cycles=10),
+        )
+        result = scheduler.run(program)
+        assert result.hidden_weight_load_cycles == 4
+        assert result.seconds == pytest.approx(4 + 6)
+
+    def test_weight_load_exposed_when_overlap_disabled(self):
+        scheduler = Scheduler(clock_hz=1.0, overlap_weight_load=False)
+        program = make_program(
+            Instruction(Opcode.MATMUL, cycles=100),
+            Instruction(Opcode.LOAD_WEIGHTS, cycles=10),
+        )
+        assert scheduler.run(program).seconds == pytest.approx(110)
+
+    def test_serial_seconds_upper_bounds_elapsed(self):
+        scheduler = Scheduler(clock_hz=100.0, overlap_dma=True)
+        program = make_program(
+            Instruction(Opcode.READ_HOST, seconds=0.3),
+            Instruction(Opcode.MATMUL, cycles=50),
+            Instruction(Opcode.CROSS_REPLICA_SUM, seconds=0.1),
+            Instruction(Opcode.WRITE_HOST, seconds=0.2),
+        )
+        result = scheduler.run(program)
+        assert result.seconds <= result.serial_seconds
+
+    def test_empty_program_is_free(self):
+        scheduler = Scheduler(clock_hz=100.0)
+        assert scheduler.run(Program()).seconds == 0.0
+
+    def test_invalid_clock_rejected(self):
+        with pytest.raises(ValueError):
+            Scheduler(clock_hz=0.0)
+
+
+class TestDisassembler:
+    def test_lists_every_instruction(self):
+        program = make_program(
+            Instruction(Opcode.LOAD_WEIGHTS, cycles=8, label="w0"),
+            Instruction(Opcode.MATMUL, cycles=100, label="mm0"),
+            Instruction(Opcode.READ_HOST, seconds=1e-3),
+        )
+        listing = program.disassemble()
+        assert "load_weights" in listing
+        assert "; mm0" in listing
+        assert "us" in listing  # DMA cost printed in microseconds
+        assert len(listing.splitlines()) == 3
+
+    def test_limit_truncates_with_summary(self):
+        program = make_program(*[Instruction(Opcode.MATMUL, cycles=1)] * 10)
+        listing = program.disassemble(limit=3)
+        assert "7 more instruction(s)" in listing
+        assert len(listing.splitlines()) == 4
+
+    def test_empty_program(self):
+        assert Program().disassemble() == ""

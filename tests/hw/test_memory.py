@@ -1,0 +1,111 @@
+"""Memory region accounting: capacity, bandwidth, allocation lifecycle."""
+
+import pytest
+
+from repro.hw import (
+    MemoryCapacityError,
+    MemoryRegion,
+    MemorySpec,
+    accumulator_spec,
+    hbm_spec,
+    host_link_spec,
+    unified_buffer_spec,
+)
+
+
+def small_region(capacity=1000, bandwidth=100.0, latency=0.5):
+    return MemoryRegion(
+        MemorySpec(
+            name="test",
+            capacity_bytes=capacity,
+            bandwidth_bytes_per_sec=bandwidth,
+            latency_sec=latency,
+        )
+    )
+
+
+class TestSpec:
+    def test_transfer_time_formula(self):
+        spec = MemorySpec("m", 100, bandwidth_bytes_per_sec=50.0, latency_sec=1.0)
+        assert spec.transfer_seconds(100) == pytest.approx(1.0 + 2.0)
+
+    def test_zero_bytes_is_free(self):
+        assert hbm_spec().transfer_seconds(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            hbm_spec().transfer_seconds(-1)
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            MemorySpec("m", 0, 1.0)
+        with pytest.raises(ValueError):
+            MemorySpec("m", 10, -1.0)
+        with pytest.raises(ValueError):
+            MemorySpec("m", 10, 1.0, latency_sec=-0.1)
+
+    def test_presets_have_sane_shapes(self):
+        assert hbm_spec().capacity_bytes == 8 * 1024**3
+        assert unified_buffer_spec().capacity_bytes == 24 * 1024**2
+        assert accumulator_spec().capacity_bytes > 0
+        assert host_link_spec().bandwidth_bytes_per_sec < hbm_spec().bandwidth_bytes_per_sec
+
+
+class TestAllocation:
+    def test_alloc_free_cycle(self):
+        region = small_region()
+        handle = region.alloc(400, label="activations")
+        assert region.allocated_bytes == 400
+        region.free(handle)
+        assert region.allocated_bytes == 0
+
+    def test_capacity_exceeded_raises(self):
+        region = small_region(capacity=100)
+        region.alloc(80)
+        with pytest.raises(MemoryCapacityError):
+            region.alloc(30)
+
+    def test_error_message_names_region_and_label(self):
+        region = small_region(capacity=10)
+        with pytest.raises(MemoryCapacityError, match="test.*weights"):
+            region.alloc(11, label="weights")
+
+    def test_peak_tracking(self):
+        region = small_region()
+        a = region.alloc(300)
+        b = region.alloc(500)
+        region.free(a)
+        region.alloc(100)
+        assert region.peak_bytes == 800
+        region.free(b)
+        assert region.peak_bytes == 800  # peak is sticky
+
+    def test_double_free_raises(self):
+        region = small_region()
+        handle = region.alloc(10)
+        region.free(handle)
+        with pytest.raises(KeyError):
+            region.free(handle)
+
+    def test_free_all(self):
+        region = small_region()
+        region.alloc(10)
+        region.alloc(20)
+        region.free_all()
+        assert region.allocated_bytes == 0
+        assert region.live_allocations == ()
+
+    def test_negative_alloc_rejected(self):
+        with pytest.raises(ValueError):
+            small_region().alloc(-5)
+
+    def test_live_allocations_visible(self):
+        region = small_region()
+        region.alloc(10, label="x")
+        labels = [a.label for a in region.live_allocations]
+        assert labels == ["x"]
+
+    def test_exact_fit_allowed(self):
+        region = small_region(capacity=100)
+        region.alloc(100)  # must not raise
+        assert region.allocated_bytes == 100

@@ -1,0 +1,91 @@
+"""Performance-analysis helpers."""
+
+import pytest
+
+from repro.hw import (
+    AmdahlBreakdown,
+    DeviceStats,
+    format_stats,
+    matmul_operational_intensity,
+    operational_intensity,
+    roofline_attainable_flops,
+    speedup,
+)
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+
+    def test_below_one_means_slowdown(self):
+        assert speedup(1.0, 2.0) == pytest.approx(0.5)
+
+    def test_zero_accelerated_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            speedup(1.0, 0.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(-1.0, 1.0)
+
+
+class TestRoofline:
+    def test_compute_bound_region(self):
+        # Very high intensity: capped by peak.
+        assert roofline_attainable_flops(1e6, peak_flops=100.0, memory_bandwidth=1.0) == 100.0
+
+    def test_memory_bound_region(self):
+        assert roofline_attainable_flops(0.5, peak_flops=100.0, memory_bandwidth=10.0) == 5.0
+
+    def test_ridge_point(self):
+        # intensity == peak/bw sits exactly at the roofline knee.
+        assert roofline_attainable_flops(10.0, peak_flops=100.0, memory_bandwidth=10.0) == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            roofline_attainable_flops(-1.0, 10.0, 10.0)
+        with pytest.raises(ValueError):
+            roofline_attainable_flops(1.0, 0.0, 10.0)
+
+
+class TestOperationalIntensity:
+    def test_zero_traffic_is_infinite(self):
+        assert operational_intensity(100.0, 0.0) == float("inf")
+
+    def test_matmul_intensity_grows_with_size(self):
+        small = matmul_operational_intensity(8, 8, 8)
+        large = matmul_operational_intensity(512, 512, 512)
+        assert large > small
+
+    def test_square_matmul_intensity_formula(self):
+        # 2n^3 / (4 * 3n^2) = n/6 for fp32.
+        assert matmul_operational_intensity(60, 60, 60) == pytest.approx(10.0)
+
+
+class TestAmdahl:
+    def test_speedup_monotone_in_cores(self):
+        breakdown = AmdahlBreakdown(serial_seconds=1.0, parallel_seconds=9.0)
+        s2 = breakdown.speedup_with_cores(2)
+        s16 = breakdown.speedup_with_cores(16)
+        assert 1.0 < s2 < s16
+
+    def test_asymptote_bounded_by_serial_fraction(self):
+        breakdown = AmdahlBreakdown(serial_seconds=1.0, parallel_seconds=9.0)
+        assert breakdown.speedup_with_cores(10**6) < 10.0  # limit = total/serial
+
+    def test_no_work_gives_unity(self):
+        assert AmdahlBreakdown(0.0, 0.0).speedup_with_cores(8) == 1.0
+
+    def test_invalid_cores(self):
+        with pytest.raises(ValueError):
+            AmdahlBreakdown(1.0, 1.0).speedup_with_cores(0)
+
+
+class TestFormatting:
+    def test_format_stats_mentions_ops(self):
+        stats = DeviceStats()
+        stats.record("matmul", 0.5, macs=1000)
+        text = format_stats(stats, label="unit-test")
+        assert "unit-test" in text
+        assert "matmul" in text
+        assert "1,000" in text

@@ -1,0 +1,178 @@
+"""Tests for symmetric quantization -- the TPU's first speed mechanism."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import (
+    dequantize,
+    precision_spec,
+    quantization_error_bound,
+    quantization_scale,
+    quantize,
+    quantized_complex_matmul,
+    quantized_matmul,
+    to_bfloat16,
+)
+
+
+class TestQuantizeRoundTrip:
+    def test_round_trip_error_within_half_step(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((16, 16))
+        q = quantize(x, bits=8)
+        bound = quantization_error_bound(x, bits=8)
+        np.testing.assert_array_less(np.abs(dequantize(q) - x), bound + 1e-12)
+
+    def test_zero_maps_to_zero_exactly(self):
+        x = np.array([[0.0, 1.0], [-1.0, 0.0]])
+        q = quantize(x)
+        assert q.values[0, 0] == 0
+        assert q.values[1, 1] == 0
+        np.testing.assert_allclose(dequantize(q)[0, 0], 0.0)
+
+    def test_all_zero_tensor(self):
+        q = quantize(np.zeros((4, 4)))
+        assert q.scale == 1.0
+        np.testing.assert_array_equal(dequantize(q), np.zeros((4, 4)))
+
+    def test_max_value_maps_to_qmax(self):
+        x = np.array([3.0, -3.0, 1.0])
+        q = quantize(x, bits=8)
+        assert q.values.max() == 127
+        assert q.values.min() == -127
+
+    def test_int8_storage_dtype(self):
+        q = quantize(np.ones(5), bits=8)
+        assert q.values.dtype == np.int8
+
+    def test_int16_storage_dtype(self):
+        q = quantize(np.ones(5), bits=16)
+        assert q.values.dtype == np.int16
+
+    def test_complex_input_rejected(self):
+        with pytest.raises(TypeError):
+            quantize(np.ones(3) + 1j)
+
+    def test_too_few_bits_rejected(self):
+        with pytest.raises(ValueError):
+            quantization_scale(np.ones(3), bits=1)
+
+    def test_scale_positive_for_tiny_values(self):
+        scale = quantization_scale(np.array([1e-30]), bits=8)
+        assert scale > 0
+
+
+class TestQuantizedMatmul:
+    def test_close_to_float_matmul(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((8, 8))
+        b = rng.standard_normal((8, 8))
+        exact = a @ b
+        approx = quantized_matmul(a, b, bits=8)
+        # Error scales with sqrt(k) * step sizes; 8-bit on unit-scale data
+        # keeps relative error within a few percent.
+        assert np.max(np.abs(exact - approx)) < 0.15 * np.max(np.abs(exact)) + 0.1
+
+    def test_higher_bits_reduce_error(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((16, 16))
+        b = rng.standard_normal((16, 16))
+        exact = a @ b
+        err8 = np.max(np.abs(exact - quantized_matmul(a, b, bits=8)))
+        err16 = np.max(np.abs(exact - quantized_matmul(a, b, bits=16)))
+        assert err16 < err8
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            quantized_matmul(np.ones((2, 3)), np.ones((2, 3)))
+        with pytest.raises(ValueError):
+            quantized_matmul(np.ones(3), np.ones((3, 2)))
+
+    def test_identity_times_identity(self):
+        eye = np.eye(4)
+        np.testing.assert_allclose(quantized_matmul(eye, eye), eye, atol=1e-6)
+
+    def test_complex_decomposition(self):
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((6, 6)) + 1j * rng.standard_normal((6, 6))
+        b = rng.standard_normal((6, 6)) + 1j * rng.standard_normal((6, 6))
+        exact = a @ b
+        approx = quantized_complex_matmul(a, b, bits=16)
+        assert np.max(np.abs(exact - approx)) < 0.01 * np.max(np.abs(exact)) + 0.01
+
+
+class TestBfloat16:
+    def test_relative_error_bound(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal(1000) * 100
+        rounded = to_bfloat16(x)
+        # bf16 has 8 mantissa bits total (7 stored): rel err <= 2^-8.
+        rel = np.abs(rounded - x) / np.maximum(np.abs(x), 1e-30)
+        assert np.max(rel) <= 2.0**-8
+
+    def test_exact_for_small_integers(self):
+        x = np.array([0.0, 1.0, 2.0, -3.0, 128.0])
+        np.testing.assert_array_equal(to_bfloat16(x), x)
+
+    def test_complex_passthrough(self):
+        x = np.array([1.0 + 2.0j, -0.5 + 0.25j])
+        rounded = to_bfloat16(x)
+        np.testing.assert_allclose(rounded, x, rtol=2.0**-7)
+
+    def test_handles_zero(self):
+        np.testing.assert_array_equal(to_bfloat16(np.zeros(3)), np.zeros(3))
+
+
+class TestPrecisionSpec:
+    def test_lookup(self):
+        assert precision_spec("int8").bytes_per_element == 1
+        assert precision_spec("bf16").bytes_per_element == 2
+        assert precision_spec("fp32").bytes_per_element == 4
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            precision_spec("fp64")
+
+    def test_fp32_apply_is_identity(self):
+        x = np.array([1.234567891234])
+        np.testing.assert_array_equal(precision_spec("fp32").apply(x), x)
+
+
+class TestProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        scale=st.floats(min_value=1e-3, max_value=1e3),
+        bits=st.sampled_from([4, 8, 16]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_bound_holds(self, seed, scale, bits):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(64) * scale
+        q = quantize(x, bits=bits)
+        bound = quantization_error_bound(x, bits=bits)
+        assert np.max(np.abs(dequantize(q) - x)) <= bound + 1e-9 * scale
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_quantize_is_idempotent_on_grid(self, seed):
+        """Quantizing an already-quantized tensor is exact."""
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(32)
+        once = dequantize(quantize(x))
+        twice = dequantize(quantize(once))
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        factor=st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_scale_equivariance(self, seed, factor):
+        """Scaling the input scales the quantization scale linearly."""
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(32)
+        s1 = quantization_scale(x)
+        s2 = quantization_scale(x * factor)
+        np.testing.assert_allclose(s2, s1 * factor, rtol=1e-9)

@@ -1,0 +1,143 @@
+"""Systolic execution tracing: waveforms, heatmaps, VCD export."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import (
+    SystolicArray,
+    streaming_cycles,
+    trace_matmul,
+    trace_pass,
+    utilization_ascii,
+    write_vcd,
+)
+
+
+class TestTracePass:
+    def test_cycle_count_matches_schedule(self):
+        trace = trace_pass(rows=4, cols=4, stream_rows=8)
+        assert trace.cycles == streaming_cycles(8, 4, 4)
+
+    def test_envelope_shape(self):
+        """Fill ramps up, plateau sits at 1.0, drain ramps down."""
+        trace = trace_pass(rows=4, cols=4, stream_rows=32)
+        utilization = trace.utilization
+        assert utilization[0] == pytest.approx(1 / 16)  # one PE active
+        assert trace.peak_utilization == pytest.approx(1.0)
+        assert utilization[-1] == pytest.approx(1 / 16)
+        assert trace.steady_state_cycles > 0
+
+    def test_short_streams_never_reach_full_utilization(self):
+        trace = trace_pass(rows=8, cols=8, stream_rows=2)
+        assert trace.peak_utilization < 1.0
+
+    def test_mean_utilization_grows_with_stream_length(self):
+        short = trace_pass(rows=8, cols=8, stream_rows=4)
+        long = trace_pass(rows=8, cols=8, stream_rows=64)
+        assert long.mean_utilization > short.mean_utilization
+
+    def test_pe_activity_uniform_for_dense_pass(self):
+        trace = trace_pass(rows=3, cols=5, stream_rows=7)
+        np.testing.assert_array_equal(trace.pe_activity, np.full((3, 5), 7))
+
+    def test_total_activity_equals_macs(self):
+        """Integral of the utilization waveform = total MAC count."""
+        rows, cols, m = 4, 6, 9
+        trace = trace_pass(rows, cols, m)
+        total = trace.utilization.sum() * rows * cols
+        assert total == pytest.approx(m * rows * cols)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            trace_pass(0, 4, 4)
+        with pytest.raises(ValueError):
+            trace_pass(4, 4, 0)
+
+
+class TestTraceMatmul:
+    def test_agrees_with_cycle_level_simulation(self):
+        rng = np.random.default_rng(0)
+        array = SystolicArray(rows=4, cols=4)
+        activations = rng.uniform(0.5, 1.5, size=(6, 4))  # dense, no zeros
+        weights = rng.standard_normal((4, 4))
+        trace = trace_matmul(array, activations, weights)
+        assert trace.cycles == streaming_cycles(6, 4, 4)
+
+    def test_sparse_activations_skip_verification(self):
+        array = SystolicArray(rows=4, cols=4)
+        activations = np.zeros((4, 4))
+        activations[0, 0] = 1.0
+        weights = np.ones((4, 4))
+        trace = trace_matmul(array, activations, weights)  # must not raise
+        assert trace.stream_rows == 4
+
+
+class TestAsciiPlot:
+    def test_contains_axis_and_stats(self):
+        trace = trace_pass(4, 4, 16)
+        plot = utilization_ascii(trace)
+        assert "cycles" in plot
+        assert "#" in plot
+        assert "mean" in plot
+
+    def test_invalid_dimensions(self):
+        trace = trace_pass(2, 2, 4)
+        with pytest.raises(ValueError):
+            utilization_ascii(trace, width=0)
+
+
+class TestVcd:
+    def test_header_and_definitions(self):
+        trace = trace_pass(2, 2, 4)
+        vcd = write_vcd(trace)
+        assert "$timescale" in vcd
+        assert "$var wire 1 @ busy $end" in vcd
+        assert "$enddefinitions $end" in vcd
+
+    def test_busy_toggles_once_each_way(self):
+        trace = trace_pass(2, 2, 4)
+        vcd = write_vcd(trace)
+        assert vcd.count("1@") == 1
+        assert vcd.count("0@") == 1  # final quiesce
+
+    def test_change_compression(self):
+        """Only cycles where a value changes appear as timestamps."""
+        trace = trace_pass(4, 4, 64)
+        vcd = write_vcd(trace)
+        timestamps = [line for line in vcd.splitlines() if line.startswith("#")]
+        assert len(timestamps) < trace.cycles  # plateau is compressed away
+
+    def test_invalid_module_name(self):
+        trace = trace_pass(2, 2, 2)
+        with pytest.raises(ValueError):
+            write_vcd(trace, module="bad name")
+
+
+class TestProperties:
+    @given(
+        rows=st.integers(min_value=1, max_value=8),
+        cols=st.integers(min_value=1, max_value=8),
+        m=st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_activity_integral_equals_mac_count(self, rows, cols, m):
+        trace = trace_pass(rows, cols, m)
+        total = trace.utilization.sum() * rows * cols
+        assert total == pytest.approx(m * rows * cols)
+
+    @given(
+        rows=st.integers(min_value=1, max_value=6),
+        cols=st.integers(min_value=1, max_value=6),
+        m=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_trace_consistent_with_simulator(self, rows, cols, m, seed):
+        """Derived schedule == cycle-level counter for dense inputs."""
+        rng = np.random.default_rng(seed)
+        array = SystolicArray(rows=rows, cols=cols)
+        activations = rng.uniform(0.5, 1.5, size=(m, rows))
+        weights = rng.standard_normal((rows, cols))
+        trace_matmul(array, activations, weights)  # raises on divergence

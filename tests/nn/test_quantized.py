@@ -1,0 +1,117 @@
+"""Post-training quantization of whole models."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    ActivationQuantizer,
+    Dense,
+    ReLU,
+    Sequential,
+    quantize_model_weights,
+    quantized_accuracy,
+    weight_quantization_error,
+)
+
+
+def make_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential([Dense(4, 16, rng=rng), ReLU(), Dense(16, 2, rng=rng)])
+
+
+def blobs(count=80, seed=0):
+    rng = np.random.default_rng(seed)
+    half = count // 2
+    x0 = rng.standard_normal((half, 4)) + 2.0
+    x1 = rng.standard_normal((half, 4)) - 2.0
+    return np.vstack([x0, x1]), np.array([0] * half + [1] * half)
+
+
+class TestWeightQuantization:
+    def test_in_place_and_restorable(self):
+        model = make_model()
+        original = model.state_dict()
+        saved = quantize_model_weights(model)
+        changed = any(
+            not np.array_equal(p, o) for p, o in zip(model.parameters(), original)
+        )
+        assert changed
+        model.load_state_dict(saved)
+        for parameter, orig in zip(model.parameters(), original):
+            np.testing.assert_array_equal(parameter, orig)
+
+    def test_error_shrinks_with_bits(self):
+        err8 = weight_quantization_error(make_model(), bits=8)
+        err16 = weight_quantization_error(make_model(), bits=16)
+        assert err16 < err8
+        assert err8 > 0
+
+    def test_quantized_weights_are_on_grid(self):
+        model = make_model()
+        quantize_model_weights(model, bits=8)
+        from repro.hw import dequantize, quantize
+
+        for parameter in model.parameters():
+            again = dequantize(quantize(parameter, bits=8))
+            np.testing.assert_allclose(parameter, again, atol=1e-12)
+
+
+class TestActivationQuantizer:
+    def test_close_to_float_forward(self):
+        model = make_model()
+        x = np.random.default_rng(1).standard_normal((5, 4))
+        exact = model.forward(x, training=False)
+        approx = ActivationQuantizer(model, bits=8)(x)
+        assert np.max(np.abs(exact - approx)) < 0.25 * np.max(np.abs(exact)) + 0.1
+
+    def test_higher_bits_closer(self):
+        model = make_model()
+        x = np.random.default_rng(2).standard_normal((5, 4))
+        exact = model.forward(x, training=False)
+        err8 = np.max(np.abs(exact - ActivationQuantizer(model, 8)(x)))
+        err16 = np.max(np.abs(exact - ActivationQuantizer(model, 16)(x)))
+        assert err16 < err8
+
+    def test_training_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ActivationQuantizer(make_model()).forward(np.ones((1, 4)), training=True)
+
+    def test_too_few_bits_rejected(self):
+        with pytest.raises(ValueError):
+            ActivationQuantizer(make_model(), bits=1)
+
+
+class TestQuantizedAccuracy:
+    def train_model(self):
+        from repro.nn import SGD, Trainer
+
+        model = make_model(seed=3)
+        x, y = blobs()
+        trainer = Trainer(model, SGD(model.parameters(), lr=0.05), batch_size=16)
+        trainer.fit(x, y, epochs=15)
+        return model, x, y
+
+    def test_accuracy_close_to_float(self):
+        model, x, y = self.train_model()
+        from repro.nn import accuracy
+
+        float_score = accuracy(model.forward(x, training=False), y)
+        quant_score = quantized_accuracy(model, x, y, bits=8)
+        assert abs(float_score - quant_score) < 0.1
+        assert quant_score > 0.85
+
+    def test_weights_restored_after_evaluation(self):
+        model, x, y = self.train_model()
+        before = model.state_dict()
+        quantized_accuracy(model, x, y, bits=8, quantize_activations=True)
+        for parameter, saved in zip(model.parameters(), before):
+            np.testing.assert_array_equal(parameter, saved)
+
+    def test_activation_quantization_path(self):
+        model, x, y = self.train_model()
+        score = quantized_accuracy(model, x, y, bits=8, quantize_activations=True)
+        assert score > 0.8
+
+    def test_empty_model_error(self):
+        with pytest.raises(ValueError):
+            weight_quantization_error(Sequential([ReLU()]))

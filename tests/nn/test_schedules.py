@@ -1,0 +1,99 @@
+"""Learning-rate schedules and trainer integration."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    CosineDecay,
+    Dense,
+    SGD,
+    Schedule,
+    Sequential,
+    StepDecay,
+    Trainer,
+    WarmupWrapper,
+)
+
+
+class TestConstant:
+    def test_constant_rate(self):
+        schedule = Schedule(0.1)
+        assert schedule.lr(0) == 0.1
+        assert schedule.lr(100) == 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Schedule(0.0)
+        with pytest.raises(ValueError):
+            Schedule(0.1).lr(-1)
+
+
+class TestStepDecay:
+    def test_drops_at_intervals(self):
+        schedule = StepDecay(1.0, step_epochs=10, gamma=0.1)
+        assert schedule.lr(0) == pytest.approx(1.0)
+        assert schedule.lr(9) == pytest.approx(1.0)
+        assert schedule.lr(10) == pytest.approx(0.1)
+        assert schedule.lr(25) == pytest.approx(0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepDecay(1.0, step_epochs=0)
+        with pytest.raises(ValueError):
+            StepDecay(1.0, step_epochs=5, gamma=0.0)
+
+
+class TestCosineDecay:
+    def test_endpoints(self):
+        schedule = CosineDecay(1.0, total_epochs=10, min_lr=0.1)
+        assert schedule.lr(0) == pytest.approx(1.0)
+        assert schedule.lr(10) == pytest.approx(0.1)
+        assert schedule.lr(999) == pytest.approx(0.1)  # clamps past the end
+
+    def test_midpoint(self):
+        schedule = CosineDecay(1.0, total_epochs=10, min_lr=0.0)
+        assert schedule.lr(5) == pytest.approx(0.5)
+
+    def test_monotone_decreasing(self):
+        schedule = CosineDecay(1.0, total_epochs=20)
+        rates = [schedule.lr(e) for e in range(21)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CosineDecay(1.0, total_epochs=0)
+        with pytest.raises(ValueError):
+            CosineDecay(1.0, total_epochs=10, min_lr=2.0)
+
+
+class TestWarmup:
+    def test_linear_ramp_then_inner(self):
+        schedule = WarmupWrapper(Schedule(1.0), warmup_epochs=4)
+        assert schedule.lr(0) == pytest.approx(0.25)
+        assert schedule.lr(1) == pytest.approx(0.5)
+        assert schedule.lr(3) == pytest.approx(1.0)
+        assert schedule.lr(10) == pytest.approx(1.0)
+
+    def test_zero_warmup_is_transparent(self):
+        inner = StepDecay(1.0, step_epochs=2, gamma=0.5)
+        schedule = WarmupWrapper(inner, warmup_epochs=0)
+        for epoch in range(6):
+            assert schedule.lr(epoch) == inner.lr(epoch)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WarmupWrapper(Schedule(1.0), warmup_epochs=-1)
+
+
+class TestTrainerIntegration:
+    def test_trainer_applies_schedule(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((32, 2))
+        y = (x[:, 0] > 0).astype(int)
+        model = Sequential([Dense(2, 2, rng=rng)])
+        optimizer = SGD(model.parameters(), lr=1.0)
+        trainer = Trainer(model, optimizer, batch_size=8)
+        schedule = StepDecay(0.5, step_epochs=1, gamma=0.1)
+        trainer.fit(x, y, epochs=3, schedule=schedule)
+        # After the last epoch (epoch index 2) the rate is 0.5 * 0.1^2.
+        assert optimizer.lr == pytest.approx(0.005)
