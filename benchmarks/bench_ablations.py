@@ -280,9 +280,9 @@ class TestLibraryFftThreat:
         from repro.hw import CpuConfig, CpuDevice
 
         workload = vgg19_interpretation_workload()
-        tpu_deployed = interpretation_seconds(TpuBackend(make_tpu_chip()), workload)
+        tpu_deployed = interpretation_seconds(TpuBackend(make_tpu_chip()), workload, method="loop")
         strong_cpu = interpretation_seconds(
-            CpuDevice(CpuConfig(use_library_fft=True)), workload
+            CpuDevice(CpuConfig(use_library_fft=True)), workload, method="loop"
         )
         assert strong_cpu < tpu_deployed  # the deployed path loses
 
@@ -293,6 +293,7 @@ class TestLibraryFftThreat:
                 )
             ),
             workload,
+            method="loop",
         )
         assert tpu_fused < strong_cpu  # silicon still wins when fused
 
@@ -317,8 +318,8 @@ class TestEnergyFootprint:
         cpu = CpuDevice()
         gpu = GpuDevice()
         # CPU/GPU are compute-bound here: elapsed ~ busy.
-        cpu_energy = cpu.energy_joules(interpretation_seconds(cpu, workload))
-        gpu_energy = gpu.energy_joules(interpretation_seconds(gpu, workload))
+        cpu_energy = cpu.energy_joules(interpretation_seconds(cpu, workload, method="loop"))
+        gpu_energy = gpu.energy_joules(interpretation_seconds(gpu, workload, method="loop"))
         # TPU active-compute seconds: the same workload on a chip with
         # host overheads zeroed out (what the silicon actually executes).
         tpu_active = TpuBackend(
@@ -327,7 +328,7 @@ class TestEnergyFootprint:
             )
         )
         tpu_energy = tpu_active.energy_joules(
-            interpretation_seconds(tpu_active, workload)
+            interpretation_seconds(tpu_active, workload, method="loop")
         )
         assert tpu_energy < gpu_energy < cpu_energy
 
@@ -343,7 +344,7 @@ class TestEnergyFootprint:
 
         workload = vgg19_interpretation_workload()
         gpu = GpuDevice()
-        gpu_energy = gpu.energy_joules(interpretation_seconds(gpu, workload))
+        gpu_energy = gpu.energy_joules(interpretation_seconds(gpu, workload, method="loop"))
         tpu = TpuBackend(make_tpu_chip())
-        tpu_energy = tpu.energy_joules(interpretation_seconds(tpu, workload))
+        tpu_energy = tpu.energy_joules(interpretation_seconds(tpu, workload, method="loop"))
         assert tpu_energy > gpu_energy

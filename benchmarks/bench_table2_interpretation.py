@@ -72,8 +72,10 @@ def test_benchmark_table2(benchmark):
 
 
 class TestCostModelMatchesPipeline:
-    """The Table II cost arithmetic must mirror the executable pipeline."""
+    """The Table II cost arithmetic must mirror the executable pipeline
+    in both execution modes (looped and batched)."""
 
+    @pytest.mark.parametrize("method", ["loop", "batched"])
     @pytest.mark.parametrize(
         "device_factory",
         [
@@ -85,7 +87,7 @@ class TestCostModelMatchesPipeline:
         ],
         ids=["cpu", "gpu", "tpu"],
     )
-    def test_cost_only_equals_executed_pipeline(self, device_factory):
+    def test_cost_only_equals_executed_pipeline(self, device_factory, method):
         rng = np.random.default_rng(0)
         shape = (16, 16)
         pairs = []
@@ -97,12 +99,12 @@ class TestCostModelMatchesPipeline:
 
         device = device_factory()
         pipeline = ExplanationPipeline(
-            device, granularity="blocks", block_shape=(8, 8), eps=1e-8
+            device, granularity="blocks", block_shape=(8, 8), eps=1e-8, method=method
         )
         executed = pipeline.run(pairs).simulated_seconds
 
         workload = InterpretationWorkload(
             name="mini", plane=shape, num_features=4, pairs=2
         )
-        modeled = interpretation_seconds(device_factory(), workload)
+        modeled = interpretation_seconds(device_factory(), workload, method=method)
         assert modeled == pytest.approx(executed, rel=0.05)

@@ -37,6 +37,7 @@ from repro.core import (
     ConvolutionDistiller,
     DecomposedFourier,
     ExplanationPipeline,
+    MaskPlan,
     MultiInputScheduler,
     OutputEmbedding,
     TpuBackend,
@@ -45,6 +46,7 @@ from repro.core import (
     feature_contributions,
     frequency_solve,
     make_tpu_chip,
+    score_plan,
     top_k_features,
 )
 from repro.hw import CpuDevice, GpuDevice, TpuChip, TpuCore, speedup
@@ -55,7 +57,9 @@ __all__ = [
     "ConvolutionDistiller",
     "DecomposedFourier",
     "ExplanationPipeline",
+    "MaskPlan",
     "MultiInputScheduler",
+    "score_plan",
     "OutputEmbedding",
     "TpuBackend",
     "block_contributions",

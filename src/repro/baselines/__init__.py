@@ -9,6 +9,7 @@
 from repro.baselines.gradient import gradient_input_saliency, saliency_block_grid
 from repro.baselines.occlusion import (
     occlusion_column_saliency,
+    occlusion_plan_saliency,
     occlusion_saliency,
 )
 from repro.baselines.surrogate import (
@@ -21,6 +22,7 @@ __all__ = [
     "gradient_input_saliency",
     "saliency_block_grid",
     "occlusion_column_saliency",
+    "occlusion_plan_saliency",
     "occlusion_saliency",
     "LinearSurrogateExplainer",
     "SurrogateConfig",

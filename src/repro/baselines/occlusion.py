@@ -6,9 +6,14 @@ distilled kernel), and score the block by the change in the model's
 output.  On inputs with planted evidence both explainers must agree on
 the top block -- a cross-check the test suite and EXPERIMENTS.md use.
 
-This is also a cost yardstick: occlusion needs one full model forward
-per block, whereas the paper's distilled explainer re-runs only the
-one-layer kernel.
+The masked variants come from the same
+:class:`~repro.core.masking.MaskPlan` abstraction the distilled engine
+batches on -- one mask generator for every explainer.  The model here
+is an opaque callable,
+so each variant still needs its own forward query (occlusion's
+structural cost: one full model forward per feature, whereas the
+paper's distilled explainer re-runs only the one-layer kernel -- and,
+batched, amortizes even that into a single program).
 """
 
 from __future__ import annotations
@@ -17,7 +22,41 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.masking import MaskPlan, reduce_batch
+
 ModelFn = Callable[[np.ndarray], np.ndarray]
+
+
+def occlusion_plan_saliency(
+    model: ModelFn,
+    x: np.ndarray,
+    plan: MaskPlan,
+    fill_value: float = 0.0,
+    reduction: str = "l2",
+) -> np.ndarray:
+    """Occlusion saliency for every mask of ``plan``, in its output grid.
+
+    ``model`` maps an input matrix to an output array (any shape); the
+    score of a mask is the norm of the output change when its features
+    are replaced by ``fill_value``.
+    """
+    x = np.asarray(x)
+    if x.ndim != 2:
+        raise ValueError(f"expected a matrix input, got shape {x.shape}")
+    if x.shape != plan.plane_shape:
+        raise ValueError(
+            f"plan plane {plan.plane_shape} does not match input of shape {x.shape}"
+        )
+    baseline = np.asarray(model(x), dtype=np.float64)
+    scores = np.zeros(plan.num_masks)
+    # One plane at a time: the opaque model is queried sequentially, so
+    # materializing the whole plan.apply stack would buy nothing and
+    # costs O(num_masks * M * N) memory (quadratic for an element plan).
+    for index, mask in enumerate(plan.masks):
+        occluded = np.where(mask, fill_value, x)
+        delta = np.asarray(model(occluded), dtype=np.float64) - baseline
+        scores[index] = _norm(delta, reduction)
+    return plan.reshape_scores(scores)
 
 
 def occlusion_saliency(
@@ -27,31 +66,14 @@ def occlusion_saliency(
     fill_value: float = 0.0,
     reduction: str = "l2",
 ) -> np.ndarray:
-    """Block-occlusion saliency grid for one input matrix.
-
-    ``model`` maps an input matrix to an output array (any shape); the
-    score of a block is the norm of the output change when the block is
-    replaced by ``fill_value``.
-    """
+    """Block-occlusion saliency grid for one input matrix (Figure 5 shape)."""
     x = np.asarray(x)
     if x.ndim != 2:
         raise ValueError(f"expected a matrix input, got shape {x.shape}")
-    bh, bw = block_shape
-    if bh <= 0 or bw <= 0:
-        raise ValueError(f"block shape must be positive, got {block_shape}")
-    m, n = x.shape
-    if m % bh or n % bw:
-        raise ValueError(f"block {block_shape} does not tile input {x.shape}")
-
-    baseline = np.asarray(model(x), dtype=np.float64)
-    grid = np.zeros((m // bh, n // bw))
-    for bi in range(m // bh):
-        for bj in range(n // bw):
-            occluded = x.copy()
-            occluded[bi * bh : (bi + 1) * bh, bj * bw : (bj + 1) * bw] = fill_value
-            delta = np.asarray(model(occluded), dtype=np.float64) - baseline
-            grid[bi, bj] = _norm(delta, reduction)
-    return grid
+    plan = MaskPlan.blocks(x.shape, block_shape)  # validates shape/tiling
+    return occlusion_plan_saliency(
+        model, x, plan, fill_value=fill_value, reduction=reduction
+    )
 
 
 def occlusion_column_saliency(
@@ -61,21 +83,13 @@ def occlusion_column_saliency(
     x = np.asarray(x)
     if x.ndim != 2:
         raise ValueError(f"expected a matrix input, got shape {x.shape}")
-    baseline = np.asarray(model(x), dtype=np.float64)
-    scores = np.zeros(x.shape[1])
-    for j in range(x.shape[1]):
-        occluded = x.copy()
-        occluded[:, j] = fill_value
-        delta = np.asarray(model(occluded), dtype=np.float64) - baseline
-        scores[j] = _norm(delta, reduction)
-    return scores
+    plan = MaskPlan.columns(x.shape)
+    return occlusion_plan_saliency(
+        model, x, plan, fill_value=fill_value, reduction=reduction
+    )
 
 
 def _norm(delta: np.ndarray, reduction: str) -> float:
-    if reduction == "l2":
-        return float(np.sqrt(np.sum(delta**2)))
-    if reduction == "l1":
-        return float(np.sum(np.abs(delta)))
-    if reduction == "max_abs":
-        return float(np.max(np.abs(delta)))
-    raise ValueError(f"unknown reduction {reduction!r}")
+    # Same reduction vocabulary as the distilled engine's score_plan;
+    # flattened first because model outputs may have any shape.
+    return float(reduce_batch(np.asarray(delta).reshape(1, 1, -1), reduction)[0])

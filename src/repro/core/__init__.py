@@ -8,6 +8,8 @@ Layout mirrors Section III of the paper:
   distilled model (fit / predict / residual);
 * :mod:`repro.core.interpretation`  -- outcome interpretation (Eq. 5):
   contribution factors per feature, block, row or column;
+* :mod:`repro.core.masking`         -- the batched occlusion engine:
+  :class:`MaskPlan` mask stacks scored as one batched device program;
 * :mod:`repro.core.decomposition`   -- Algorithm 1: sharding the 2-D
   Fourier transform across TPU cores with one reassembly per stage;
 * :mod:`repro.core.parallel`        -- Section III-D: concurrent
@@ -37,6 +39,7 @@ from repro.core.interpretation import (
     row_contributions,
     top_k_features,
 )
+from repro.core.masking import MaskPlan, reduce_batch, score_plan
 from repro.core.parallel import (
     Assignment,
     BatchDistillationResult,
@@ -84,6 +87,9 @@ __all__ = [
     "normalize_scores",
     "row_contributions",
     "top_k_features",
+    "MaskPlan",
+    "reduce_batch",
+    "score_plan",
     "Assignment",
     "AssignmentTable",
     "BatchResult",

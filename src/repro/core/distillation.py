@@ -65,24 +65,47 @@ class ConvolutionDistiller:
         """
         x_batch = _normalize_batch(inputs, "inputs")
         shape = x_batch.shape[1:]
-        y_batch = self._lift_outputs(outputs, x_batch.shape[0], shape)
+        y_batch = self.lift_outputs(outputs, x_batch.shape[0], shape)
         self._kernel = frequency_solve(
             x_batch, y_batch, eps=self.eps, device=self.device
         )
         self._shape = shape
         return self
 
-    def _lift_outputs(
-        self, outputs, batch_size: int, shape: tuple[int, int]
+    def lift_outputs(
+        self,
+        outputs,
+        batch_size: int | None = None,
+        shape: tuple[int, int] | None = None,
     ) -> np.ndarray:
+        """Lift raw model outputs onto the input plane as a ``(B, M, N)`` batch.
+
+        Matrix outputs matching ``shape`` pass through; vector outputs
+        are embedded via the configured :class:`OutputEmbedding`.  After
+        :meth:`fit`, ``shape`` defaults to the fitted plane -- this is
+        the public hook the explanation pipeline uses to obtain the
+        lifted ``Y`` plane that Eq. 5 compares masked re-runs against.
+        The batch size is inferred from the outputs themselves;
+        ``batch_size`` is an optional expected count to validate
+        against (``fit``/``residual`` pass the input batch size).
+        """
+        if shape is None:
+            if self._shape is None:
+                raise NotFittedError(
+                    "call fit() or pass an explicit shape to lift_outputs()"
+                )
+            shape = self._shape
         outputs = np.asarray(outputs)
         if outputs.ndim == 2 and outputs.shape == shape:
             return outputs[np.newaxis]
         if outputs.ndim == 3:
-            if outputs.shape[0] != batch_size or outputs.shape[1:] != shape:
+            if outputs.shape[1:] != shape or (
+                batch_size is not None and outputs.shape[0] != batch_size
+            ):
+                expected = "" if batch_size is None else f"batch of {batch_size} "
                 raise ValueError(
                     f"output batch {outputs.shape} does not align with input "
-                    f"batch of {batch_size} matrices of shape {shape}"
+                    f"{expected}matrices of shape {shape}"
                 )
             return outputs
         # Vector outputs: embed each onto the input plane.
@@ -90,7 +113,7 @@ class ConvolutionDistiller:
             outputs = outputs[np.newaxis]
         if outputs.ndim != 2:
             raise ValueError(f"cannot interpret outputs of shape {outputs.shape}")
-        if outputs.shape[0] != batch_size:
+        if batch_size is not None and outputs.shape[0] != batch_size:
             raise ValueError(
                 f"{outputs.shape[0]} output vectors for {batch_size} inputs"
             )
@@ -137,7 +160,7 @@ class ConvolutionDistiller:
         convolution mimics the black-box model on these pairs.
         """
         x_batch = _normalize_batch(inputs, "inputs")
-        y_batch = self._lift_outputs(outputs, x_batch.shape[0], x_batch.shape[1:])
+        y_batch = self.lift_outputs(outputs, x_batch.shape[0], x_batch.shape[1:])
         total = 0.0
         for x, y in zip(x_batch, y_batch):
             delta = self.predict(x) - y

@@ -20,6 +20,14 @@ columns of a trace table).  This module provides:
   per-clock-cycle weights on trace tables;
 * :func:`top_k_features` -- ranked indices for report generation.
 
+Every occlusion entry point routes through the batched engine of
+:mod:`repro.core.masking`: the masks of one granularity form a
+:class:`~repro.core.masking.MaskPlan` scored as a single ``(num_masks,
+M, N)`` batch with the kernel spectrum computed once (``method=
+"batched"``, the default), or one convolution per mask
+(``method="loop"``, the historical execution kept for equivalence tests
+and speedup benchmarks).
+
 All entry points accept an optional device so interpretation time can be
 accounted on CPU/GPU/TPU backends (Table II).
 """
@@ -28,22 +36,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.masking import REDUCTIONS, MaskPlan, reduce_batch, score_plan
 from repro.fft.convolution import fft_circular_convolve2d
 from repro.hw.device import Device
 
-_REDUCTIONS = ("l2", "l1", "mean_abs", "max_abs")
-
 
 def _reduce(matrix: np.ndarray, reduction: str) -> float:
-    if reduction == "l2":
-        return float(np.sqrt(np.sum(np.abs(matrix) ** 2)))
-    if reduction == "l1":
-        return float(np.sum(np.abs(matrix)))
-    if reduction == "mean_abs":
-        return float(np.mean(np.abs(matrix)))
-    if reduction == "max_abs":
-        return float(np.max(np.abs(matrix)))
-    raise ValueError(f"unknown reduction {reduction!r}; expected one of {_REDUCTIONS}")
+    return float(reduce_batch(np.asarray(matrix)[np.newaxis], reduction)[0])
 
 
 def _convolve(x: np.ndarray, kernel: np.ndarray, device: Device | None) -> np.ndarray:
@@ -93,21 +92,39 @@ def feature_contributions(
     ``method="fast"`` uses linearity of convolution: with base residual
     ``B = Y - X (*) K``, zeroing element ``(i, j)`` gives
     ``con(x_ij) = B + x_ij * roll(K, (i, j))`` -- one convolution total
-    instead of one per feature.  ``method="naive"`` re-convolves per
-    feature (the literal Eq. 5); tests assert both agree, and the
-    benchmark suite uses the naive path when mirroring the paper's
+    instead of one per feature.  ``method="batched"`` scores the full
+    element :class:`~repro.core.masking.MaskPlan` as one batched
+    program; note the element plan's ``(M*N, M, N)`` stack is quadratic
+    in the plane size, so this mode suits device-accounting studies on
+    small planes, not large inputs (``"fast"`` dominates there).
+    ``method="naive"`` (alias ``"loop"``) re-convolves per feature (the
+    literal Eq. 5) in O(M*N) memory; tests assert all paths agree, and
+    the benchmark suite uses the naive path when mirroring the paper's
     measured workload.
     """
     x = np.asarray(x, dtype=np.float64)
     kernel = np.asarray(kernel, dtype=np.float64)
     y = np.asarray(y, dtype=np.float64)
     _check_operands(x, kernel, y)
-    if method not in ("fast", "naive"):
-        raise ValueError(f"unknown method {method!r}; expected 'fast' or 'naive'")
+    if method not in ("fast", "naive", "loop", "batched"):
+        raise ValueError(
+            f"unknown method {method!r}; expected 'fast', 'batched', 'naive' or 'loop'"
+        )
+    if reduction not in REDUCTIONS:
+        raise ValueError(
+            f"unknown reduction {reduction!r}; expected one of {REDUCTIONS}"
+        )
 
     m, n = x.shape
-    scores = np.zeros((m, n))
-    if method == "naive":
+    if method == "batched":
+        return score_plan(
+            x, kernel, y, MaskPlan.elements(x.shape),
+            reduction=reduction, method="batched", device=device,
+        )
+    if method in ("naive", "loop"):
+        # One mask at a time, never materializing the element plan's
+        # quadratic stack -- the memory profile large planes need.
+        scores = np.zeros((m, n))
         for i in range(m):
             for j in range(n):
                 delta = contribution_matrix(x, kernel, y, (i, j), device=device)
@@ -118,6 +135,7 @@ def feature_contributions(
     if device is not None:
         # The fast path's per-feature adds are elementwise VPU work.
         device.account_elementwise(m * n, flops_per_element=2.0, count=m * n)
+    scores = np.zeros((m, n))
     for i in range(m):
         rolled_rows = np.roll(kernel, i, axis=0)
         for j in range(n):
@@ -134,6 +152,7 @@ def mask_contribution(
     reduction: str = "l2",
     device: Device | None = None,
     fill_value: float = 0.0,
+    method: str = "loop",
 ) -> float:
     """Contribution of an arbitrary feature set masked at once.
 
@@ -141,14 +160,28 @@ def mask_contribution(
     with: 0.0 reproduces Eq. 5 verbatim; the input's mean is the
     standard occlusion-literature baseline and removes the DC term that
     otherwise dominates on non-centred data (bright images).
+
+    A single mask is a batch of one, so ``method`` only chooses the
+    accounting semantics (``"loop"``: one eager convolution, the
+    default; ``"batched"``: a one-element plan through the batched
+    device op).
     """
     x = np.asarray(x)
     mask = np.asarray(mask, dtype=bool)
     if mask.shape != x.shape:
         raise ValueError(f"mask shape {mask.shape} does not match input {x.shape}")
-    masked = np.where(mask, fill_value, x)
-    delta = np.asarray(y) - _convolve(masked, kernel, device)
-    return _reduce(delta, reduction)
+    plan = MaskPlan.from_masks(mask)
+    scores = score_plan(
+        x,
+        kernel,
+        np.asarray(y),
+        plan,
+        reduction=reduction,
+        method=method,
+        device=device,
+        fill_value=fill_value,
+    )
+    return float(scores.reshape(-1)[0])
 
 
 def block_contributions(
@@ -159,36 +192,24 @@ def block_contributions(
     reduction: str = "l2",
     device: Device | None = None,
     fill_value: float = 0.0,
+    method: str = "batched",
 ) -> np.ndarray:
     """Figure 5: contribution of each square sub-block of an image.
 
     The input is segmented into a grid of ``block_shape`` tiles; each
-    tile is zeroed in turn and scored through the distilled model.
-    Returns the grid of scores with shape
-    ``(M // bh, N // bw)`` (input dimensions must tile evenly).
+    tile is zeroed and scored through the distilled model -- all tiles
+    in one batched program by default.  Returns the grid of scores with
+    shape ``(M // bh, N // bw)`` (input dimensions must tile evenly).
     """
     x = np.asarray(x)
     kernel = np.asarray(kernel)
     y = np.asarray(y)
     _check_operands(x, kernel, y)
-    bh, bw = block_shape
-    if bh <= 0 or bw <= 0:
-        raise ValueError(f"block shape must be positive, got {block_shape}")
-    m, n = x.shape
-    if m % bh or n % bw:
-        raise ValueError(
-            f"block shape {block_shape} does not tile input of shape {x.shape}"
-        )
-    grid = np.zeros((m // bh, n // bw))
-    for bi in range(m // bh):
-        for bj in range(n // bw):
-            mask = np.zeros((m, n), dtype=bool)
-            mask[bi * bh : (bi + 1) * bh, bj * bw : (bj + 1) * bw] = True
-            grid[bi, bj] = mask_contribution(
-                x, kernel, y, mask, reduction=reduction, device=device,
-                fill_value=fill_value,
-            )
-    return grid
+    plan = MaskPlan.blocks(x.shape, block_shape)
+    return score_plan(
+        x, kernel, y, plan,
+        reduction=reduction, method=method, device=device, fill_value=fill_value,
+    )
 
 
 def column_contributions(
@@ -198,19 +219,16 @@ def column_contributions(
     reduction: str = "l2",
     device: Device | None = None,
     fill_value: float = 0.0,
+    method: str = "batched",
 ) -> np.ndarray:
     """Figure 6: contribution of each column (clock cycle of a trace table)."""
     x = np.asarray(x)
     _check_operands(x, np.asarray(kernel), np.asarray(y))
-    scores = np.zeros(x.shape[1])
-    for j in range(x.shape[1]):
-        mask = np.zeros(x.shape, dtype=bool)
-        mask[:, j] = True
-        scores[j] = mask_contribution(
-            x, kernel, y, mask, reduction=reduction, device=device,
-            fill_value=fill_value,
-        )
-    return scores
+    plan = MaskPlan.columns(x.shape)
+    return score_plan(
+        x, np.asarray(kernel), np.asarray(y), plan,
+        reduction=reduction, method=method, device=device, fill_value=fill_value,
+    )
 
 
 def row_contributions(
@@ -220,31 +238,33 @@ def row_contributions(
     reduction: str = "l2",
     device: Device | None = None,
     fill_value: float = 0.0,
+    method: str = "batched",
 ) -> np.ndarray:
     """Per-row contributions (registers of a trace table)."""
     x = np.asarray(x)
     _check_operands(x, np.asarray(kernel), np.asarray(y))
-    scores = np.zeros(x.shape[0])
-    for i in range(x.shape[0]):
-        mask = np.zeros(x.shape, dtype=bool)
-        mask[i, :] = True
-        scores[i] = mask_contribution(
-            x, kernel, y, mask, reduction=reduction, device=device,
-            fill_value=fill_value,
-        )
-    return scores
+    plan = MaskPlan.rows(x.shape)
+    return score_plan(
+        x, np.asarray(kernel), np.asarray(y), plan,
+        reduction=reduction, method=method, device=device, fill_value=fill_value,
+    )
 
 
 def top_k_features(scores: np.ndarray, k: int) -> list[tuple[int, ...]]:
     """Indices of the ``k`` highest-scoring features, descending.
 
-    Works for element grids (2-D) and column/row score vectors (1-D).
+    Ties are broken deterministically by *ascending* flat index (stable
+    descending sort), so equal scores rank in reading order.  Works for
+    element grids (2-D) and column/row score vectors (1-D).
     """
     scores = np.asarray(scores)
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
     k = min(k, scores.size)
-    flat_order = np.argsort(scores.reshape(-1))[::-1][:k]
+    # Cast before negating: unary minus wraps unsigned dtypes and is
+    # unsupported for bool, both of which would corrupt the ranking.
+    flat = scores.reshape(-1).astype(np.float64)
+    flat_order = np.argsort(-flat, kind="stable")[:k]
     if scores.ndim == 1:
         return [(int(i),) for i in flat_order]
     return [tuple(int(v) for v in np.unravel_index(i, scores.shape)) for i in flat_order]

@@ -25,12 +25,20 @@ from repro.fft.dft_matrix import (
     clear_dft_matrix_cache,
 )
 from repro.fft.fft import fft, ifft, bit_reversal_permutation, is_power_of_two
-from repro.fft.fft2d import fft2, ifft2, fft2_matmul, ifft2_matmul
+from repro.fft.fft2d import (
+    fft2,
+    fft2_batch,
+    fft2_matmul,
+    ifft2,
+    ifft2_batch,
+    ifft2_matmul,
+)
 from repro.fft.convolution import (
     circular_convolve,
     circular_convolve2d,
     fft_circular_convolve,
     fft_circular_convolve2d,
+    fft_circular_convolve2d_batch,
     linear_convolve,
     linear_convolve2d,
 )
@@ -45,13 +53,16 @@ __all__ = [
     "bit_reversal_permutation",
     "is_power_of_two",
     "fft2",
+    "fft2_batch",
     "ifft2",
+    "ifft2_batch",
     "fft2_matmul",
     "ifft2_matmul",
     "circular_convolve",
     "circular_convolve2d",
     "fft_circular_convolve",
     "fft_circular_convolve2d",
+    "fft_circular_convolve2d_batch",
     "linear_convolve",
     "linear_convolve2d",
 ]

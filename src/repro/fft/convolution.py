@@ -9,6 +9,9 @@ provides:
   definition, used by tests and small inputs;
 * FFT-based convolution -- the fast path whose agreement with the direct
   form *is* the convolution theorem, asserted by property tests;
+* batched FFT convolution -- a stack of inputs against one shared
+  kernel whose spectrum is computed exactly once, the hot path of the
+  batched occlusion engine (:mod:`repro.core.masking`);
 * linear convolution via zero-padding to a circular one, for callers who
   need aperiodic behaviour.
 """
@@ -18,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fft.fft import fft, ifft
-from repro.fft.fft2d import fft2, ifft2
+from repro.fft.fft2d import fft2, fft2_batch, ifft2, ifft2_batch
 
 
 def _as_1d(x: np.ndarray, name: str) -> np.ndarray:
@@ -109,6 +112,62 @@ def fft_circular_convolve2d(x: np.ndarray, k: np.ndarray) -> np.ndarray:
     result = ifft2(spectrum)
     if np.isrealobj(x) and np.isrealobj(k):
         return result.real
+    return result
+
+
+# Planes transformed per slice of a batched convolution: bounds the
+# complex128 FFT intermediates (the largest allocations, ~4x the real
+# input stack) without changing any per-plane arithmetic.
+_CONV_BATCH_CHUNK = 64
+
+
+def fft_circular_convolve2d_batch(
+    x_batch: np.ndarray,
+    k: np.ndarray,
+    kernel_spectrum: np.ndarray | None = None,
+) -> np.ndarray:
+    """Circular convolution of a ``(batch, M, N)`` stack with one kernel.
+
+    The kernel spectrum ``F(K)`` is computed once for the whole batch
+    (or reused verbatim when ``kernel_spectrum`` is supplied -- callers
+    convolving several batches against the same kernel amortize it
+    further).  Each output plane is bit-identical to
+    :func:`fft_circular_convolve2d` on the corresponding input plane;
+    internally the stack is transformed in bounded-size slices so peak
+    memory stays a small multiple of the input stack.
+    """
+    x_batch = np.asarray(x_batch)
+    if x_batch.ndim != 3:
+        raise ValueError(
+            "fft_circular_convolve2d_batch expects a (batch, M, N) stack, "
+            f"got shape {x_batch.shape}"
+        )
+    if 0 in x_batch.shape:
+        raise ValueError("fft_circular_convolve2d_batch of an empty batch is undefined")
+    k = _as_2d(k, "fft_circular_convolve2d_batch")
+    if x_batch.shape[1:] != k.shape:
+        raise ValueError(
+            "batched circular convolution needs matching plane shapes, got "
+            f"{x_batch.shape[1:]} and {k.shape}"
+        )
+    if kernel_spectrum is None:
+        kernel_spectrum = fft2(k)
+    else:
+        kernel_spectrum = np.asarray(kernel_spectrum)
+        if kernel_spectrum.shape != k.shape:
+            raise ValueError(
+                f"kernel_spectrum shape {kernel_spectrum.shape} does not match "
+                f"kernel of shape {k.shape}"
+            )
+    real_output = np.isrealobj(x_batch) and np.isrealobj(k)
+    out_dtype = np.float64 if real_output else np.complex128
+    result = np.empty(x_batch.shape, dtype=out_dtype)
+    for start in range(0, x_batch.shape[0], _CONV_BATCH_CHUNK):
+        chunk = x_batch[start : start + _CONV_BATCH_CHUNK]
+        convolved = ifft2_batch(fft2_batch(chunk) * kernel_spectrum)
+        result[start : start + _CONV_BATCH_CHUNK] = (
+            convolved.real if real_output else convolved
+        )
     return result
 
 

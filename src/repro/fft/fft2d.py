@@ -13,10 +13,15 @@ Both evaluations are provided:
   column-by-column -- the software-reference path;
 * :func:`fft2_matmul` / :func:`ifft2_matmul` multiply by explicit DFT
   matrices -- the exact computation a systolic MXU performs, and the
-  form sharded across TPU cores by :mod:`repro.core.decomposition`.
+  form sharded across TPU cores by :mod:`repro.core.decomposition`;
+* :func:`fft2_batch` / :func:`ifft2_batch` vectorize the row-column
+  path over leading batch axes -- the substrate of the batched
+  occlusion engine (:mod:`repro.core.masking`), which transforms every
+  masked input variant in one call instead of one call per mask.
 
 Tests assert the two paths agree to floating-point tolerance for every
-shape, including non-square and non-power-of-two.
+shape, including non-square and non-power-of-two, and that the batch
+variants match plane-by-plane application exactly.
 """
 
 from __future__ import annotations
@@ -52,6 +57,40 @@ def ifft2(x: np.ndarray, norm: str = "backward") -> np.ndarray:
     array = _check_2d(x, "ifft2")
     cols_done = ifft(array, axis=0, norm=norm)
     return ifft(cols_done, axis=1, norm=norm)
+
+
+def _check_batch_2d(x: np.ndarray, name: str) -> np.ndarray:
+    array = np.asarray(x)
+    if array.ndim < 2:
+        raise ValueError(f"{name} expects at least a 2-D array, got shape {array.shape}")
+    if array.shape[-2] == 0 or array.shape[-1] == 0:
+        raise ValueError(f"{name} of an empty matrix is undefined")
+    return array
+
+
+def fft2_batch(x: np.ndarray, norm: str = "backward") -> np.ndarray:
+    """2-D DFT over the two trailing axes of a stacked batch.
+
+    Accepts any leading batch shape (``(..., M, N)``); a plain matrix is
+    a zero-axis batch.  The stage order (rows, then columns) matches
+    :func:`fft2`, and the 1-D kernels are themselves batch-vectorized,
+    so each plane of the result is bit-identical to transforming it
+    alone -- the equivalence the batched occlusion engine relies on.
+    """
+    array = _check_batch_2d(x, "fft2_batch")
+    rows_done = fft(array, axis=-1, norm=norm)
+    return fft(rows_done, axis=-2, norm=norm)
+
+
+def ifft2_batch(x: np.ndarray, norm: str = "backward") -> np.ndarray:
+    """Inverse 2-D DFT over the two trailing axes of a stacked batch.
+
+    Exact inverse of :func:`fft2_batch`; stage order (columns, then
+    rows) matches :func:`ifft2` for per-plane bit-identity.
+    """
+    array = _check_batch_2d(x, "ifft2_batch")
+    cols_done = ifft(array, axis=-2, norm=norm)
+    return ifft(cols_done, axis=-1, norm=norm)
 
 
 def fft2_matmul(x: np.ndarray, norm: str = "backward") -> np.ndarray:

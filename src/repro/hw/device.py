@@ -26,7 +26,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.fft.convolution import fft_circular_convolve2d_batch
 from repro.fft.fft2d import fft2, ifft2
+
+#: Real flops one complex point-wise op costs per element: a complex
+#: multiply (or divide, to first order) is 4 real multiplies + 2 adds
+#: on the critical multiplier path, priced as 4 flops; a complex add or
+#: subtract is just 2 real adds.
+_COMPLEX_HADAMARD_FLOPS = {"mul": 4.0, "div": 4.0, "add": 2.0, "sub": 2.0}
 
 
 @dataclass
@@ -76,6 +83,7 @@ class Device(abc.ABC):
     def __init__(self, name: str) -> None:
         self.name = name
         self.stats = DeviceStats()
+        self._program_depth = 0
 
     # ------------------------------------------------------------------
     # Stats plumbing
@@ -159,8 +167,11 @@ class Device(abc.ABC):
         }
         if op not in operations:
             raise ValueError(f"unknown hadamard op {op!r}; expected one of {sorted(operations)}")
-        complex_factor = 4.0 if (np.iscomplexobj(a) or np.iscomplexobj(b)) else 1.0
-        seconds = self.elementwise_seconds(a.size, flops_per_element=complex_factor)
+        if np.iscomplexobj(a) or np.iscomplexobj(b):
+            flops_per_element = _COMPLEX_HADAMARD_FLOPS[op]
+        else:
+            flops_per_element = 1.0
+        seconds = self.elementwise_seconds(a.size, flops_per_element=flops_per_element)
         result = operations[op](a, b)
         self.stats.record(f"hadamard_{op}", seconds)
         return result
@@ -195,15 +206,40 @@ class Device(abc.ABC):
     def program(self, infeed_bytes: int = 0, outfeed_bytes: int = 0):
         """Scope one dispatched program: charges data movement around it.
 
-        On CPU/GPU this prices the host transfers bracketing a batch of
-        eager ops; accelerator backends override it to add their launch
-        round trip (the TPU's dispatch latency).
+        Template method: the entry/exit cost semantics live in the
+        :meth:`_begin_program` / :meth:`_end_program` hooks (CPU/GPU
+        price the host transfers bracketing a batch of eager ops;
+        accelerator backends add their launch round trip, e.g. the
+        TPU's dispatch latency), while the depth bookkeeping behind
+        :attr:`in_program` stays here so every backend gets it right.
         """
+        self._begin_program(infeed_bytes)
+        self._program_depth += 1
+        try:
+            yield self
+        finally:
+            self._program_depth -= 1
+        self._end_program(outfeed_bytes)
+
+    def _begin_program(self, infeed_bytes: int) -> None:
+        """Cost of entering a program scope (override for launch semantics)."""
         if infeed_bytes:
             self.host_to_device(infeed_bytes)
-        yield self
+
+    def _end_program(self, outfeed_bytes: int) -> None:
+        """Cost of leaving a program scope (override for launch semantics)."""
         if outfeed_bytes:
             self.device_to_host(outfeed_bytes)
+
+    @property
+    def in_program(self) -> bool:
+        """True while executing inside a :meth:`program` scope.
+
+        Batched operations consult this to decide whether they are part
+        of an already-dispatched program (no extra launch cost) or a
+        standalone launch of their own.
+        """
+        return self._program_depth > 0
 
     def host_to_device(self, nbytes: int) -> None:
         """Account an input DMA transfer."""
@@ -271,6 +307,81 @@ class Device(abc.ABC):
         if np.isrealobj(x) and np.isrealobj(k):
             return result.real
         return result
+
+    # ------------------------------------------------------------------
+    # Batched convolution (the occlusion engine's device hot path)
+    # ------------------------------------------------------------------
+    def batch_conv_seconds(self, batch: int, m: int, n: int) -> float:
+        """Simulated time of ``batch`` circular convolutions that share
+        one already-transformed ``m x n`` kernel spectrum.
+
+        Eager default (CPU/GPU semantics): every plane in the batch
+        still launches its own forward transform, Hadamard product and
+        inverse transform, each paying the backend's per-op overhead --
+        the CPU's ``op_overhead_sec`` framework dispatch or the GPU's
+        ``kernel_launch_sec`` per CUDA kernel, inside the inherited
+        per-op rooflines (and library-FFT pricing when configured).
+        Only the kernel spectrum is amortized (its single ``fft2`` is
+        priced separately by :meth:`conv2d_circular_batch`); data is
+        assumed resident, staged by the caller's :meth:`program` scope.
+        Accelerator backends override this to price one fused batched
+        program instead.
+        """
+        if batch <= 0:
+            raise ValueError(f"batch must be positive, got {batch}")
+        per_plane = 2.0 * self.fft2_seconds(m, n) + self.elementwise_seconds(
+            m * n, flops_per_element=4.0
+        )
+        return batch * per_plane
+
+    def conv2d_circular_batch(self, x_batch: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+        """Circular convolution of a ``(batch, M, N)`` stack against one kernel.
+
+        The kernel spectrum is computed (and accounted) exactly **once**
+        per call -- the batched engine's structural saving over looping
+        :meth:`conv2d_circular`, which re-transforms the same kernel on
+        every mask.  Functional results are computed with the vectorized
+        batch-FFT kernels and are bit-identical to the looped path;
+        simulated cost is delegated to :meth:`_record_batch_conv` so
+        eager and compiled backends can model their dispatch semantics.
+        """
+        x_batch = np.asarray(x_batch)
+        kernel = np.asarray(kernel)
+        if x_batch.ndim != 3:
+            raise ValueError(
+                f"conv2d_circular_batch expects a (batch, M, N) stack, got {x_batch.shape}"
+            )
+        if 0 in x_batch.shape:
+            raise ValueError("conv2d_circular_batch of an empty batch is undefined")
+        if kernel.ndim != 2 or x_batch.shape[1:] != kernel.shape:
+            raise ValueError(
+                "batched convolution needs matching plane shapes, got "
+                f"{x_batch.shape[1:]} and {kernel.shape}"
+            )
+        kernel_spectrum = self.fft2(kernel)  # once per plan, recorded as "fft2"
+        result = fft_circular_convolve2d_batch(
+            x_batch, kernel, kernel_spectrum=kernel_spectrum
+        )
+        self._record_batch_conv(x_batch.shape[0], kernel.shape[0], kernel.shape[1])
+        return result
+
+    def _record_batch_conv(self, batch: int, m: int, n: int) -> None:
+        """Eager ledger for one batched convolution (CPU/GPU semantics).
+
+        One record per per-plane operation: the batch executes as
+        ``batch`` independent op chains, so op counts and per-op
+        overheads are preserved -- only the kernel transform was
+        amortized by the caller.  The recorded seconds sum exactly to
+        :meth:`batch_conv_seconds`.
+        """
+        transform_seconds = self.fft2_seconds(m, n)
+        hadamard_seconds = self.elementwise_seconds(m * n, flops_per_element=4.0)
+        factor = self.complex_matmul_real_products
+        transform_macs = factor * (m * m * n + m * n * n)
+        for _ in range(batch):
+            self.stats.record("fft2_batch", transform_seconds, macs=transform_macs)
+            self.stats.record("hadamard_mul_batch", hadamard_seconds)
+            self.stats.record("ifft2_batch", transform_seconds, macs=transform_macs)
 
     # ------------------------------------------------------------------
     # Cost-only accounting (large workloads, e.g. Table I training time)

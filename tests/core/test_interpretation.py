@@ -208,3 +208,83 @@ class TestProperties:
         grid = block_contributions(x, kernel, y, block_shape=(2, 2))
         assert np.all(grid >= 0)
         assert np.all(np.isfinite(grid))
+
+
+class TestBatchedEntryPoints:
+    """Every occlusion entry point agrees between batched and loop modes."""
+
+    def test_block_contributions_methods_agree(self):
+        x, kernel, y = fitted_setup(seed=20)
+        np.testing.assert_allclose(
+            block_contributions(x, kernel, y, (2, 2), method="batched"),
+            block_contributions(x, kernel, y, (2, 2), method="loop"),
+            atol=1e-10,
+        )
+
+    def test_column_and_row_methods_agree(self):
+        x, kernel, y = fitted_setup(seed=21)
+        np.testing.assert_allclose(
+            column_contributions(x, kernel, y, method="batched"),
+            column_contributions(x, kernel, y, method="loop"),
+            atol=1e-10,
+        )
+        np.testing.assert_allclose(
+            row_contributions(x, kernel, y, method="batched"),
+            row_contributions(x, kernel, y, method="loop"),
+            atol=1e-10,
+        )
+
+    def test_feature_contributions_batched_matches_fast(self):
+        x, kernel, y = fitted_setup(shape=(6, 6), seed=22)
+        np.testing.assert_allclose(
+            feature_contributions(x, kernel, y, method="batched"),
+            feature_contributions(x, kernel, y, method="fast"),
+            atol=1e-8,
+        )
+
+    def test_feature_contributions_loop_alias(self):
+        x, kernel, y = fitted_setup(shape=(4, 4), seed=23)
+        np.testing.assert_allclose(
+            feature_contributions(x, kernel, y, method="loop"),
+            feature_contributions(x, kernel, y, method="naive"),
+            atol=1e-12,
+        )
+
+    def test_mask_contribution_batched_with_fill(self):
+        x, kernel, y = fitted_setup(seed=24)
+        mask = np.zeros_like(x, dtype=bool)
+        mask[1:3, 2:5] = True
+        fill = float(x.mean())
+        batched = mask_contribution(
+            x, kernel, y, mask, fill_value=fill, method="batched"
+        )
+        looped = mask_contribution(x, kernel, y, mask, fill_value=fill, method="loop")
+        assert batched == pytest.approx(looped, abs=1e-10)
+
+    def test_batched_amortizes_kernel_transform(self):
+        device = CpuDevice()
+        x, kernel, y = fitted_setup(seed=25)
+        block_contributions(x, kernel, y, (2, 2), device=device, method="batched")
+        # The kernel spectrum is transformed exactly once for the plan.
+        assert device.stats.op_counts["fft2"] == 1
+        assert device.stats.op_counts["fft2_batch"] == 16
+
+
+class TestTopKTieBreaking:
+    def test_equal_scores_rank_by_ascending_index(self):
+        """Regression: reversed argsort used to break ties by *reversed*
+        flat index, so equal scores ranked back-to-front."""
+        scores = np.array([1.0, 5.0, 5.0, 2.0])
+        assert top_k_features(scores, 2) == [(1,), (2,)]
+
+    def test_2d_ties_rank_in_reading_order(self):
+        scores = np.array([[3.0, 3.0], [3.0, 1.0]])
+        assert top_k_features(scores, 3) == [(0, 0), (0, 1), (1, 0)]
+
+    def test_all_equal_scores_enumerate_in_order(self):
+        assert top_k_features(np.full(4, 7.0), 4) == [(0,), (1,), (2,), (3,)]
+
+    def test_unsigned_and_bool_scores_rank_correctly(self):
+        """Negation-before-cast would wrap uint8 and reject bool."""
+        assert top_k_features(np.array([0, 5, 3], dtype=np.uint8), 2) == [(1,), (2,)]
+        assert top_k_features(np.array([True, False, True]), 2) == [(0,), (2,)]

@@ -1,0 +1,310 @@
+"""Batched occlusion engine: MaskPlan semantics and batched==looped."""
+
+import numpy as np
+import pytest
+
+from repro.core import MaskPlan, TpuBackend, make_tpu_chip, score_plan
+from repro.core.pipeline import ExplanationPipeline
+from repro.fft import fft_circular_convolve2d
+from repro.hw import CpuDevice, GpuDevice
+
+
+def fitted_setup(shape=(8, 8), seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(shape)
+    x[0, 0] += 5.0 * np.prod(shape) ** 0.5
+    kernel = rng.standard_normal(shape)
+    y = fft_circular_convolve2d(x, kernel)
+    return x, kernel, y
+
+
+def small_backend(num_cores=4):
+    return TpuBackend(
+        make_tpu_chip(num_cores=num_cores, precision="fp32", mxu_rows=8, mxu_cols=8)
+    )
+
+
+PLANS = [
+    ("elements", lambda shape: MaskPlan.elements(shape)),
+    ("blocks", lambda shape: MaskPlan.blocks(shape, (2, 2))),
+    ("columns", lambda shape: MaskPlan.columns(shape)),
+    ("rows", lambda shape: MaskPlan.rows(shape)),
+]
+
+
+class TestMaskPlanConstruction:
+    def test_elements_plan_shape_and_labels(self):
+        plan = MaskPlan.elements((3, 4))
+        assert plan.num_masks == 12
+        assert plan.output_shape == (3, 4)
+        assert plan.plane_shape == (3, 4)
+        assert plan.labels[5] == (1, 1)  # row-major ordering
+        # Each mask occludes exactly its one element.
+        assert plan.masks.sum() == 12
+        assert plan.masks[5, 1, 1]
+
+    def test_blocks_plan_tiles_exactly_once(self):
+        plan = MaskPlan.blocks((8, 8), (2, 4))
+        assert plan.output_shape == (4, 2)
+        assert plan.granularity == "blocks"
+        # The union of all masks covers the plane exactly once.
+        np.testing.assert_array_equal(
+            plan.masks.sum(axis=0), np.ones((8, 8), dtype=int)
+        )
+
+    def test_columns_and_rows_plans(self):
+        cols = MaskPlan.columns((3, 5))
+        assert cols.num_masks == 5
+        assert cols.masks[2, :, 2].all() and cols.masks[2].sum() == 3
+        rows = MaskPlan.rows((3, 5))
+        assert rows.num_masks == 3
+        assert rows.masks[1, 1, :].all() and rows.masks[1].sum() == 5
+
+    def test_from_masks_wraps_single_mask(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[1, 2] = True
+        plan = MaskPlan.from_masks(mask)
+        assert plan.num_masks == 1
+        assert plan.output_shape == (1,)
+        assert plan.granularity == "custom"
+
+    def test_for_granularity_dispatch(self):
+        assert MaskPlan.for_granularity("columns", (4, 6)).num_masks == 6
+        assert MaskPlan.for_granularity("blocks", (4, 4), (2, 2)).num_masks == 4
+        with pytest.raises(ValueError):
+            MaskPlan.for_granularity("blocks", (4, 4))
+        with pytest.raises(ValueError):
+            MaskPlan.for_granularity("pixels", (4, 4))
+
+    def test_invalid_plans_rejected(self):
+        with pytest.raises(ValueError):
+            MaskPlan.blocks((8, 8), (3, 3))  # does not tile
+        with pytest.raises(ValueError):
+            MaskPlan.blocks((8, 8), (0, 2))
+        with pytest.raises(ValueError):
+            MaskPlan(np.zeros((4, 4), dtype=bool))  # not a stack
+        with pytest.raises(ValueError):
+            MaskPlan(np.zeros((2, 4, 4), dtype=bool), output_shape=(3,))
+        with pytest.raises(ValueError):
+            MaskPlan(np.zeros((2, 4, 4), dtype=bool), labels=((0,),))
+
+    def test_apply_fills_masked_features(self):
+        plan = MaskPlan.columns((2, 3))
+        x = np.arange(6.0).reshape(2, 3)
+        stacked = plan.apply(x, fill_value=-1.0)
+        assert stacked.shape == (3, 2, 3)
+        np.testing.assert_array_equal(stacked[1][:, 1], [-1.0, -1.0])
+        np.testing.assert_array_equal(stacked[1][:, 0], x[:, 0])
+
+    def test_apply_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MaskPlan.rows((4, 4)).apply(np.ones((5, 5)))
+
+    def test_reshape_scores_round_trip(self):
+        plan = MaskPlan.blocks((4, 4), (2, 2))
+        grid = plan.reshape_scores(np.arange(4.0))
+        assert grid.shape == (2, 2)
+        with pytest.raises(ValueError):
+            plan.reshape_scores(np.arange(5.0))
+
+
+class TestBatchedEqualsLooped:
+    @pytest.mark.parametrize("name,make_plan", PLANS)
+    @pytest.mark.parametrize("reduction", ["l2", "l1", "mean_abs", "max_abs"])
+    def test_all_granularities_and_reductions(self, name, make_plan, reduction):
+        x, kernel, y = fitted_setup(seed=3)
+        plan = make_plan(x.shape)
+        batched = score_plan(x, kernel, y, plan, reduction=reduction, method="batched")
+        looped = score_plan(x, kernel, y, plan, reduction=reduction, method="loop")
+        np.testing.assert_allclose(batched, looped, atol=1e-10)
+        assert batched.shape == plan.output_shape
+
+    def test_non_zero_fill_value_under_batching(self):
+        x, kernel, y = fitted_setup(seed=4)
+        plan = MaskPlan.blocks(x.shape, (4, 4))
+        fill = float(x.mean())
+        batched = score_plan(x, kernel, y, plan, method="batched", fill_value=fill)
+        looped = score_plan(x, kernel, y, plan, method="loop", fill_value=fill)
+        np.testing.assert_allclose(batched, looped, atol=1e-10)
+        # A non-zero baseline genuinely changes the scores.
+        zero_fill = score_plan(x, kernel, y, plan, method="batched")
+        assert not np.allclose(batched, zero_fill)
+
+    def test_non_square_plane(self):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((4, 8))
+        kernel = rng.standard_normal((4, 8))
+        y = fft_circular_convolve2d(x, kernel)
+        plan = MaskPlan.columns(x.shape)
+        np.testing.assert_allclose(
+            score_plan(x, kernel, y, plan, method="batched"),
+            score_plan(x, kernel, y, plan, method="loop"),
+            atol=1e-10,
+        )
+
+    def test_device_and_pure_numpy_agree(self):
+        x, kernel, y = fitted_setup(seed=6)
+        plan = MaskPlan.rows(x.shape)
+        pure = score_plan(x, kernel, y, plan, method="batched")
+        on_cpu = score_plan(x, kernel, y, plan, method="batched", device=CpuDevice())
+        np.testing.assert_allclose(pure, on_cpu, atol=1e-10)
+
+    def test_validation(self):
+        x, kernel, y = fitted_setup(seed=7)
+        plan = MaskPlan.columns(x.shape)
+        with pytest.raises(ValueError):
+            score_plan(x, kernel, y, plan, method="magic")
+        with pytest.raises(ValueError):
+            score_plan(x, kernel, y, plan, reduction="median")
+        with pytest.raises(ValueError):
+            score_plan(x, kernel, np.ones((4, 4)), plan)
+        with pytest.raises(ValueError):
+            score_plan(x, kernel, y, MaskPlan.columns((4, 4)))
+
+
+class TestBatchedDeviceAccounting:
+    """The acceptance contract: kernel spectrum once per plan, one TPU
+    dispatch per standalone plan, per-op records on eager backends."""
+
+    def test_kernel_spectrum_computed_once_per_plan(self):
+        x, kernel, y = fitted_setup()
+        for device in (CpuDevice(), GpuDevice(), small_backend()):
+            plan = MaskPlan.blocks(x.shape, (2, 2))
+            score_plan(x, kernel, y, plan, method="batched", device=device)
+            assert device.stats.op_counts["fft2"] == 1
+
+    def test_cpu_and_gpu_record_per_op_batch_entries(self):
+        x, kernel, y = fitted_setup(seed=1)
+        plan = MaskPlan.blocks(x.shape, (2, 2))
+        for device in (CpuDevice(), GpuDevice()):
+            score_plan(x, kernel, y, plan, method="batched", device=device)
+            counts = device.stats.op_counts
+            assert counts["fft2_batch"] == plan.num_masks
+            assert counts["ifft2_batch"] == plan.num_masks
+            assert counts["hadamard_mul_batch"] == plan.num_masks
+            assert "dispatch" not in counts
+
+    def test_tpu_standalone_plan_records_one_dispatch(self):
+        x, kernel, y = fitted_setup(seed=2)
+        backend = small_backend()
+        plan = MaskPlan.columns(x.shape)
+        score_plan(x, kernel, y, plan, method="batched", device=backend)
+        counts = backend.stats.op_counts
+        assert counts["dispatch"] == 1
+        assert counts["conv2d_batch"] == 1
+        assert counts["infeed"] == 1 and counts["outfeed"] == 1
+        assert "fft2_batch" not in counts
+
+    def test_tpu_plan_inside_program_adds_no_dispatch(self):
+        x, kernel, y = fitted_setup(seed=3)
+        backend = small_backend()
+        plan = MaskPlan.columns(x.shape)
+        with backend.program(infeed_bytes=x.nbytes):
+            score_plan(x, kernel, y, plan, method="batched", device=backend)
+        counts = backend.stats.op_counts
+        assert counts["dispatch"] == 1  # the program's own dispatch only
+        assert counts["conv2d_batch"] == 1
+
+    def test_loop_mode_still_pays_per_mask_round_trips(self):
+        x, kernel, y = fitted_setup(seed=4)
+        backend = small_backend()
+        plan = MaskPlan.columns(x.shape)
+        score_plan(x, kernel, y, plan, method="loop", device=backend)
+        assert backend.stats.op_counts["conv_round_trip"] == plan.num_masks
+
+    def test_batched_cheaper_than_looped_on_every_backend(self):
+        for device_factory in (CpuDevice, GpuDevice, small_backend):
+            x, kernel, y = fitted_setup(seed=5)
+            plan = MaskPlan.elements(x.shape)
+            looped_device = device_factory()
+            score_plan(x, kernel, y, plan, method="loop", device=looped_device)
+            batched_device = device_factory()
+            score_plan(x, kernel, y, plan, method="batched", device=batched_device)
+            assert batched_device.stats.seconds < looped_device.stats.seconds
+
+    def test_batch_conv_seconds_validation(self):
+        with pytest.raises(ValueError):
+            CpuDevice().batch_conv_seconds(0, 8, 8)
+        with pytest.raises(ValueError):
+            small_backend().batch_conv_seconds(-1, 8, 8)
+
+    def test_conv2d_circular_batch_validation(self):
+        device = CpuDevice()
+        with pytest.raises(ValueError):
+            device.conv2d_circular_batch(np.ones((4, 4)), np.ones((4, 4)))
+        with pytest.raises(ValueError):
+            device.conv2d_circular_batch(np.ones((2, 4, 4)), np.ones((5, 5)))
+
+    def test_conv2d_circular_batch_matches_looped_convolutions(self):
+        rng = np.random.default_rng(8)
+        stack = rng.standard_normal((5, 6, 6))
+        kernel = rng.standard_normal((6, 6))
+        device = CpuDevice()
+        batched = device.conv2d_circular_batch(stack, kernel)
+        for plane, expected in zip(stack, batched):
+            np.testing.assert_allclose(
+                fft_circular_convolve2d(plane, kernel), expected, atol=1e-10
+            )
+
+
+class TestPipelineMethods:
+    @pytest.mark.parametrize("granularity,kwargs", [
+        ("blocks", {"block_shape": (2, 2)}),
+        ("columns", {}),
+        ("rows", {}),
+        ("elements", {}),
+    ])
+    def test_batched_and_loop_pipelines_agree(self, granularity, kwargs):
+        rng = np.random.default_rng(9)
+        x = rng.standard_normal((8, 8))
+        x[0, 0] += 40.0
+        kernel = rng.standard_normal((8, 8))
+        y = fft_circular_convolve2d(x, kernel)
+        runs = {}
+        for method in ("batched", "loop"):
+            pipeline = ExplanationPipeline(
+                CpuDevice(), granularity=granularity, eps=1e-8,
+                method=method, **kwargs,
+            )
+            runs[method] = pipeline.run([(x, y)])
+        np.testing.assert_allclose(
+            runs["batched"].explanations[0].scores,
+            runs["loop"].explanations[0].scores,
+            atol=1e-8,
+        )
+
+    def test_batched_pipeline_simulated_faster(self):
+        rng = np.random.default_rng(10)
+        x = rng.standard_normal((16, 16))
+        x[0, 0] += 80.0
+        kernel = rng.standard_normal((16, 16))
+        y = fft_circular_convolve2d(x, kernel)
+        seconds = {}
+        for method in ("batched", "loop"):
+            pipeline = ExplanationPipeline(
+                small_backend(), granularity="blocks", block_shape=(2, 2),
+                eps=1e-8, method=method,
+            )
+            seconds[method] = pipeline.run([(x, y)]).simulated_seconds
+        assert seconds["batched"] < seconds["loop"]
+
+    def test_tpu_batched_pipeline_one_dispatch_per_pair(self):
+        rng = np.random.default_rng(11)
+        pairs = []
+        for _ in range(2):
+            x = rng.standard_normal((8, 8))
+            x[0, 0] += 40.0
+            kernel = rng.standard_normal((8, 8))
+            pairs.append((x, fft_circular_convolve2d(x, kernel)))
+        pipeline = ExplanationPipeline(
+            small_backend(), granularity="blocks", block_shape=(4, 4), eps=1e-8
+        )
+        run = pipeline.run(pairs)
+        # One program dispatch per pair; the batched plan adds none, and
+        # only the residual convolution still pays a host round trip.
+        assert run.stats.op_counts["dispatch"] == 2
+        assert run.stats.op_counts["conv_round_trip"] == 2
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            ExplanationPipeline(CpuDevice(), granularity="columns", method="magic")

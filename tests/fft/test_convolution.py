@@ -173,3 +173,62 @@ class TestProperties:
         combined = fft_circular_convolve2d(x1 + x2, k)
         separate = fft_circular_convolve2d(x1, k) + fft_circular_convolve2d(x2, k)
         np.testing.assert_allclose(combined, separate, atol=1e-7)
+
+
+class TestBatchedCircular2D:
+    """fft_circular_convolve2d_batch: one kernel spectrum, many inputs."""
+
+    @pytest.mark.parametrize("shape", [(4, 4), (3, 5), (8, 8), (4, 8)])
+    def test_matches_per_plane_convolution(self, shape):
+        from repro.fft import fft_circular_convolve2d_batch
+
+        rng = np.random.default_rng(shape[0] + shape[1])
+        stack = rng.standard_normal((6,) + shape)
+        kernel = rng.standard_normal(shape)
+        batched = fft_circular_convolve2d_batch(stack, kernel)
+        for plane, result in zip(stack, batched):
+            np.testing.assert_array_equal(result, fft_circular_convolve2d(plane, kernel))
+
+    def test_precomputed_kernel_spectrum_reused(self):
+        from repro.fft import fft_circular_convolve2d_batch
+
+        rng = np.random.default_rng(3)
+        stack = rng.standard_normal((4, 8, 8))
+        kernel = rng.standard_normal((8, 8))
+        spectrum = fft2(kernel)
+        np.testing.assert_array_equal(
+            fft_circular_convolve2d_batch(stack, kernel, kernel_spectrum=spectrum),
+            fft_circular_convolve2d_batch(stack, kernel),
+        )
+
+    def test_complex_inputs_stay_complex(self):
+        from repro.fft import fft_circular_convolve2d_batch
+
+        rng = np.random.default_rng(4)
+        stack = rng.standard_normal((2, 4, 4)) + 1j * rng.standard_normal((2, 4, 4))
+        kernel = rng.standard_normal((4, 4))
+        assert np.iscomplexobj(fft_circular_convolve2d_batch(stack, kernel))
+
+    def test_validation(self):
+        from repro.fft import fft_circular_convolve2d_batch
+
+        with pytest.raises(ValueError):
+            fft_circular_convolve2d_batch(np.ones((4, 4)), np.ones((4, 4)))
+        with pytest.raises(ValueError):
+            fft_circular_convolve2d_batch(np.ones((2, 4, 4)), np.ones((5, 5)))
+        with pytest.raises(ValueError):
+            fft_circular_convolve2d_batch(np.ones((0, 4, 4)), np.ones((4, 4)))
+
+    def test_chunked_batches_bit_identical(self):
+        """Batches larger than the internal chunk size must not change
+        any per-plane result."""
+        from repro.fft import fft_circular_convolve2d_batch
+        from repro.fft.convolution import _CONV_BATCH_CHUNK
+
+        rng = np.random.default_rng(5)
+        batch = _CONV_BATCH_CHUNK + 7
+        stack = rng.standard_normal((batch, 8, 8))
+        kernel = rng.standard_normal((8, 8))
+        batched = fft_circular_convolve2d_batch(stack, kernel)
+        for plane, result in zip(stack, batched):
+            np.testing.assert_array_equal(result, fft_circular_convolve2d(plane, kernel))

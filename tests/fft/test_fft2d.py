@@ -110,3 +110,66 @@ class TestProperties:
         rows_then_cols = fft2(x)
         cols_then_rows = fft2(x.T).T
         np.testing.assert_allclose(rows_then_cols, cols_then_rows, atol=1e-8)
+
+
+class TestBatchTransforms:
+    """fft2_batch / ifft2_batch: per-plane bit-identity with fft2/ifft2."""
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_fft2_batch_matches_per_plane(self, shape):
+        from repro.fft import fft2_batch
+
+        rng = np.random.default_rng(shape[0] * 10 + shape[1])
+        stack = rng.standard_normal((5,) + shape)
+        batched = fft2_batch(stack)
+        for plane, result in zip(stack, batched):
+            np.testing.assert_array_equal(result, fft2(plane))
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_ifft2_batch_round_trip(self, shape):
+        from repro.fft import fft2_batch, ifft2_batch
+
+        rng = np.random.default_rng(shape[0] * 10 + shape[1] + 1)
+        stack = rng.standard_normal((3,) + shape) + 1j * rng.standard_normal(
+            (3,) + shape
+        )
+        np.testing.assert_allclose(ifft2_batch(fft2_batch(stack)), stack, atol=1e-8)
+
+    def test_ifft2_batch_matches_per_plane(self):
+        from repro.fft import ifft2_batch
+
+        rng = np.random.default_rng(7)
+        stack = rng.standard_normal((4, 8, 8)) + 1j * rng.standard_normal((4, 8, 8))
+        batched = ifft2_batch(stack)
+        for plane, result in zip(stack, batched):
+            np.testing.assert_array_equal(result, ifft2(plane))
+
+    def test_plain_matrix_is_zero_axis_batch(self):
+        from repro.fft import fft2_batch
+
+        x = np.random.default_rng(8).standard_normal((4, 6))
+        np.testing.assert_array_equal(fft2_batch(x), fft2(x))
+
+    def test_multi_axis_batch(self):
+        from repro.fft import fft2_batch
+
+        stack = np.random.default_rng(9).standard_normal((2, 3, 4, 4))
+        batched = fft2_batch(stack)
+        assert batched.shape == (2, 3, 4, 4)
+        np.testing.assert_array_equal(batched[1, 2], fft2(stack[1, 2]))
+
+    def test_batch_norms_follow_fft2(self):
+        from repro.fft import fft2_batch
+
+        x = np.random.default_rng(10).standard_normal((2, 4, 4))
+        np.testing.assert_array_equal(
+            fft2_batch(x, norm="ortho")[0], fft2(x[0], norm="ortho")
+        )
+
+    def test_invalid_batch_inputs_rejected(self):
+        from repro.fft import fft2_batch, ifft2_batch
+
+        with pytest.raises(ValueError):
+            fft2_batch(np.ones(4))
+        with pytest.raises(ValueError):
+            ifft2_batch(np.zeros((2, 0, 4)))

@@ -255,3 +255,37 @@ class TestTpuChip:
             TpuChipConfig(num_cores=0)
         with pytest.raises(ValueError):
             TpuChipConfig(dispatch_latency_sec=-1.0)
+
+
+class TestHadamardCostModel:
+    """Complex point-wise flops are op-dependent: mul/div cost 4 real
+    flops per element, add/sub only 2 (two real adds)."""
+
+    @pytest.mark.parametrize("name,factory", DEVICES)
+    def test_complex_add_cheaper_than_complex_mul(self, name, factory):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((64, 64)) + 1j * rng.standard_normal((64, 64))
+        b = rng.standard_normal((64, 64)) + 1j * rng.standard_normal((64, 64))
+        device = factory()
+        device.hadamard(a, b, op="mul")
+        mul_seconds = device.take_stats().seconds
+        device.hadamard(a, b, op="add")
+        add_seconds = device.take_stats().seconds
+        if name == "cpu":
+            # The CPU roofline is memory-bound at these intensities, so
+            # the cheaper flop count is hidden behind bandwidth.
+            assert add_seconds <= mul_seconds
+        else:
+            assert add_seconds < mul_seconds
+        device.hadamard(a, b, op="sub")
+        assert device.take_stats().seconds == pytest.approx(add_seconds)
+        device.hadamard(a, b, op="div")
+        assert device.take_stats().seconds == pytest.approx(mul_seconds)
+
+    def test_real_ops_unaffected(self):
+        device = CpuDevice()
+        a = np.ones((32, 32))
+        device.hadamard(a, a, op="add")
+        add_seconds = device.take_stats().seconds
+        device.hadamard(a, a, op="mul")
+        assert device.take_stats().seconds == pytest.approx(add_seconds)
