@@ -44,8 +44,11 @@ def pair():
 
 def _simulated_seconds(device, pair, method):
     x, kernel, y = pair
+    # Pair fusion isolates the per-pair batching axis this benchmark
+    # measures; cross-pair wave fusion is bench_fleet_interpretation.py.
     pipeline = ExplanationPipeline(
-        device, granularity="blocks", block_shape=BLOCK, eps=1e-8, method=method
+        device, granularity="blocks", block_shape=BLOCK, eps=1e-8, method=method,
+        fusion="pair",
     )
     return pipeline.run([(x, y)]).simulated_seconds
 

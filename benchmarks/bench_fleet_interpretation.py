@@ -1,0 +1,212 @@
+"""Fleet-scale interpretation: wave-fused vs per-pair execution.
+
+Reports Table II-style numbers at fleet scale (1 / 10 / 100 pairs) for
+the paper's two interpretation workloads, in three execution modes:
+
+* ``loop``  -- the paper's measured per-feature execution (Table II;
+  unchanged by the fleet refactor, asserted below);
+* ``pair``  -- the PR-1 batched engine, one program per pair;
+* ``wave``  -- the fleet executor, one batched program per scheduler
+  wave (one dispatch per wave on the TPU).
+
+Shape contracts asserted (also run by CI via the ``--quick`` smoke
+mode): wave-fused TPU dispatch count strictly below the per-pair
+count, wave simulated seconds below pair seconds on every backend, the
+wave gain growing with fleet size on the TPU, bit-identical scores
+across fusion modes, and the wave cost model agreeing with the
+executed pipeline.
+
+Runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_fleet_interpretation.py [--quick]
+"""
+
+import argparse
+import sys
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import (
+    InterpretationWorkload,
+    fleet_interpretation_seconds,
+    interpretation_seconds,
+    resnet50_interpretation_workload,
+    vgg19_interpretation_workload,
+)
+from repro.core.backend import TpuBackend, make_tpu_chip
+from repro.core.pipeline import ExplanationPipeline
+from repro.fft import fft_circular_convolve2d
+from repro.hw.cpu import CpuDevice
+from repro.hw.gpu import GpuDevice
+
+FLEET_SIZES = (1, 10, 100)
+SHAPE = (16, 16)
+BLOCK = (4, 4)
+
+
+def small_backend(num_cores=8):
+    return TpuBackend(
+        make_tpu_chip(num_cores=num_cores, precision="fp32", mxu_rows=8, mxu_cols=8)
+    )
+
+
+def planted_pairs(count, shape=SHAPE, seed=0):
+    rng = np.random.default_rng(seed)
+    pairs = []
+    for _ in range(count):
+        x = rng.standard_normal(shape)
+        x[0, 0] += 5.0 * np.prod(shape) ** 0.5
+        kernel = rng.standard_normal(shape)
+        pairs.append((x, fft_circular_convolve2d(x, kernel)))
+    return pairs
+
+
+def _run(fusion, pairs, device=None):
+    pipeline = ExplanationPipeline(
+        device or small_backend(), granularity="blocks", block_shape=BLOCK,
+        eps=1e-8, fusion=fusion,
+    )
+    return pipeline.run(pairs)
+
+
+# ----------------------------------------------------------------------
+# Executed-pipeline contracts
+# ----------------------------------------------------------------------
+
+
+def test_wave_dispatch_count_below_pair_dispatch_count():
+    """The acceptance contract: a fused fleet costs one dispatch per
+    wave where per-pair execution costs one program (plus one residual
+    round trip) per pair."""
+    pairs = planted_pairs(10)
+    wave = _run("wave", pairs)
+    pair = _run("pair", pairs)
+    assert wave.stats.op_counts["dispatch"] == 1
+    assert pair.stats.op_counts["dispatch"] == 10
+    assert wave.stats.op_counts["dispatch"] < pair.stats.op_counts["dispatch"]
+    assert "conv_round_trip" not in wave.stats.op_counts
+    assert wave.simulated_seconds < pair.simulated_seconds
+
+
+def test_scores_bit_identical_across_fusion():
+    pairs = planted_pairs(6, seed=1)
+    wave = _run("wave", pairs)
+    pair = _run("pair", pairs)
+    for a, b in zip(pair.explanations, wave.explanations):
+        np.testing.assert_array_equal(a.scores, b.scores)
+        np.testing.assert_array_equal(a.kernel, b.kernel)
+        assert a.residual == b.residual
+
+
+@pytest.mark.parametrize(
+    "device_factory",
+    [CpuDevice, GpuDevice, small_backend],
+    ids=["cpu", "gpu", "tpu"],
+)
+def test_wave_cost_model_matches_executed_pipeline(device_factory):
+    """fleet_interpretation_seconds(fusion="wave") mirrors the executed
+    wave pipeline the way interpretation_seconds mirrors pair mode."""
+    pairs = planted_pairs(3, seed=2)
+    executed = _run("wave", pairs, device=device_factory()).simulated_seconds
+    workload = InterpretationWorkload(
+        name="mini", plane=SHAPE, num_features=16, pairs=3
+    )
+    modeled = fleet_interpretation_seconds(
+        device_factory(), workload, fusion="wave"
+    )
+    assert modeled == pytest.approx(executed, rel=0.05)
+
+
+def test_loop_mode_numbers_unchanged_by_fleet_refactor():
+    """Table II regenerates from the same per-pair loop arithmetic."""
+    workload = vgg19_interpretation_workload()
+    for device_factory in (CpuDevice, GpuDevice, lambda: TpuBackend(make_tpu_chip())):
+        assert fleet_interpretation_seconds(
+            device_factory(), workload, method="loop"
+        ) == interpretation_seconds(device_factory(), workload, method="loop")
+
+
+def test_tpu_wave_gain_grows_with_fleet_size():
+    def gain(n):
+        device = TpuBackend(make_tpu_chip())
+        workload = vgg19_interpretation_workload(pairs=n)
+        pair = fleet_interpretation_seconds(device, workload, fusion="pair")
+        wave = fleet_interpretation_seconds(device, workload, fusion="wave")
+        return pair / wave
+
+    gains = [gain(n) for n in FLEET_SIZES]
+    assert gains == sorted(gains)
+    assert gains[-1] > gains[0]
+
+
+# ----------------------------------------------------------------------
+# Report + CLI smoke mode
+# ----------------------------------------------------------------------
+
+
+def _report(fleet_sizes=FLEET_SIZES) -> str:
+    lines = [
+        "FLEET-SCALE INTERPRETATION (simulated seconds per fleet)",
+        f"{'workload':10s} {'pairs':>5s} {'device':6s} "
+        f"{'loop':>12s} {'pair':>12s} {'wave':>12s} {'wave gain':>9s}",
+    ]
+    for make_workload in (vgg19_interpretation_workload, resnet50_interpretation_workload):
+        for pairs in fleet_sizes:
+            workload = make_workload(pairs=pairs)
+            for name, factory in [
+                ("CPU", CpuDevice),
+                ("GPU", GpuDevice),
+                ("TPU", lambda: TpuBackend(make_tpu_chip())),
+            ]:
+                loop = fleet_interpretation_seconds(
+                    factory(), workload, method="loop"
+                )
+                pair = fleet_interpretation_seconds(factory(), workload, fusion="pair")
+                wave = fleet_interpretation_seconds(factory(), workload, fusion="wave")
+                lines.append(
+                    f"{workload.name:10s} {pairs:5d} {name:6s} "
+                    f"{loop:12.4f} {pair:12.4f} {wave:12.4f} {pair / wave:8.2f}x"
+                )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small fleet, executed-dispatch assertion only",
+    )
+    args = parser.parse_args(argv)
+
+    fleet = 10 if args.quick else 100
+    pairs = planted_pairs(fleet)
+    wave = _run("wave", pairs)
+    pair = _run("pair", pairs)
+    wave_dispatches = wave.stats.op_counts["dispatch"]
+    pair_dispatches = pair.stats.op_counts["dispatch"]
+    print(
+        f"executed {fleet}-pair fleet on {small_backend().name}: "
+        f"dispatches pair={pair_dispatches} wave={wave_dispatches}, "
+        f"seconds pair={pair.simulated_seconds:.4f} "
+        f"wave={wave.simulated_seconds:.4f} "
+        f"({pair.simulated_seconds / wave.simulated_seconds:.1f}x)"
+    )
+    if wave_dispatches >= pair_dispatches:
+        print(
+            "FAIL: wave-fused dispatch count must be below per-pair count",
+            file=sys.stderr,
+        )
+        return 1
+    for a, b in zip(pair.explanations, wave.explanations):
+        if not np.array_equal(a.scores, b.scores):
+            print("FAIL: wave scores diverge from per-pair scores", file=sys.stderr)
+            return 1
+    print()
+    print(_report(fleet_sizes=(1, 10) if args.quick else FLEET_SIZES))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

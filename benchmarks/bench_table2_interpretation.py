@@ -98,8 +98,12 @@ class TestCostModelMatchesPipeline:
             pairs.append((x, fft_circular_convolve2d(x, kernel)))
 
         device = device_factory()
+        # Pin pair fusion: interpretation_seconds models the historical
+        # per-pair execution (wave fusion is modeled and asserted by
+        # bench_fleet_interpretation.py).
         pipeline = ExplanationPipeline(
-            device, granularity="blocks", block_shape=(8, 8), eps=1e-8, method=method
+            device, granularity="blocks", block_shape=(8, 8), eps=1e-8,
+            method=method, fusion="pair",
         )
         executed = pipeline.run(pairs).simulated_seconds
 

@@ -235,6 +235,22 @@ def resnet50_interpretation_workload(pairs: int = 10) -> InterpretationWorkload:
     )
 
 
+def _solve_seconds(device, m: int, n: int) -> float:
+    """One Eq. 4 distillation solve on an ``m x n`` plane.
+
+    Three 2-D transforms plus the Hadamard stages: conjugate, two
+    complex multiplies, the eps regularizer add, and the Hadamard
+    division.  Shared by every interpretation cost model so the solve
+    arithmetic cannot drift between the per-pair and fleet variants.
+    """
+    elements = m * n
+    seconds = 3 * device.fft2_seconds(m, n)
+    seconds += device.elementwise_seconds(elements, 0.5)  # conjugate
+    seconds += 3 * device.elementwise_seconds(elements, 4.0)  # complex mul/mul/div
+    seconds += device.elementwise_seconds(elements, 2.0)  # eps regularizer add
+    return seconds
+
+
 def interpretation_seconds(
     device, workload: InterpretationWorkload, method: str = "loop"
 ) -> float:
@@ -275,12 +291,7 @@ def interpretation_seconds(
     m, n = workload.plane
     elements = m * n
     transform = device.fft2_seconds(m, n)
-
-    solve = 3 * transform
-    solve += device.elementwise_seconds(elements, 0.5)  # conjugate
-    solve += 3 * device.elementwise_seconds(elements, 4.0)  # complex mul/mul/div
-    solve += device.elementwise_seconds(elements, 2.0)  # eps regularizer add
-
+    solve = _solve_seconds(device, m, n)
     conv = 3 * transform + device.elementwise_seconds(elements, 4.0)
 
     if method == "loop":
@@ -310,6 +321,69 @@ def interpretation_seconds(
     return workload.pairs * (per_pair + overhead)
 
 
+def fleet_interpretation_seconds(
+    device,
+    workload: InterpretationWorkload,
+    method: str = "batched",
+    fusion: str = "wave",
+    pairs_per_wave: int | None = None,
+) -> float:
+    """Cost of the distill-and-interpret fleet under cross-pair fusion.
+
+    Mirrors :class:`repro.core.pipeline.ExplanationPipeline` with its
+    ``fusion`` axis.  ``fusion="pair"`` (and ``method="loop"``, which is
+    inherently pair-at-a-time) reduces exactly to
+    :func:`interpretation_seconds` -- the per-pair arithmetic is
+    unchanged, keeping the Table II numbers stable.  ``fusion="wave"``
+    models the wave-fused executor: the fleet's ``pairs`` fuse into
+    waves of ``pairs_per_wave`` (default: one wave for the whole
+    fleet), and each wave costs
+
+    * one per-pair Eq. 4 solve (unchanged),
+    * one kernel-spectrum batch for the wave's kernels
+      (``device.kernel_spectrum_batch_seconds``),
+    * **one** batched convolution over every pair's masks *plus* its
+      unmasked residual plane
+      (``device.batch_conv_seconds(P * (features + 1))``),
+    * and, on the TPU, **one** program round trip for the wave --
+      dispatch count drops from ~N per fleet to ~1 per wave.
+    """
+    if method not in ("loop", "batched"):
+        raise ValueError(f"unknown method {method!r}; expected 'loop' or 'batched'")
+    if fusion not in ("wave", "pair"):
+        raise ValueError(f"unknown fusion {fusion!r}; expected 'wave' or 'pair'")
+    if method == "loop" or fusion == "pair":
+        return interpretation_seconds(device, workload, method=method)
+    if pairs_per_wave is None:
+        pairs_per_wave = workload.pairs
+    if pairs_per_wave <= 0:
+        raise ValueError(f"pairs_per_wave must be positive, got {pairs_per_wave}")
+
+    m, n = workload.plane
+    elements = m * n
+    solve = _solve_seconds(device, m, n)
+
+    total = 0.0
+    remaining = workload.pairs
+    while remaining > 0:
+        wave_pairs = min(pairs_per_wave, remaining)
+        remaining -= wave_pairs
+        rows = wave_pairs * (workload.num_features + 1)  # masks + residuals
+        wave = wave_pairs * solve
+        wave += device.kernel_spectrum_batch_seconds(wave_pairs, m, n)
+        wave += device.batch_conv_seconds(rows, m, n)
+        # One program per wave: x/y stream in as fp32 per pair, the
+        # fp64 kernels stream back (the loop model's per-pair feed,
+        # amortized over one launch).
+        feed = device.transfer_seconds(wave_pairs * elements * (4 + 4 + 8))
+        if isinstance(device, TpuBackend):
+            wave += device.chip.config.dispatch_latency_sec + feed
+        else:
+            wave += feed
+        total += wave
+    return total
+
+
 # ----------------------------------------------------------------------
 # Figure 4: scalability of one 2-D transform
 # ----------------------------------------------------------------------
@@ -330,10 +404,7 @@ def figure4_solve_seconds(device, size: int) -> float:
     elements = size * size
     # x and y stream in as fp32, the solved fp64 kernel streams back.
     feed_bytes = elements * (4 + 4 + 8)
-    compute = 3 * device.fft2_seconds(size, size)
-    compute += device.elementwise_seconds(elements, 0.5)
-    compute += 3 * device.elementwise_seconds(elements, 4.0)
-    compute += device.elementwise_seconds(elements, 2.0)
+    compute = _solve_seconds(device, size, size)
     if isinstance(device, TpuBackend):
         return (
             device.chip.config.dispatch_latency_sec

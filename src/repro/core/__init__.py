@@ -12,6 +12,9 @@ Layout mirrors Section III of the paper:
   :class:`MaskPlan` mask stacks scored as one batched device program;
 * :mod:`repro.core.decomposition`   -- Algorithm 1: sharding the 2-D
   Fourier transform across TPU cores with one reassembly per stage;
+* :mod:`repro.core.fleet`           -- fleet-scale wave fusion: many
+  pairs' mask plans and residual planes concatenated into one batched
+  program per scheduler wave (one dispatch per wave);
 * :mod:`repro.core.parallel`        -- Section III-D: concurrent
   processing of many inputs and block-partitioned matmuls;
 * :mod:`repro.core.backend`         -- the multi-core TPU chip exposed
@@ -29,17 +32,34 @@ from repro.core.decomposition import (
     shard_slices,
 )
 from repro.core.distillation import ConvolutionDistiller, NotFittedError
+from repro.core.fleet import (
+    FleetExecutor,
+    FleetRun,
+    FleetSchedule,
+    PairResult,
+    WavePlan,
+)
 from repro.core.interpretation import (
     block_contributions,
     column_contributions,
     contribution_matrix,
+    element_scores_from_base,
     feature_contributions,
     mask_contribution,
     normalize_scores,
     row_contributions,
     top_k_features,
 )
-from repro.core.masking import MaskPlan, reduce_batch, score_plan
+from repro.core.masking import (
+    DEFAULT_STACK_BUDGET_BYTES,
+    MaskPlan,
+    MaskStackBudgetError,
+    SliceRow,
+    SliceTable,
+    check_stack_budget,
+    reduce_batch,
+    score_plan,
+)
 from repro.core.parallel import (
     Assignment,
     BatchDistillationResult,
@@ -88,8 +108,19 @@ __all__ = [
     "row_contributions",
     "top_k_features",
     "MaskPlan",
+    "MaskStackBudgetError",
+    "SliceRow",
+    "SliceTable",
+    "DEFAULT_STACK_BUDGET_BYTES",
+    "check_stack_budget",
     "reduce_batch",
     "score_plan",
+    "element_scores_from_base",
+    "FleetExecutor",
+    "FleetRun",
+    "FleetSchedule",
+    "PairResult",
+    "WavePlan",
     "Assignment",
     "AssignmentTable",
     "BatchResult",

@@ -166,6 +166,33 @@ class TpuBackend(Device):
         hadamard = self.elementwise_seconds(batch * m * n, flops_per_element=4.0)
         return 2.0 * fused_transform + hadamard
 
+    def kernel_spectrum_batch_seconds(self, batch: int, m: int, n: int) -> float:
+        """One fused wide transform for a wave's ``batch`` kernel spectra.
+
+        The pairs of a wave share the DFT matrices, so their kernel
+        transforms lower to the same wide sharded products as the data
+        stack (see :meth:`batch_conv_seconds`) instead of ``batch``
+        separate launches -- equal-shape pairs share one kernel-spectrum
+        batch.
+        """
+        if batch <= 0:
+            raise ValueError(f"batch must be positive, got {batch}")
+        factor = self.complex_matmul_real_products
+        return factor * (
+            self.matmul_seconds(m, m, batch * n)
+            + self.matmul_seconds(batch * m, n, n)
+        )
+
+    def _record_kernel_spectra(self, batch: int, m: int, n: int) -> None:
+        """One ``fft2_kernel_batch`` record for the fused spectrum batch."""
+        factor = self.complex_matmul_real_products
+        macs = factor * batch * (m * m * n + m * n * n)
+        self.stats.record(
+            "fft2_kernel_batch",
+            self.kernel_spectrum_batch_seconds(batch, m, n),
+            macs=macs,
+        )
+
     def _record_batch_conv(self, batch: int, m: int, n: int) -> None:
         """One ``conv2d_batch`` record for the fused program.
 

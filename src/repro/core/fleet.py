@@ -1,0 +1,390 @@
+"""Fleet-scale wave fusion: one batched program per scheduler wave.
+
+The paper's second acceleration lever -- "parallel computation of
+multiple inputs" (Section III-D) -- concerns *many* input-output pairs
+at once.  The batched occlusion engine (:mod:`repro.core.masking`) made
+each pair's mask plan a single device batch, but a fleet of N pairs
+still paid one program dispatch, one infeed and one eager residual
+convolution *per pair*.  This module removes that last per-pair axis:
+
+* :class:`FleetSchedule` -- wave planning: pairs of equal plane shape
+  are grouped into **waves**, each wave sized to a configurable stack
+  budget (:class:`~repro.core.masking.MaskStackBudgetError` guards the
+  rest);
+* :class:`FleetExecutor` -- wave execution: a wave's mask plans are
+  concatenated, together with each pair's *unmasked* residual plane,
+  into one ``(sum(num_masks_i) + P, M, N)`` cross-pair stack whose rows
+  a :class:`~repro.core.masking.SliceTable` maps back to
+  ``(pair, feature)``; the whole stack is scored by **one**
+  ``device.conv2d_circular_batch`` call (per-row kernels, one
+  kernel-spectrum batch shared by the wave's pairs) inside **one**
+  ``device.program`` scope per wave.
+
+On the TPU backend that is one dispatch round trip per *wave* instead
+of one per pair plus one per residual convolution -- the
+batching-across-instances efficiency axis of the companion TPU paper
+(Pan & Mishra 2021) and the Efficient-XAI survey (Chuang et al. 2023).
+Scores, kernels and residuals are bit-identical to per-pair execution:
+the batched FFT kernels are plane-independent, so fusing rows across
+pairs changes only the cost ledger, never the numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.distillation import ConvolutionDistiller
+from repro.core.interpretation import element_scores_from_base
+from repro.core.masking import (
+    DEFAULT_STACK_BUDGET_BYTES,
+    MaskPlan,
+    REDUCTIONS,
+    SliceTable,
+    check_stack_budget,
+    reduce_batch,
+)
+from repro.core.transform import OutputEmbedding
+from repro.hw.device import Device, DeviceStats
+
+GRANULARITIES = ("blocks", "columns", "rows", "elements")
+
+FLOAT_BYTES = 8  # the fused stack is materialized in float64
+
+
+@dataclass(frozen=True)
+class WavePlan:
+    """One wave: the pairs fused into a single batched program."""
+
+    pair_indices: tuple[int, ...]
+    plane_shape: tuple[int, int]
+    num_rows: int  # mask rows plus one residual row per pair
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self.pair_indices)
+
+    @property
+    def stack_nbytes(self) -> int:
+        """Bytes of the wave's materialized float64 stack."""
+        m, n = self.plane_shape
+        return self.num_rows * m * n * FLOAT_BYTES
+
+
+@dataclass(frozen=True)
+class FleetSchedule:
+    """Wave decomposition of a fleet of pairs.
+
+    Waves preserve pair order within each plane-shape group; pairs of
+    different shapes cannot share a stack and therefore land in
+    different waves (first-seen shape order).
+    """
+
+    waves: tuple[WavePlan, ...]
+
+    @property
+    def num_waves(self) -> int:
+        return len(self.waves)
+
+    @property
+    def num_pairs(self) -> int:
+        return sum(wave.num_pairs for wave in self.waves)
+
+    @classmethod
+    def plan(
+        cls,
+        plane_shapes,
+        mask_counts,
+        max_stack_bytes: int | None = DEFAULT_STACK_BUDGET_BYTES,
+        max_pairs_per_wave: int | None = None,
+        complex_flags=None,
+    ) -> "FleetSchedule":
+        """Group pairs into budgeted waves.
+
+        ``plane_shapes[i]`` is pair ``i``'s ``(M, N)`` plane;
+        ``mask_counts[i]`` the number of masks its plan contributes (0
+        for the ``elements`` fast path).  Every pair also contributes
+        one residual row.  A wave closes when adding the next pair would
+        push its stack past ``max_stack_bytes`` (or its pair count past
+        ``max_pairs_per_wave``); a single pair that alone exceeds the
+        budget raises :class:`~repro.core.masking.MaskStackBudgetError`
+        up front, pointing at ``method="loop"``.
+
+        ``complex_flags[i]`` marks a pair whose convolutions are
+        complex-valued.  Real and complex pairs never share a wave:
+        concatenating them would upcast the real pairs' rows to
+        complex128 and keep inverse-transform roundoff imaginaries that
+        per-pair execution drops via ``.real`` -- breaking bit-identity
+        in the last ulp.
+        """
+        plane_shapes = [tuple(int(v) for v in shape) for shape in plane_shapes]
+        mask_counts = [int(count) for count in mask_counts]
+        if len(plane_shapes) != len(mask_counts):
+            raise ValueError(
+                f"{len(plane_shapes)} plane shapes for {len(mask_counts)} mask counts"
+            )
+        if not plane_shapes:
+            raise ValueError("cannot plan an empty fleet")
+        if max_pairs_per_wave is not None and max_pairs_per_wave <= 0:
+            raise ValueError(
+                f"max_pairs_per_wave must be positive, got {max_pairs_per_wave}"
+            )
+        if complex_flags is None:
+            complex_flags = [False] * len(plane_shapes)
+        complex_flags = [bool(flag) for flag in complex_flags]
+        if len(complex_flags) != len(plane_shapes):
+            raise ValueError(
+                f"{len(plane_shapes)} plane shapes for "
+                f"{len(complex_flags)} complex flags"
+            )
+        # Group pair indices by (plane shape, dtype class), first-seen order.
+        groups: dict[tuple[tuple[int, int], bool], list[int]] = {}
+        for index, shape in enumerate(plane_shapes):
+            groups.setdefault((shape, complex_flags[index]), []).append(index)
+        waves: list[WavePlan] = []
+        for (shape, _), indices in groups.items():
+            m, n = shape
+            plane_bytes = m * n * FLOAT_BYTES
+            current: list[int] = []
+            current_rows = 0
+            for index in indices:
+                pair_rows = mask_counts[index] + 1  # masks + residual plane
+                check_stack_budget(
+                    pair_rows * plane_bytes,
+                    max_stack_bytes,
+                    what=f"wave stack for pair {index}",
+                )
+                over_budget = (
+                    max_stack_bytes is not None
+                    and (current_rows + pair_rows) * plane_bytes > max_stack_bytes
+                )
+                over_count = (
+                    max_pairs_per_wave is not None
+                    and len(current) >= max_pairs_per_wave
+                )
+                if current and (over_budget or over_count):
+                    waves.append(WavePlan(tuple(current), shape, current_rows))
+                    current, current_rows = [], 0
+                current.append(index)
+                current_rows += pair_rows
+            if current:
+                waves.append(WavePlan(tuple(current), shape, current_rows))
+        return cls(waves=tuple(waves))
+
+
+@dataclass(frozen=True)
+class PairResult:
+    """Explanation artifacts for one pair of a fleet run."""
+
+    kernel: np.ndarray
+    scores: np.ndarray
+    residual: float
+
+
+@dataclass(frozen=True)
+class FleetRun:
+    """Outcome of a wave-fused fleet execution (input pair order).
+
+    ``stats`` is populated by callers that own the device ledger for
+    the whole run (e.g. ``MultiInputScheduler.explain_batch``); the
+    executor itself leaves ledger harvesting to its caller.
+    """
+
+    results: tuple[PairResult, ...]
+    schedule: FleetSchedule
+    stats: DeviceStats | None = None
+
+    @property
+    def num_waves(self) -> int:
+        return self.schedule.num_waves
+
+
+class FleetExecutor:
+    """Distill-then-interpret a fleet of pairs, one program per wave.
+
+    Parameters mirror :class:`~repro.core.pipeline.ExplanationPipeline`
+    (which delegates its ``fusion="wave"`` axis here): ``granularity``
+    selects the mask family, ``block_shape`` the tile size for
+    ``blocks``, ``eps``/``embedding`` configure the per-pair
+    distillation solve, ``reduction``/``fill_value`` the Eq. 5 scoring.
+    ``max_stack_bytes`` bounds each wave's materialized stack
+    (``None`` disables the guard) and ``max_pairs_per_wave`` optionally
+    caps wave width.
+
+    Execution per wave: one ``device.program`` scope whose infeed is
+    every fused pair's data and whose outfeed is their score planes;
+    inside it each pair's kernel is solved (Eq. 4), then all pairs'
+    masked variants and unmasked residual planes are scored by a single
+    batched convolution with per-row kernels.  The ``elements``
+    granularity contributes only its residual row and scores through
+    the linearity fast path, exactly as in per-pair execution.
+    """
+
+    def __init__(
+        self,
+        device: Device,
+        granularity: str = "blocks",
+        block_shape: tuple[int, int] | None = None,
+        eps: float = 1e-6,
+        embedding: OutputEmbedding | None = None,
+        reduction: str = "l2",
+        fill_value: float = 0.0,
+        max_stack_bytes: int | None = DEFAULT_STACK_BUDGET_BYTES,
+        max_pairs_per_wave: int | None = None,
+    ) -> None:
+        if granularity not in GRANULARITIES:
+            raise ValueError(
+                f"unknown granularity {granularity!r}; expected one of {GRANULARITIES}"
+            )
+        if granularity == "blocks" and block_shape is None:
+            raise ValueError("blocks granularity requires a block_shape")
+        if reduction not in REDUCTIONS:
+            raise ValueError(
+                f"unknown reduction {reduction!r}; expected one of {REDUCTIONS}"
+            )
+        self.device = device
+        self.granularity = granularity
+        self.block_shape = block_shape
+        self.eps = eps
+        self.embedding = embedding or OutputEmbedding("identity")
+        self.reduction = reduction
+        self.fill_value = fill_value
+        self.max_stack_bytes = max_stack_bytes
+        self.max_pairs_per_wave = max_pairs_per_wave
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def _plan_for(self, x: np.ndarray) -> MaskPlan | None:
+        if self.granularity == "elements":
+            return None  # linearity fast path: only the residual row
+        return MaskPlan.for_granularity(
+            self.granularity, x.shape, block_shape=self.block_shape
+        )
+
+    def schedule(self, pairs) -> FleetSchedule:
+        """Wave-plan a fleet without executing it."""
+        pairs = list(pairs)
+        xs = [np.asarray(x) for x, _ in pairs]
+        ys = [np.asarray(y) for _, y in pairs]
+        plans = [self._plan_for(self._check_plane(x)) for x in xs]
+        return self._schedule(xs, ys, plans)
+
+    def _schedule(self, xs, ys, plans) -> FleetSchedule:
+        return FleetSchedule.plan(
+            [x.shape for x in xs],
+            [0 if plan is None else plan.num_masks for plan in plans],
+            max_stack_bytes=self.max_stack_bytes,
+            max_pairs_per_wave=self.max_pairs_per_wave,
+            complex_flags=[
+                np.iscomplexobj(x) or np.iscomplexobj(y)
+                for x, y in zip(xs, ys)
+            ],
+        )
+
+    @staticmethod
+    def _check_plane(x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2:
+            raise ValueError(f"fleet pairs must be matrices, got shape {x.shape}")
+        return x
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, pairs) -> FleetRun:
+        """Explain every pair; returns results in input order."""
+        pairs = list(pairs)
+        if not pairs:
+            raise ValueError("no pairs to interpret")
+        xs = [self._check_plane(np.asarray(x)) for x, _ in pairs]
+        ys = [np.asarray(y) for _, y in pairs]
+        plans = [self._plan_for(x) for x in xs]
+        schedule = self._schedule(xs, ys, plans)
+        results: list[PairResult | None] = [None] * len(pairs)
+        for wave in schedule.waves:
+            self._run_wave(wave, xs, ys, plans, results)
+        return FleetRun(results=tuple(results), schedule=schedule)
+
+    def _run_wave(self, wave: WavePlan, xs, ys, plans, results) -> None:
+        indices = wave.pair_indices
+        infeed = sum(xs[i].nbytes + ys[i].nbytes for i in indices)
+        outfeed = sum(xs[i].nbytes for i in indices)
+        with self.device.program(infeed_bytes=infeed, outfeed_bytes=outfeed):
+            # Per-pair Eq. 4 solves (device ops inside the wave program).
+            kernels: list[np.ndarray] = []
+            y_planes: list[np.ndarray] = []
+            for i in indices:
+                distiller = ConvolutionDistiller(
+                    device=self.device, eps=self.eps, embedding=self.embedding
+                )
+                distiller.fit(xs[i], ys[i])
+                kernels.append(distiller.kernel_)
+                y_planes.append(distiller.lift_outputs(ys[i])[0])
+
+            # The fused cross-pair stack: each pair's masked variants
+            # followed by its unmasked residual plane.
+            table = SliceTable.for_plans([plans[i] for i in indices])
+            segments: list[np.ndarray] = []
+            for i in indices:
+                if plans[i] is not None:
+                    segments.append(plans[i].apply(xs[i], fill_value=self.fill_value))
+                segments.append(np.asarray(xs[i])[np.newaxis])
+            stack = np.concatenate(segments, axis=0)
+            convolved = self.device.conv2d_circular_batch(
+                stack, np.stack(kernels), row_kernel=table.row_pair_indices()
+            )
+
+            # Reassembly: slice the fused result back per pair.
+            for local, i in enumerate(indices):
+                pred = convolved[table.residual_row(local)]
+                delta = pred - y_planes[local]
+                residual = float(np.sqrt(np.mean(np.abs(delta) ** 2)))
+                if plans[i] is None:
+                    scores = self._element_scores(
+                        xs[i], kernels[local], y_planes[local], pred
+                    )
+                else:
+                    deltas = y_planes[local][np.newaxis] - convolved[table.mask_rows(local)]
+                    scores = plans[i].reshape_scores(
+                        reduce_batch(deltas, self.reduction)
+                    )
+                results[i] = PairResult(
+                    kernel=kernels[local], scores=scores, residual=residual
+                )
+
+    def _element_scores(
+        self,
+        x: np.ndarray,
+        kernel: np.ndarray,
+        y_plane: np.ndarray,
+        pred: np.ndarray,
+    ) -> np.ndarray:
+        """Elements granularity: the linearity fast path's base residual.
+
+        Per-pair execution (:func:`~repro.core.interpretation
+        .feature_contributions`) casts every operand to float64 *before*
+        the base convolution.  For real operands that cast is the
+        identity, so the wave's fused residual row ``pred`` -- computed
+        from the original operands -- doubles as the base convolution
+        bit-for-bit.  For complex operands the cast is lossy (numpy
+        discards the imaginary part, with a ComplexWarning), so reusing
+        the complex ``pred`` would diverge from per-pair scores; the
+        cast operands are re-convolved eagerly instead, exactly the
+        per-pair execution and cost.
+        """
+        if (
+            np.iscomplexobj(x)
+            or np.iscomplexobj(kernel)
+            or np.iscomplexobj(y_plane)
+        ):
+            x64 = np.asarray(x, dtype=np.float64)
+            kernel64 = np.asarray(kernel, dtype=np.float64)
+            pred = self.device.conv2d_circular(x64, kernel64)
+        else:
+            x64 = np.asarray(x, dtype=np.float64)
+            kernel64 = np.asarray(kernel, dtype=np.float64)
+        base = np.asarray(y_plane, dtype=np.float64) - pred
+        return element_scores_from_base(
+            x64, kernel64, base, reduction=self.reduction, device=self.device
+        )

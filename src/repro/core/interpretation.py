@@ -15,6 +15,9 @@ columns of a trace table).  This module provides:
   with a fast path exploiting convolution linearity:
   ``Y - X'(*)K = (Y - X(*)K) + x_i * roll(K, i)``, so all features share
   one base residual and one kernel roll each -- no re-convolutions;
+* :func:`element_scores_from_base` -- that fast path's core, exposed
+  for callers that already hold the unmasked convolution (the
+  wave-fused fleet executor scores it as one more batch row);
 * :func:`block_contributions` -- Figure 5's block occlusion on images;
 * :func:`column_contributions` / :func:`row_contributions` -- Figure 6's
   per-clock-cycle weights on trace tables;
@@ -132,6 +135,35 @@ def feature_contributions(
         return scores
 
     base = y - _convolve(x, kernel, device)
+    return element_scores_from_base(x, kernel, base, reduction=reduction, device=device)
+
+
+def element_scores_from_base(
+    x: np.ndarray,
+    kernel: np.ndarray,
+    base: np.ndarray,
+    reduction: str = "l2",
+    device: Device | None = None,
+) -> np.ndarray:
+    """Per-element scores from a precomputed base residual ``Y - X (*) K``.
+
+    The linearity fast path's core: zeroing element ``(i, j)`` gives
+    ``con(x_ij) = base + x_ij * roll(K, (i, j))``, so every feature
+    shares the one convolution that produced ``base``.  Exposed
+    separately so callers that already hold the unmasked convolution --
+    the wave-fused fleet executor scores it as one more batch row --
+    reuse it without a second convolution.  When ``device`` is given,
+    the per-feature adds are accounted as elementwise VPU work.
+    """
+    x = np.asarray(x)
+    kernel = np.asarray(kernel)
+    base = np.asarray(base)
+    _check_operands(x, kernel, base)
+    if reduction not in REDUCTIONS:
+        raise ValueError(
+            f"unknown reduction {reduction!r}; expected one of {REDUCTIONS}"
+        )
+    m, n = x.shape
     if device is not None:
         # The fast path's per-feature adds are elementwise VPU work.
         device.account_elementwise(m * n, flops_per_element=2.0, count=m * n)

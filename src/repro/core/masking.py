@@ -42,6 +42,36 @@ from repro.hw.device import Device
 REDUCTIONS = ("l2", "l1", "mean_abs", "max_abs")
 METHODS = ("batched", "loop")
 
+#: Default ceiling on the float64 stack a batched scoring call may
+#: materialize (4 GiB).  Waves and plans past this must stream
+#: (``method="loop"``) or split; see :class:`MaskStackBudgetError`.
+DEFAULT_STACK_BUDGET_BYTES = 4 * 1024**3
+
+
+class MaskStackBudgetError(MemoryError):
+    """A mask stack would exceed the configured memory budget.
+
+    Raised *before* materializing the ``(num_masks, M, N)`` float stack,
+    instead of letting a huge allocation fail (or page) deep inside the
+    batched engine.
+    """
+
+
+def check_stack_budget(
+    nbytes: int, max_stack_bytes: int | None, what: str = "mask stack"
+) -> None:
+    """Raise :class:`MaskStackBudgetError` when ``nbytes`` exceeds the budget.
+
+    ``max_stack_bytes=None`` disables the check (the caller opted out).
+    """
+    if max_stack_bytes is None or nbytes <= max_stack_bytes:
+        return
+    raise MaskStackBudgetError(
+        f"{what} needs {nbytes} bytes, over the {max_stack_bytes}-byte budget; "
+        "use method='loop' (streams one mask at a time), raise max_stack_bytes, "
+        "or split the batch into smaller waves"
+    )
+
 
 def reduce_batch(deltas: np.ndarray, reduction: str) -> np.ndarray:
     """Per-plane scalar reduction of a ``(batch, M, N)`` residual stack."""
@@ -121,6 +151,18 @@ class MaskPlan:
     def plane_shape(self) -> tuple[int, int]:
         return self.masks.shape[1], self.masks.shape[2]
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes the batched path materializes for this plan's float stack.
+
+        The estimate prices the ``(num_masks, M, N)`` float64 stack of
+        masked input variants that :func:`score_plan`'s batched method
+        (and a fused wave containing this plan) allocates -- the bool
+        mask storage itself is 8x smaller.  Compare against a budget via
+        :func:`check_stack_budget` before materializing.
+        """
+        return self.num_masks * self.masks.shape[1] * self.masks.shape[2] * 8
+
     def __len__(self) -> int:
         return self.num_masks
 
@@ -193,6 +235,41 @@ class MaskPlan:
         )
 
     @classmethod
+    def concat(cls, plans: "list[MaskPlan] | tuple[MaskPlan, ...]") -> "MaskPlan":
+        """Fuse several equal-plane plans into one cross-pair stack.
+
+        The result holds ``sum(num_masks_i)`` masks in plan order with a
+        flat output shape; each label is the source plan's label prefixed
+        with its plan index, so a fused row remains traceable to
+        ``(pair, feature)``.  Wave callers pair this with a
+        :class:`SliceTable` (see :meth:`SliceTable.for_plans`) to slice
+        the fused score vector back apart -- the paper's "internal table"
+        applied across pairs instead of across cores.
+        """
+        plans = list(plans)
+        if not plans:
+            raise ValueError("cannot concatenate zero mask plans")
+        plane = plans[0].plane_shape
+        for plan in plans:
+            if plan.plane_shape != plane:
+                raise ValueError(
+                    f"cannot concatenate plans of planes {plane} and {plan.plane_shape}"
+                )
+        masks = np.concatenate([plan.masks for plan in plans], axis=0)
+        labels = []
+        for index, plan in enumerate(plans):
+            plan_labels = plan.labels or tuple(
+                (i,) for i in range(plan.num_masks)
+            )
+            labels.extend((index, *label) for label in plan_labels)
+        return cls(
+            masks,
+            granularity="concat",
+            output_shape=(masks.shape[0],),
+            labels=tuple(labels),
+        )
+
+    @classmethod
     def for_granularity(
         cls,
         granularity: str,
@@ -248,6 +325,85 @@ def _check_plane(shape: tuple[int, int]) -> tuple[int, int]:
     return int(m), int(n)
 
 
+@dataclass(frozen=True)
+class SliceRow:
+    """One row of a fused wave stack, mapped back to its origin."""
+
+    row: int
+    pair_index: int
+    kind: str  # "mask" or "residual"
+    label: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class SliceTable:
+    """Row map of a cross-pair wave stack (the paper's "internal table").
+
+    A wave concatenates, for every pair it fuses, the pair's masked
+    variants followed by the pair's *unmasked* plane (the residual row,
+    which turns the last per-pair eager convolution into one more batch
+    row).  This table records, for each stack row, which pair it belongs
+    to, whether it is a mask or the residual, and the feature label --
+    the reassembly metadata that lets one batched convolution answer
+    every pair's Eq. 5 queries at once.
+    """
+
+    rows: tuple[SliceRow, ...]
+
+    @classmethod
+    def for_plans(
+        cls,
+        plans,
+        include_residual: bool = True,
+    ) -> "SliceTable":
+        """Build the row map for pairs whose mask plans are ``plans``.
+
+        ``plans[i]`` is pair ``i``'s :class:`MaskPlan`, or ``None`` for a
+        pair contributing no masks (the ``elements`` granularity scores
+        via the linearity fast path and only needs the residual row).
+        """
+        rows: list[SliceRow] = []
+        row = 0
+        for pair_index, plan in enumerate(plans):
+            if plan is not None:
+                labels = plan.labels or tuple((i,) for i in range(plan.num_masks))
+                for label in labels:
+                    rows.append(SliceRow(row, pair_index, "mask", label))
+                    row += 1
+            if include_residual:
+                rows.append(SliceRow(row, pair_index, "residual"))
+                row += 1
+        return cls(rows=tuple(rows))
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def for_pair(self, pair_index: int) -> list[SliceRow]:
+        return [r for r in self.rows if r.pair_index == pair_index]
+
+    def mask_rows(self, pair_index: int) -> np.ndarray:
+        """Stack-row indices of ``pair_index``'s masks, in plan order."""
+        return np.asarray(
+            [r.row for r in self.rows if r.pair_index == pair_index and r.kind == "mask"],
+            dtype=np.intp,
+        )
+
+    def residual_row(self, pair_index: int) -> int:
+        """Stack-row index of ``pair_index``'s unmasked residual plane."""
+        for r in self.rows:
+            if r.pair_index == pair_index and r.kind == "residual":
+                return r.row
+        raise KeyError(f"pair {pair_index} has no residual row in this table")
+
+    def row_pair_indices(self) -> np.ndarray:
+        """Pair index of every stack row (the conv's row->kernel mapping)."""
+        return np.asarray([r.pair_index for r in self.rows], dtype=np.intp)
+
+
 def score_plan(
     x: np.ndarray,
     kernel: np.ndarray,
@@ -257,6 +413,7 @@ def score_plan(
     method: str = "batched",
     device: Device | None = None,
     fill_value: float = 0.0,
+    max_stack_bytes: int | None = None,
 ) -> np.ndarray:
     """Eq. 5 scores for every mask of ``plan``, in the plan's output grid.
 
@@ -273,7 +430,11 @@ def score_plan(
     For the paper's granularities ``num_masks`` is O(M + N) masks or a
     block grid, so the stack is a modest multiple of the plane; on
     planes large enough that ``num_masks * M * N`` floats do not fit,
-    use ``method="loop"``, which streams one mask at a time.
+    use ``method="loop"``, which streams one mask at a time.  Pass
+    ``max_stack_bytes`` to enforce that bound up front: a batched call
+    whose :attr:`MaskPlan.nbytes` exceeds it raises
+    :class:`MaskStackBudgetError` instead of materializing the stack
+    (``None`` disables the check).
     """
     x = np.asarray(x)
     kernel = np.asarray(kernel)
@@ -305,6 +466,7 @@ def score_plan(
             scores[index] = reduce_batch((y - convolved)[np.newaxis], reduction)[0]
         return plan.reshape_scores(scores)
 
+    check_stack_budget(plan.nbytes, max_stack_bytes, what="batched mask stack")
     stacked = plan.apply(x, fill_value=fill_value)
     if device is None:
         convolved = fft_circular_convolve2d_batch(stacked, kernel)

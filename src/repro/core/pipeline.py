@@ -9,16 +9,31 @@ For every input-output pair the paper's interpretation step is:
    scenario calls for (blocks for images, columns for trace tables).
 
 :class:`ExplanationPipeline` executes exactly that against any
-:class:`~repro.hw.device.Device` and reports *simulated seconds*, which
-is the quantity Table II compares across CPU/GPU/TPU.  Each pair runs
-inside one ``device.program(...)`` scope; with the default
-``method="batched"`` the pair's masks form one
-:class:`~repro.core.masking.MaskPlan` scored as a single batched
-program inside that scope (the kernel spectrum computed once, no
-per-mask host round trips), while ``method="loop"`` preserves the
-paper's measured execution -- one launch per masked feature -- so
-eager backends pay their per-op overheads and the TPU pays per-mask
-round trips, the paper's structural contrast.
+:class:`~repro.hw.device.Device` and reports *simulated seconds*, the
+quantity Table II compares across CPU/GPU/TPU.  Two orthogonal axes
+control the execution structure:
+
+* ``method`` -- how one pair's masks execute.  ``"batched"`` (default)
+  scores the pair's whole :class:`~repro.core.masking.MaskPlan` as one
+  batched program (kernel spectrum computed once, no per-mask host
+  round trips); ``"loop"`` preserves the paper's measured execution --
+  one launch per masked feature -- so eager backends pay their per-op
+  overheads and the TPU pays per-mask round trips.
+* ``fusion`` -- how *pairs* execute relative to each other.
+  ``"wave"`` (default) hands the batch to the
+  :class:`~repro.core.fleet.FleetExecutor`: pairs of equal plane shape
+  fuse into scheduler waves, each wave scored -- mask rows *and* the
+  per-pair unmasked residual planes -- by one cross-pair batched
+  convolution inside one ``device.program`` scope, i.e. one dispatch
+  per wave at fleet scale.  ``"pair"`` preserves the historical
+  one-program-scope-per-pair execution (with its eager residual
+  convolution) for equivalence tests and Table II regeneration.
+  Fusion only restructures the batched method; ``method="loop"`` is
+  inherently pair-at-a-time and always runs per pair.
+
+Scores, kernels and residuals are bit-identical along both axes; only
+simulated cost and the op ledger differ -- the paper's structural
+contrast, now measurable per pair *and* per fleet.
 """
 
 from __future__ import annotations
@@ -28,12 +43,18 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.distillation import ConvolutionDistiller
+from repro.core.fleet import GRANULARITIES, FleetExecutor
 from repro.core.interpretation import feature_contributions
-from repro.core.masking import METHODS, MaskPlan, score_plan
+from repro.core.masking import (
+    DEFAULT_STACK_BUDGET_BYTES,
+    METHODS,
+    MaskPlan,
+    score_plan,
+)
 from repro.core.transform import OutputEmbedding
 from repro.hw.device import Device, DeviceStats
 
-_GRANULARITIES = ("blocks", "columns", "rows", "elements")
+FUSIONS = ("wave", "pair")
 
 
 @dataclass(frozen=True)
@@ -53,6 +74,7 @@ class InterpretationRun:
     explanations: list[PairExplanation]
     simulated_seconds: float
     stats: DeviceStats
+    num_programs: int = 0  # program scopes opened (waves or pairs)
 
     @property
     def seconds_per_pair(self) -> float:
@@ -84,6 +106,18 @@ class ExplanationPipeline:
         fast path: one convolution total, which strictly dominates an
         element plan whose ``(M*N, M, N)`` stack is quadratic in the
         plane size.
+    fusion:
+        ``"wave"`` (default) fuses equal-shape pairs into scheduler
+        waves executed as one batched program each (see
+        :mod:`repro.core.fleet`); ``"pair"`` opens one program scope
+        per pair.  Only consulted for ``method="batched"``; the loop
+        method always executes per pair.
+    max_stack_bytes:
+        Memory budget for the materialized float stacks of the batched
+        method (a fused wave's cross-pair stack, or a single pair's
+        plan stack under pair fusion).  Exceeding it raises
+        :class:`~repro.core.masking.MaskStackBudgetError` pointing at
+        ``method="loop"``; ``None`` disables the guard.
     """
 
     def __init__(
@@ -94,21 +128,27 @@ class ExplanationPipeline:
         eps: float = 1e-6,
         embedding: OutputEmbedding | None = None,
         method: str = "batched",
+        fusion: str = "wave",
+        max_stack_bytes: int | None = DEFAULT_STACK_BUDGET_BYTES,
     ) -> None:
-        if granularity not in _GRANULARITIES:
+        if granularity not in GRANULARITIES:
             raise ValueError(
-                f"unknown granularity {granularity!r}; expected one of {_GRANULARITIES}"
+                f"unknown granularity {granularity!r}; expected one of {GRANULARITIES}"
             )
         if granularity == "blocks" and block_shape is None:
             raise ValueError("blocks granularity requires a block_shape")
         if method not in METHODS:
             raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
+        if fusion not in FUSIONS:
+            raise ValueError(f"unknown fusion {fusion!r}; expected one of {FUSIONS}")
         self.device = device
         self.granularity = granularity
         self.block_shape = block_shape
         self.eps = eps
         self.embedding = embedding or OutputEmbedding("identity")
         self.method = method
+        self.fusion = fusion
+        self.max_stack_bytes = max_stack_bytes
 
     def explain_pair(self, x: np.ndarray, y: np.ndarray) -> PairExplanation:
         """Distill and interpret one pair (no program scoping)."""
@@ -132,21 +172,26 @@ class ExplanationPipeline:
             self.granularity, x.shape, block_shape=self.block_shape
         )
         return score_plan(
-            x, kernel, y, plan, method=self.method, device=self.device
+            x, kernel, y, plan, method=self.method, device=self.device,
+            max_stack_bytes=self.max_stack_bytes,
         )
 
     def run(self, pairs) -> InterpretationRun:
         """Interpret a batch of ``(x, y)`` pairs; returns simulated timing.
 
-        Each pair executes inside one ``device.program`` scope whose
-        infeed is the pair's data and whose outfeed is the score grid;
-        under the default batched method the pair's whole mask plan is
-        scored inside that single program.
+        Under the default wave fusion, equal-shape pairs fuse into
+        scheduler waves, each executing as one ``device.program`` scope
+        whose single batched convolution scores every fused pair's mask
+        plan and residual plane at once.  Under pair fusion (and always
+        under ``method="loop"``) each pair executes inside its own
+        program scope, exactly as the paper measures.
         """
         pairs = list(pairs)
         if not pairs:
             raise ValueError("no pairs to interpret")
         self.device.reset_stats()
+        if self.method == "batched" and self.fusion == "wave":
+            return self._run_wave(pairs)
         explanations: list[PairExplanation] = []
         for x, y in pairs:
             x = np.asarray(x)
@@ -159,4 +204,30 @@ class ExplanationPipeline:
             explanations=explanations,
             simulated_seconds=stats.seconds,
             stats=stats,
+            num_programs=len(pairs),
+        )
+
+    def _run_wave(self, pairs) -> InterpretationRun:
+        executor = FleetExecutor(
+            self.device,
+            granularity=self.granularity,
+            block_shape=self.block_shape,
+            eps=self.eps,
+            embedding=self.embedding,
+            max_stack_bytes=self.max_stack_bytes,
+        )
+        fleet = executor.run(pairs)
+        stats = self.device.take_stats()
+        explanations = [
+            PairExplanation(
+                kernel=result.kernel, scores=result.scores, residual=result.residual
+            )
+            for result in fleet.results
+        ]
+        return InterpretationRun(
+            device_name=self.device.name,
+            explanations=explanations,
+            simulated_seconds=stats.seconds,
+            stats=stats,
+            num_programs=fleet.num_waves,
         )

@@ -125,16 +125,24 @@ def fft_circular_convolve2d_batch(
     x_batch: np.ndarray,
     k: np.ndarray,
     kernel_spectrum: np.ndarray | None = None,
+    row_kernel: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Circular convolution of a ``(batch, M, N)`` stack with one kernel.
+    """Circular convolution of a ``(batch, M, N)`` stack with shared kernels.
 
-    The kernel spectrum ``F(K)`` is computed once for the whole batch
-    (or reused verbatim when ``kernel_spectrum`` is supplied -- callers
-    convolving several batches against the same kernel amortize it
-    further).  Each output plane is bit-identical to
-    :func:`fft_circular_convolve2d` on the corresponding input plane;
-    internally the stack is transformed in bounded-size slices so peak
-    memory stays a small multiple of the input stack.
+    ``k`` is either one ``(M, N)`` kernel shared by every row (the
+    original single-pair form) or a ``(P, M, N)`` kernel stack, in which
+    case ``row_kernel`` maps each input row to the kernel plane it
+    convolves against -- the cross-pair wave form, where the rows of many
+    input-output pairs fuse into one batch but each pair keeps its own
+    distilled kernel.  The kernel spectra are computed once for the whole
+    batch (or reused verbatim when ``kernel_spectrum`` is supplied --
+    callers convolving several batches against the same kernels amortize
+    them further).  Each output plane is bit-identical to
+    :func:`fft_circular_convolve2d` on the corresponding (input, kernel)
+    planes; internally the stack is transformed in bounded-size slices so
+    peak memory stays a small multiple of the input stack (per-row
+    spectra are gathered chunk-wise, never materialized for the full
+    batch).
     """
     x_batch = np.asarray(x_batch)
     if x_batch.ndim != 3:
@@ -144,14 +152,37 @@ def fft_circular_convolve2d_batch(
         )
     if 0 in x_batch.shape:
         raise ValueError("fft_circular_convolve2d_batch of an empty batch is undefined")
-    k = _as_2d(k, "fft_circular_convolve2d_batch")
-    if x_batch.shape[1:] != k.shape:
+    k = np.asarray(k)
+    multi_kernel = k.ndim == 3
+    if not multi_kernel:
+        k = _as_2d(k, "fft_circular_convolve2d_batch")
+    elif 0 in k.shape:
+        raise ValueError("fft_circular_convolve2d_batch kernel stack is empty")
+    if x_batch.shape[1:] != k.shape[-2:]:
         raise ValueError(
             "batched circular convolution needs matching plane shapes, got "
-            f"{x_batch.shape[1:]} and {k.shape}"
+            f"{x_batch.shape[1:]} and {k.shape[-2:]}"
         )
+    if multi_kernel:
+        if row_kernel is None:
+            raise ValueError("a kernel stack needs a row_kernel mapping")
+        row_kernel = np.asarray(row_kernel, dtype=np.intp)
+        if row_kernel.shape != (x_batch.shape[0],):
+            raise ValueError(
+                f"row_kernel must map all {x_batch.shape[0]} rows, "
+                f"got shape {row_kernel.shape}"
+            )
+        if row_kernel.size and (
+            row_kernel.min() < 0 or row_kernel.max() >= k.shape[0]
+        ):
+            raise ValueError(
+                f"row_kernel indices must lie in [0, {k.shape[0]}), "
+                f"got range [{row_kernel.min()}, {row_kernel.max()}]"
+            )
+    elif row_kernel is not None:
+        raise ValueError("row_kernel requires a (P, M, N) kernel stack")
     if kernel_spectrum is None:
-        kernel_spectrum = fft2(k)
+        kernel_spectrum = fft2_batch(k) if multi_kernel else fft2(k)
     else:
         kernel_spectrum = np.asarray(kernel_spectrum)
         if kernel_spectrum.shape != k.shape:
@@ -163,11 +194,14 @@ def fft_circular_convolve2d_batch(
     out_dtype = np.float64 if real_output else np.complex128
     result = np.empty(x_batch.shape, dtype=out_dtype)
     for start in range(0, x_batch.shape[0], _CONV_BATCH_CHUNK):
-        chunk = x_batch[start : start + _CONV_BATCH_CHUNK]
-        convolved = ifft2_batch(fft2_batch(chunk) * kernel_spectrum)
-        result[start : start + _CONV_BATCH_CHUNK] = (
-            convolved.real if real_output else convolved
-        )
+        stop = start + _CONV_BATCH_CHUNK
+        chunk = x_batch[start:stop]
+        if multi_kernel:
+            spectrum = kernel_spectrum[row_kernel[start:stop]]
+        else:
+            spectrum = kernel_spectrum
+        convolved = ifft2_batch(fft2_batch(chunk) * spectrum)
+        result[start:stop] = convolved.real if real_output else convolved
     return result
 
 

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.fft.convolution import fft_circular_convolve2d_batch
-from repro.fft.fft2d import fft2, ifft2
+from repro.fft.fft2d import fft2, fft2_batch, ifft2
 
 #: Real flops one complex point-wise op costs per element: a complex
 #: multiply (or divide, to first order) is 4 real multiplies + 2 adds
@@ -334,16 +334,28 @@ class Device(abc.ABC):
         )
         return batch * per_plane
 
-    def conv2d_circular_batch(self, x_batch: np.ndarray, kernel: np.ndarray) -> np.ndarray:
-        """Circular convolution of a ``(batch, M, N)`` stack against one kernel.
+    def conv2d_circular_batch(
+        self,
+        x_batch: np.ndarray,
+        kernel: np.ndarray,
+        row_kernel: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Circular convolution of a ``(batch, M, N)`` stack against shared kernels.
 
-        The kernel spectrum is computed (and accounted) exactly **once**
-        per call -- the batched engine's structural saving over looping
-        :meth:`conv2d_circular`, which re-transforms the same kernel on
-        every mask.  Functional results are computed with the vectorized
-        batch-FFT kernels and are bit-identical to the looped path;
-        simulated cost is delegated to :meth:`_record_batch_conv` so
-        eager and compiled backends can model their dispatch semantics.
+        ``kernel`` is one ``(M, N)`` plane shared by every row (a single
+        pair's mask plan) or a ``(P, M, N)`` stack with ``row_kernel``
+        mapping each input row to its kernel plane (a cross-pair wave:
+        many pairs' mask plans fused into one batch, each keeping its own
+        distilled kernel).  Kernel spectra are computed (and accounted)
+        exactly **once** per call -- the batched engine's structural
+        saving over looping :meth:`conv2d_circular`, which re-transforms
+        the same kernel on every mask; a kernel stack is transformed as
+        one spectrum batch (:meth:`_record_kernel_spectra`), so
+        equal-shape pairs share one kernel-spectrum batch.  Functional
+        results use the vectorized batch-FFT kernels and are
+        bit-identical to the looped path; simulated cost is delegated to
+        :meth:`_record_batch_conv` so eager and compiled backends can
+        model their dispatch semantics.
         """
         x_batch = np.asarray(x_batch)
         kernel = np.asarray(kernel)
@@ -353,17 +365,69 @@ class Device(abc.ABC):
             )
         if 0 in x_batch.shape:
             raise ValueError("conv2d_circular_batch of an empty batch is undefined")
-        if kernel.ndim != 2 or x_batch.shape[1:] != kernel.shape:
+        if kernel.ndim not in (2, 3) or x_batch.shape[1:] != kernel.shape[-2:]:
             raise ValueError(
                 "batched convolution needs matching plane shapes, got "
-                f"{x_batch.shape[1:]} and {kernel.shape}"
+                f"{x_batch.shape[1:]} and {kernel.shape[-2:]}"
             )
-        kernel_spectrum = self.fft2(kernel)  # once per plan, recorded as "fft2"
+        m, n = kernel.shape[-2], kernel.shape[-1]
+        # Validate the row->kernel mapping before anything is recorded,
+        # so an invalid call cannot leave phantom spectrum entries in
+        # the stats ledger.
+        if kernel.ndim == 3:
+            if 0 in kernel.shape:
+                raise ValueError("conv2d_circular_batch kernel stack is empty")
+            if row_kernel is None:
+                raise ValueError("a kernel stack needs a row_kernel mapping")
+            row_kernel = np.asarray(row_kernel, dtype=np.intp)
+            if row_kernel.shape != (x_batch.shape[0],):
+                raise ValueError(
+                    f"row_kernel must map all {x_batch.shape[0]} rows, "
+                    f"got shape {row_kernel.shape}"
+                )
+            if row_kernel.min() < 0 or row_kernel.max() >= kernel.shape[0]:
+                raise ValueError(
+                    f"row_kernel indices must lie in [0, {kernel.shape[0]}), "
+                    f"got range [{row_kernel.min()}, {row_kernel.max()}]"
+                )
+        elif row_kernel is not None:
+            raise ValueError("row_kernel requires a (P, M, N) kernel stack")
+        if kernel.ndim == 3:
+            # One spectrum batch for the wave's P kernels.
+            kernel_spectrum = fft2_batch(kernel)
+            self._record_kernel_spectra(kernel.shape[0], m, n)
+        else:
+            kernel_spectrum = self.fft2(kernel)  # once per plan, recorded as "fft2"
         result = fft_circular_convolve2d_batch(
-            x_batch, kernel, kernel_spectrum=kernel_spectrum
+            x_batch, kernel, kernel_spectrum=kernel_spectrum, row_kernel=row_kernel
         )
-        self._record_batch_conv(x_batch.shape[0], kernel.shape[0], kernel.shape[1])
+        self._record_batch_conv(x_batch.shape[0], m, n)
         return result
+
+    def kernel_spectrum_batch_seconds(self, batch: int, m: int, n: int) -> float:
+        """Simulated time to transform a ``(batch, M, N)`` kernel stack.
+
+        Eager default (CPU/GPU semantics): each kernel launches its own
+        forward transform.  Accelerator backends override this to price
+        one fused wide transform for the whole stack.
+        """
+        if batch <= 0:
+            raise ValueError(f"batch must be positive, got {batch}")
+        return batch * self.fft2_seconds(m, n)
+
+    def _record_kernel_spectra(self, batch: int, m: int, n: int) -> None:
+        """Eager ledger for a kernel-spectrum batch (CPU/GPU semantics).
+
+        One ``fft2`` record per kernel: eager backends transform each
+        pair's kernel as its own launch, mirroring the per-plane records
+        of :meth:`_record_batch_conv`.  The recorded seconds sum exactly
+        to :meth:`kernel_spectrum_batch_seconds`.
+        """
+        transform_seconds = self.fft2_seconds(m, n)
+        factor = self.complex_matmul_real_products
+        transform_macs = factor * (m * m * n + m * n * n)
+        for _ in range(batch):
+            self.stats.record("fft2_kernel", transform_seconds, macs=transform_macs)
 
     def _record_batch_conv(self, batch: int, m: int, n: int) -> None:
         """Eager ledger for one batched convolution (CPU/GPU semantics).

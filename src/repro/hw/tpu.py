@@ -291,6 +291,16 @@ class TpuChip:
             self.interconnect.all_gather_seconds(nbytes_per_core, cores),
         )
 
+    def event_count(self, event: str) -> int:
+        """Occurrences of one event kind (``dispatch``, ``infeed``, ...)
+        in the chip ledger.
+
+        The per-event audit trail behind fleet-scale claims: a wave-fused
+        run should show one dispatch per *wave* where per-pair execution
+        shows at least one per pair.
+        """
+        return sum(1 for name, _ in self.event_log if name == event)
+
     def reset(self) -> None:
         """Clear chip-level and per-core ledgers."""
         self.stats_seconds = 0.0

@@ -146,3 +146,65 @@ class TestFigure4Solve:
         devices = default_devices()
         assert set(devices) == {"CPU", "GPU", "TPU"}
         assert isinstance(devices["TPU"], TpuBackend)
+
+
+class TestFleetInterpretationSeconds:
+    def _mini(self, pairs=4):
+        return InterpretationWorkload(
+            name="mini", plane=(64, 64), num_features=8, pairs=pairs
+        )
+
+    def test_pair_fusion_reduces_to_table2_model(self):
+        from repro.bench.workloads import fleet_interpretation_seconds
+
+        for device in (CpuDevice(), GpuDevice(), TpuBackend(make_tpu_chip())):
+            assert fleet_interpretation_seconds(
+                device, self._mini(), fusion="pair"
+            ) == interpretation_seconds(device, self._mini(), method="batched")
+            assert fleet_interpretation_seconds(
+                device, self._mini(), method="loop"
+            ) == interpretation_seconds(device, self._mini(), method="loop")
+
+    def test_wave_fusion_cheaper_on_every_device(self):
+        from repro.bench.workloads import fleet_interpretation_seconds
+
+        workload = self._mini(pairs=10)
+        for device in (CpuDevice(), GpuDevice(), TpuBackend(make_tpu_chip())):
+            wave = fleet_interpretation_seconds(device, workload, fusion="wave")
+            pair = fleet_interpretation_seconds(device, workload, fusion="pair")
+            assert wave < pair
+
+    def test_tpu_wave_gain_grows_with_fleet_size(self):
+        """Dispatch amortization: the wave-vs-pair factor at 100 pairs
+        must beat the factor at 1 pair on the TPU."""
+        from repro.bench.workloads import fleet_interpretation_seconds
+
+        def factor(pairs):
+            device = TpuBackend(make_tpu_chip())
+            w = fleet_interpretation_seconds(device, self._mini(pairs), fusion="wave")
+            p = fleet_interpretation_seconds(device, self._mini(pairs), fusion="pair")
+            return p / w
+
+        assert factor(100) > factor(1)
+
+    def test_wave_splitting_adds_dispatches(self):
+        from repro.bench.workloads import fleet_interpretation_seconds
+
+        device = TpuBackend(make_tpu_chip())
+        whole = fleet_interpretation_seconds(device, self._mini(8), fusion="wave")
+        split = fleet_interpretation_seconds(
+            device, self._mini(8), fusion="wave", pairs_per_wave=2
+        )
+        assert split > whole
+
+    def test_validation(self):
+        from repro.bench.workloads import fleet_interpretation_seconds
+
+        with pytest.raises(ValueError):
+            fleet_interpretation_seconds(CpuDevice(), self._mini(), method="magic")
+        with pytest.raises(ValueError):
+            fleet_interpretation_seconds(CpuDevice(), self._mini(), fusion="galaxy")
+        with pytest.raises(ValueError):
+            fleet_interpretation_seconds(
+                CpuDevice(), self._mini(), pairs_per_wave=0
+            )

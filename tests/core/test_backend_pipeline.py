@@ -131,13 +131,41 @@ class TestExplanationPipeline:
         run = pipeline.run([(x, logits)])
         assert run.explanations[0].scores.shape == (2, 2)
 
-    def test_tpu_pays_one_dispatch_per_pair(self):
+    def test_tpu_pays_one_dispatch_per_pair_under_pair_fusion(self):
+        backend = small_backend()
+        pipeline = ExplanationPipeline(
+            backend, granularity="blocks", block_shape=(4, 4), eps=1e-8,
+            fusion="pair",
+        )
+        run = pipeline.run([planted_pair(seed=s) for s in range(3)])
+        assert run.stats.op_counts["dispatch"] == 3
+        assert run.num_programs == 3
+
+    def test_tpu_pays_one_dispatch_per_wave_under_wave_fusion(self):
         backend = small_backend()
         pipeline = ExplanationPipeline(
             backend, granularity="blocks", block_shape=(4, 4), eps=1e-8
         )
         run = pipeline.run([planted_pair(seed=s) for s in range(3)])
-        assert run.stats.op_counts["dispatch"] == 3
+        # Equal-shape pairs fuse into one wave: one program, one dispatch,
+        # and no per-pair residual round trips.
+        assert run.stats.op_counts["dispatch"] == 1
+        assert "conv_round_trip" not in run.stats.op_counts
+        assert run.num_programs == 1
+
+    def test_wave_and_pair_fusion_agree_bitwise(self):
+        pairs = [planted_pair(seed=s) for s in range(3)]
+        runs = {}
+        for fusion in ("pair", "wave"):
+            pipeline = ExplanationPipeline(
+                small_backend(), granularity="blocks", block_shape=(4, 4),
+                eps=1e-8, fusion=fusion,
+            )
+            runs[fusion] = pipeline.run(pairs)
+        for a, b in zip(runs["pair"].explanations, runs["wave"].explanations):
+            np.testing.assert_array_equal(a.scores, b.scores)
+            np.testing.assert_array_equal(a.kernel, b.kernel)
+            assert a.residual == b.residual
 
     def test_speedup_ordering_cpu_slowest_tpu_fastest(self):
         """The structural Table II property, asserted at the workload

@@ -1,0 +1,332 @@
+"""Fleet-scale wave fusion: schedule planning, slice tables, execution."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExplanationPipeline,
+    FleetExecutor,
+    FleetSchedule,
+    MaskPlan,
+    MaskStackBudgetError,
+    MultiInputScheduler,
+    SliceTable,
+    TpuBackend,
+    make_tpu_chip,
+)
+from repro.fft import fft_circular_convolve2d
+from repro.hw.cpu import CpuDevice
+
+
+def small_backend(num_cores=4, precision="fp32"):
+    return TpuBackend(
+        make_tpu_chip(num_cores=num_cores, precision=precision, mxu_rows=8, mxu_cols=8)
+    )
+
+
+def planted_pairs(count, shape=(8, 8), seed=0):
+    rng = np.random.default_rng(seed)
+    pairs = []
+    for _ in range(count):
+        x = rng.standard_normal(shape)
+        x[0, 0] += 5.0 * np.prod(shape) ** 0.5
+        kernel = rng.standard_normal(shape)
+        pairs.append((x, fft_circular_convolve2d(x, kernel)))
+    return pairs
+
+
+class TestFleetSchedule:
+    def test_equal_shape_pairs_fuse_into_one_wave(self):
+        schedule = FleetSchedule.plan([(8, 8)] * 5, [4] * 5)
+        assert schedule.num_waves == 1
+        assert schedule.waves[0].pair_indices == (0, 1, 2, 3, 4)
+        assert schedule.waves[0].num_rows == 5 * (4 + 1)
+
+    def test_mixed_shapes_split_by_first_seen_order(self):
+        shapes = [(8, 8), (4, 4), (8, 8), (4, 4)]
+        schedule = FleetSchedule.plan(shapes, [2, 2, 2, 2])
+        assert schedule.num_waves == 2
+        assert schedule.waves[0].pair_indices == (0, 2)
+        assert schedule.waves[0].plane_shape == (8, 8)
+        assert schedule.waves[1].pair_indices == (1, 3)
+
+    def test_budget_splits_waves(self):
+        # Each pair: (2 masks + 1 residual) * 4*4 * 8 = 384 bytes.
+        schedule = FleetSchedule.plan(
+            [(4, 4)] * 4, [2] * 4, max_stack_bytes=800
+        )
+        assert schedule.num_waves == 2
+        assert [w.pair_indices for w in schedule.waves] == [(0, 1), (2, 3)]
+        assert all(w.stack_nbytes <= 800 for w in schedule.waves)
+
+    def test_max_pairs_per_wave(self):
+        schedule = FleetSchedule.plan(
+            [(4, 4)] * 5, [1] * 5, max_pairs_per_wave=2
+        )
+        assert [w.pair_indices for w in schedule.waves] == [(0, 1), (2, 3), (4,)]
+
+    def test_single_pair_over_budget_raises(self):
+        with pytest.raises(MaskStackBudgetError, match="loop"):
+            FleetSchedule.plan([(4, 4)], [100], max_stack_bytes=1000)
+
+    def test_none_budget_never_splits(self):
+        schedule = FleetSchedule.plan([(4, 4)] * 10, [1000] * 10, max_stack_bytes=None)
+        assert schedule.num_waves == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FleetSchedule.plan([], [])
+        with pytest.raises(ValueError):
+            FleetSchedule.plan([(4, 4)], [1, 2])
+        with pytest.raises(ValueError):
+            FleetSchedule.plan([(4, 4)], [1], max_pairs_per_wave=0)
+
+    def test_num_pairs(self):
+        schedule = FleetSchedule.plan([(4, 4), (8, 8)], [1, 1])
+        assert schedule.num_pairs == 2
+
+
+class TestSliceTable:
+    def test_rows_interleave_masks_and_residuals(self):
+        plans = [MaskPlan.columns((4, 4)), MaskPlan.rows((4, 4))]
+        table = SliceTable.for_plans(plans)
+        assert len(table) == 4 + 1 + 4 + 1
+        np.testing.assert_array_equal(table.mask_rows(0), [0, 1, 2, 3])
+        assert table.residual_row(0) == 4
+        np.testing.assert_array_equal(table.mask_rows(1), [5, 6, 7, 8])
+        assert table.residual_row(1) == 9
+
+    def test_none_plan_contributes_only_residual(self):
+        table = SliceTable.for_plans([None, MaskPlan.columns((4, 4))])
+        assert table.mask_rows(0).size == 0
+        assert table.residual_row(0) == 0
+        np.testing.assert_array_equal(table.mask_rows(1), [1, 2, 3, 4])
+
+    def test_row_pair_indices_is_conv_kernel_map(self):
+        table = SliceTable.for_plans([MaskPlan.columns((2, 2)), None])
+        np.testing.assert_array_equal(table.row_pair_indices(), [0, 0, 0, 1])
+
+    def test_labels_survive_fusion(self):
+        table = SliceTable.for_plans([MaskPlan.blocks((4, 4), (2, 2))])
+        mask_rows = table.for_pair(0)[:-1]
+        assert [r.label for r in mask_rows] == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_missing_residual_raises(self):
+        table = SliceTable.for_plans([MaskPlan.columns((2, 2))], include_residual=False)
+        with pytest.raises(KeyError):
+            table.residual_row(0)
+
+
+class TestFleetExecutorEquivalence:
+    @pytest.mark.parametrize("granularity,kwargs,shape", [
+        ("blocks", {"block_shape": (4, 4)}, (8, 8)),
+        ("columns", {}, (8, 8)),
+        ("rows", {}, (8, 8)),
+        ("elements", {}, (8, 8)),
+    ])
+    @pytest.mark.parametrize(
+        "device_factory", [CpuDevice, small_backend], ids=["cpu", "tpu"]
+    )
+    def test_wave_bitwise_equals_pair(self, device_factory, granularity, kwargs, shape):
+        pairs = planted_pairs(3, shape=shape)
+        runs = {}
+        for fusion in ("pair", "wave"):
+            pipeline = ExplanationPipeline(
+                device_factory(), granularity=granularity, eps=1e-8,
+                fusion=fusion, **kwargs,
+            )
+            runs[fusion] = pipeline.run(pairs)
+        for a, b in zip(runs["pair"].explanations, runs["wave"].explanations):
+            np.testing.assert_array_equal(a.scores, b.scores)
+            np.testing.assert_array_equal(a.kernel, b.kernel)
+            assert a.residual == b.residual
+
+    def test_hundred_pair_fleet_one_dispatch_per_wave(self):
+        """The acceptance scenario at test scale: a 100-pair fleet costs
+        one dispatch and one batched-conv record per wave instead of one
+        program (plus a residual round trip) per pair."""
+        pairs = planted_pairs(100)
+        runs = {}
+        for fusion in ("pair", "wave"):
+            pipeline = ExplanationPipeline(
+                small_backend(), granularity="blocks", block_shape=(4, 4),
+                eps=1e-8, fusion=fusion,
+            )
+            runs[fusion] = pipeline.run(pairs)
+        for a, b in zip(runs["pair"].explanations, runs["wave"].explanations):
+            np.testing.assert_array_equal(a.scores, b.scores)
+            assert a.residual == b.residual
+        wave_stats = runs["wave"].stats
+        assert runs["wave"].num_programs == 1
+        assert wave_stats.op_counts["dispatch"] == 1
+        assert wave_stats.op_counts["conv2d_batch"] == 1
+        assert "conv_round_trip" not in wave_stats.op_counts
+        assert runs["pair"].stats.op_counts["dispatch"] == 100
+        assert runs["pair"].stats.op_counts["conv_round_trip"] == 100
+        assert runs["wave"].simulated_seconds < runs["pair"].simulated_seconds
+
+    def test_mixed_shape_fleet_runs_wave_per_shape(self):
+        pairs = planted_pairs(2, shape=(8, 8)) + planted_pairs(2, shape=(4, 4), seed=1)
+        pipeline = ExplanationPipeline(
+            small_backend(), granularity="columns", eps=1e-8
+        )
+        run = pipeline.run(pairs)
+        assert run.num_programs == 2
+        assert run.stats.op_counts["dispatch"] == 2
+        # Results stay in input order and match per-pair execution.
+        pair_run = ExplanationPipeline(
+            small_backend(), granularity="columns", eps=1e-8, fusion="pair"
+        ).run(pairs)
+        for a, b in zip(pair_run.explanations, run.explanations):
+            np.testing.assert_array_equal(a.scores, b.scores)
+
+    def test_budget_split_waves_still_bitwise_identical(self):
+        pairs = planted_pairs(4)
+        plan = MaskPlan.columns((8, 8))
+        per_pair_bytes = (plan.num_masks + 1) * 8 * 8 * 8
+        executor = FleetExecutor(
+            CpuDevice(), granularity="columns",
+            max_stack_bytes=2 * per_pair_bytes,
+        )
+        fleet = executor.run(pairs)
+        assert fleet.num_waves == 2
+        reference = ExplanationPipeline(
+            CpuDevice(), granularity="columns", eps=1e-6, fusion="pair"
+        ).run(pairs)
+        for a, b in zip(reference.explanations, fleet.results):
+            np.testing.assert_array_equal(a.scores, b.scores)
+
+    def test_over_budget_pair_raises_with_loop_hint(self):
+        executor = FleetExecutor(
+            CpuDevice(), granularity="columns", max_stack_bytes=100
+        )
+        with pytest.raises(MaskStackBudgetError, match="method='loop'"):
+            executor.run(planted_pairs(1))
+
+
+class TestFleetExecutorValidation:
+    def test_empty_fleet(self):
+        with pytest.raises(ValueError):
+            FleetExecutor(CpuDevice(), granularity="columns").run([])
+
+    def test_non_matrix_pair(self):
+        with pytest.raises(ValueError):
+            FleetExecutor(CpuDevice(), granularity="columns").run(
+                [(np.ones(4), np.ones(4))]
+            )
+
+    def test_unknown_granularity(self):
+        with pytest.raises(ValueError):
+            FleetExecutor(CpuDevice(), granularity="pixels")
+
+    def test_blocks_needs_block_shape(self):
+        with pytest.raises(ValueError):
+            FleetExecutor(CpuDevice(), granularity="blocks")
+
+    def test_unknown_reduction(self):
+        with pytest.raises(ValueError):
+            FleetExecutor(CpuDevice(), granularity="columns", reduction="magic")
+
+    def test_pipeline_rejects_unknown_fusion(self):
+        with pytest.raises(ValueError):
+            ExplanationPipeline(CpuDevice(), granularity="columns", fusion="galaxy")
+
+
+class TestSchedulerExplainBatch:
+    def test_explain_batch_matches_pipeline_wave_run(self):
+        pairs = planted_pairs(3)
+        chip = make_tpu_chip(num_cores=4, precision="fp32", mxu_rows=8, mxu_cols=8)
+        fleet = MultiInputScheduler(chip).explain_batch(
+            pairs, granularity="blocks", block_shape=(4, 4), eps=1e-8
+        )
+        assert fleet.stats is not None
+        assert fleet.stats.op_counts["dispatch"] == 1
+        reference = ExplanationPipeline(
+            small_backend(), granularity="blocks", block_shape=(4, 4), eps=1e-8
+        ).run(pairs)
+        for a, b in zip(reference.explanations, fleet.results):
+            np.testing.assert_array_equal(a.scores, b.scores)
+            assert a.residual == b.residual
+
+    def test_plan_waves_exposes_schedule(self):
+        chip = make_tpu_chip(num_cores=4, precision="fp32", mxu_rows=8, mxu_cols=8)
+        schedule = MultiInputScheduler(chip).plan_waves(
+            planted_pairs(4), granularity="columns"
+        )
+        assert schedule.num_waves == 1
+        assert schedule.num_pairs == 4
+
+
+class TestComplexOperands:
+    """Bit-identity must survive complex-valued pairs (review findings)."""
+
+    def _complex_pairs(self, count=2, shape=(6, 6), seed=30):
+        rng = np.random.default_rng(seed)
+        pairs = []
+        for _ in range(count):
+            x = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+            kernel = rng.standard_normal(shape)
+            pairs.append((x, fft_circular_convolve2d(x, kernel)))
+        return pairs
+
+    @pytest.mark.parametrize("granularity,kwargs", [
+        ("columns", {}),
+        ("elements", {}),
+    ])
+    def test_complex_pairs_wave_equals_pair(self, granularity, kwargs):
+        import warnings
+
+        pairs = self._complex_pairs()
+        runs = {}
+        with warnings.catch_warnings():
+            # The elements fast path casts complex operands to float64
+            # in both fusion modes (numpy ComplexWarning); equivalence
+            # is what this test asserts.
+            warnings.simplefilter("ignore")
+            for fusion in ("pair", "wave"):
+                pipeline = ExplanationPipeline(
+                    CpuDevice(), granularity=granularity, eps=1e-8,
+                    fusion=fusion, **kwargs,
+                )
+                runs[fusion] = pipeline.run(pairs)
+        for a, b in zip(runs["pair"].explanations, runs["wave"].explanations):
+            np.testing.assert_array_equal(a.scores, b.scores)
+            assert a.residual == b.residual
+
+    def test_real_and_complex_pairs_never_share_a_wave(self):
+        """Mixing would upcast real rows to complex128 and keep inverse
+        -transform roundoff imaginaries that per-pair execution drops."""
+        rng = np.random.default_rng(31)
+        real = planted_pairs(2, shape=(6, 6), seed=32)
+        cplx = self._complex_pairs(2)
+        pairs = [real[0], cplx[0], real[1], cplx[1]]
+        executor = FleetExecutor(CpuDevice(), granularity="columns")
+        schedule = executor.schedule(pairs)
+        assert schedule.num_waves == 2
+        assert schedule.waves[0].pair_indices == (0, 2)
+        assert schedule.waves[1].pair_indices == (1, 3)
+        # And the fused results still match per-pair execution exactly.
+        run_wave = ExplanationPipeline(
+            CpuDevice(), granularity="columns", eps=1e-8
+        ).run(pairs)
+        run_pair = ExplanationPipeline(
+            CpuDevice(), granularity="columns", eps=1e-8, fusion="pair"
+        ).run(pairs)
+        for a, b in zip(run_pair.explanations, run_wave.explanations):
+            np.testing.assert_array_equal(a.scores, b.scores)
+            assert a.residual == b.residual
+
+
+class TestLedgerHygiene:
+    def test_invalid_row_kernel_leaves_stats_clean(self):
+        """A rejected multi-kernel call must not record phantom
+        kernel-spectrum entries (review finding)."""
+        device = CpuDevice()
+        with pytest.raises(ValueError):
+            device.conv2d_circular_batch(np.ones((2, 4, 4)), np.ones((2, 4, 4)))
+        with pytest.raises(ValueError):
+            device.conv2d_circular_batch(
+                np.ones((2, 4, 4)), np.ones((2, 4, 4)), row_kernel=np.array([0, 9])
+            )
+        assert device.stats.seconds == 0.0
+        assert not device.stats.op_counts

@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.core import MaskPlan, TpuBackend, make_tpu_chip, score_plan
+from repro.core import (
+    MaskPlan,
+    MaskStackBudgetError,
+    TpuBackend,
+    check_stack_budget,
+    make_tpu_chip,
+    score_plan,
+)
 from repro.core.pipeline import ExplanationPipeline
 from repro.fft import fft_circular_convolve2d
 from repro.hw import CpuDevice, GpuDevice
@@ -235,6 +242,56 @@ class TestBatchedDeviceAccounting:
         with pytest.raises(ValueError):
             device.conv2d_circular_batch(np.ones((2, 4, 4)), np.ones((5, 5)))
 
+    def test_conv2d_circular_batch_kernel_stack_matches_per_kernel(self):
+        """The wave form: per-row kernels, bit-identical to convolving
+        each row against its own kernel separately."""
+        rng = np.random.default_rng(12)
+        stack = rng.standard_normal((5, 6, 6))
+        kernels = rng.standard_normal((2, 6, 6))
+        row_kernel = np.array([0, 1, 1, 0, 1])
+        device = CpuDevice()
+        fused = device.conv2d_circular_batch(stack, kernels, row_kernel=row_kernel)
+        for row, (plane, which) in enumerate(zip(stack, row_kernel)):
+            np.testing.assert_array_equal(
+                fused[row],
+                fft_circular_convolve2d(plane, kernels[which]),
+            )
+
+    def test_kernel_stack_requires_row_map(self):
+        device = CpuDevice()
+        with pytest.raises(ValueError):
+            device.conv2d_circular_batch(np.ones((2, 4, 4)), np.ones((2, 4, 4)))
+        with pytest.raises(ValueError):
+            device.conv2d_circular_batch(
+                np.ones((2, 4, 4)), np.ones((4, 4)), row_kernel=np.array([0, 0])
+            )
+        with pytest.raises(ValueError):
+            device.conv2d_circular_batch(
+                np.ones((2, 4, 4)), np.ones((2, 4, 4)), row_kernel=np.array([0, 5])
+            )
+
+    def test_kernel_spectrum_batch_accounting(self):
+        """Eager backends record one fft2 launch per kernel; the TPU
+        records one fused spectrum-batch program."""
+        stack = np.ones((3, 4, 4))
+        kernels = np.ones((3, 4, 4))
+        rows = np.arange(3)
+        cpu = CpuDevice()
+        cpu.conv2d_circular_batch(stack, kernels, row_kernel=rows)
+        assert cpu.stats.op_counts["fft2_kernel"] == 3
+        tpu = small_backend()
+        tpu.conv2d_circular_batch(stack, kernels, row_kernel=rows)
+        assert tpu.stats.op_counts["fft2_kernel_batch"] == 1
+        assert tpu.stats.op_seconds["fft2_kernel_batch"] == pytest.approx(
+            tpu.kernel_spectrum_batch_seconds(3, 4, 4)
+        )
+
+    def test_kernel_spectrum_batch_seconds_validation(self):
+        with pytest.raises(ValueError):
+            CpuDevice().kernel_spectrum_batch_seconds(0, 4, 4)
+        with pytest.raises(ValueError):
+            small_backend().kernel_spectrum_batch_seconds(-1, 4, 4)
+
     def test_conv2d_circular_batch_matches_looped_convolutions(self):
         rng = np.random.default_rng(8)
         stack = rng.standard_normal((5, 6, 6))
@@ -297,14 +354,89 @@ class TestPipelineMethods:
             kernel = rng.standard_normal((8, 8))
             pairs.append((x, fft_circular_convolve2d(x, kernel)))
         pipeline = ExplanationPipeline(
-            small_backend(), granularity="blocks", block_shape=(4, 4), eps=1e-8
+            small_backend(), granularity="blocks", block_shape=(4, 4), eps=1e-8,
+            fusion="pair",
         )
         run = pipeline.run(pairs)
         # One program dispatch per pair; the batched plan adds none, and
         # only the residual convolution still pays a host round trip.
+        # (Wave fusion collapses both to one per wave -- see test_fleet.)
         assert run.stats.op_counts["dispatch"] == 2
         assert run.stats.op_counts["conv_round_trip"] == 2
 
     def test_unknown_method_rejected(self):
         with pytest.raises(ValueError):
             ExplanationPipeline(CpuDevice(), granularity="columns", method="magic")
+
+
+class TestMaskPlanConcat:
+    def test_concat_stacks_masks_in_plan_order(self):
+        cols = MaskPlan.columns((4, 4))
+        rows = MaskPlan.rows((4, 4))
+        fused = MaskPlan.concat([cols, rows])
+        assert fused.num_masks == 8
+        assert fused.granularity == "concat"
+        assert fused.output_shape == (8,)
+        np.testing.assert_array_equal(fused.masks[:4], cols.masks)
+        np.testing.assert_array_equal(fused.masks[4:], rows.masks)
+
+    def test_concat_prefixes_labels_with_plan_index(self):
+        fused = MaskPlan.concat([MaskPlan.columns((2, 3)), MaskPlan.columns((2, 3))])
+        assert fused.labels[0] == (0, 0)
+        assert fused.labels[3] == (1, 0)
+        assert fused.labels[5] == (1, 2)
+
+    def test_concat_rejects_mixed_planes(self):
+        with pytest.raises(ValueError):
+            MaskPlan.concat([MaskPlan.columns((2, 2)), MaskPlan.columns((4, 4))])
+
+    def test_concat_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MaskPlan.concat([])
+
+    def test_concat_scores_equal_individual_plans(self):
+        x, kernel, y = fitted_setup()
+        cols = MaskPlan.columns(x.shape)
+        rows = MaskPlan.rows(x.shape)
+        fused_scores = score_plan(x, kernel, y, MaskPlan.concat([cols, rows]))
+        np.testing.assert_array_equal(
+            fused_scores[:8], score_plan(x, kernel, y, cols)
+        )
+        np.testing.assert_array_equal(
+            fused_scores[8:], score_plan(x, kernel, y, rows)
+        )
+
+
+class TestStackBudget:
+    def test_nbytes_prices_the_float_stack(self):
+        plan = MaskPlan.columns((4, 8))
+        assert plan.nbytes == 8 * 4 * 8 * 8  # num_masks * M * N * float64
+
+    def test_check_stack_budget_passes_and_raises(self):
+        check_stack_budget(100, 100)
+        check_stack_budget(10**12, None)  # None disables the guard
+        with pytest.raises(MaskStackBudgetError, match="method='loop'"):
+            check_stack_budget(101, 100)
+
+    def test_score_plan_honors_budget(self):
+        x, kernel, y = fitted_setup()
+        plan = MaskPlan.columns(x.shape)
+        with pytest.raises(MaskStackBudgetError):
+            score_plan(x, kernel, y, plan, max_stack_bytes=plan.nbytes - 1)
+        # Loop mode streams and never materializes the stack.
+        scores = score_plan(
+            x, kernel, y, plan, method="loop", max_stack_bytes=plan.nbytes - 1
+        )
+        assert scores.shape == (8,)
+
+    def test_pipeline_budget_points_at_loop(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((8, 8))
+        y = fft_circular_convolve2d(x, rng.standard_normal((8, 8)))
+        for fusion in ("pair", "wave"):
+            pipeline = ExplanationPipeline(
+                CpuDevice(), granularity="columns", fusion=fusion,
+                max_stack_bytes=64,
+            )
+            with pytest.raises(MaskStackBudgetError, match="loop"):
+                pipeline.run([(x, y)])

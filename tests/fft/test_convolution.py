@@ -232,3 +232,54 @@ class TestBatchedCircular2D:
         batched = fft_circular_convolve2d_batch(stack, kernel)
         for plane, result in zip(stack, batched):
             np.testing.assert_array_equal(result, fft_circular_convolve2d(plane, kernel))
+
+
+class TestMultiKernelBatch:
+    """Per-row kernel stacks: the cross-pair wave convolution substrate."""
+
+    def test_row_kernel_matches_per_row_convolution(self):
+        from repro.fft import fft_circular_convolve2d_batch
+
+        rng = np.random.default_rng(6)
+        stack = rng.standard_normal((7, 8, 8))
+        kernels = rng.standard_normal((3, 8, 8))
+        row_kernel = np.array([0, 1, 2, 0, 2, 1, 0])
+        fused = fft_circular_convolve2d_batch(stack, kernels, row_kernel=row_kernel)
+        for row, (plane, which) in enumerate(zip(stack, row_kernel)):
+            np.testing.assert_array_equal(
+                fused[row], fft_circular_convolve2d(plane, kernels[which])
+            )
+
+    def test_row_kernel_spans_chunk_boundaries(self):
+        """Rows mapping to different kernels must stay aligned when the
+        stack is transformed in internal chunks."""
+        from repro.fft import fft_circular_convolve2d_batch
+        from repro.fft.convolution import _CONV_BATCH_CHUNK
+
+        rng = np.random.default_rng(7)
+        batch = _CONV_BATCH_CHUNK + 5
+        stack = rng.standard_normal((batch, 4, 4))
+        kernels = rng.standard_normal((2, 4, 4))
+        row_kernel = np.arange(batch) % 2
+        fused = fft_circular_convolve2d_batch(stack, kernels, row_kernel=row_kernel)
+        for row in (0, _CONV_BATCH_CHUNK - 1, _CONV_BATCH_CHUNK, batch - 1):
+            np.testing.assert_array_equal(
+                fused[row],
+                fft_circular_convolve2d(stack[row], kernels[row_kernel[row]]),
+            )
+
+    def test_validation(self):
+        from repro.fft import fft_circular_convolve2d_batch
+
+        stack = np.ones((3, 4, 4))
+        kernels = np.ones((2, 4, 4))
+        with pytest.raises(ValueError):  # stack without row map
+            fft_circular_convolve2d_batch(stack, kernels)
+        with pytest.raises(ValueError):  # row map without stack
+            fft_circular_convolve2d_batch(stack, np.ones((4, 4)), row_kernel=[0, 0, 0])
+        with pytest.raises(ValueError):  # wrong length
+            fft_circular_convolve2d_batch(stack, kernels, row_kernel=[0, 1])
+        with pytest.raises(ValueError):  # out of range
+            fft_circular_convolve2d_batch(stack, kernels, row_kernel=[0, 1, 2])
+        with pytest.raises(ValueError):  # empty kernel stack
+            fft_circular_convolve2d_batch(stack, np.ones((0, 4, 4)), row_kernel=[0, 0, 0])
