@@ -1,24 +1,32 @@
 """Fleet-scale interpretation: wave-fused vs per-pair execution.
 
 Reports Table II-style numbers at fleet scale (1 / 10 / 100 pairs) for
-the paper's two interpretation workloads, in three execution modes:
+the paper's two interpretation workloads, in four execution modes:
 
 * ``loop``  -- the paper's measured per-feature execution (Table II;
   unchanged by the fleet refactor, asserted below);
 * ``pair``  -- the PR-1 batched engine, one program per pair;
 * ``wave``  -- the fleet executor, one batched program per scheduler
-  wave (one dispatch per wave on the TPU).
+  wave (one dispatch per wave on the TPU), executed serially;
+* ``wave-pip`` -- the same waves double-buffered (``pipelined=True``):
+  wave ``i+1``'s dispatch + infeed overlaps wave ``i``'s compute, the
+  hidden host-link time reported as the *overlap* column.  The fleet
+  is split into 10-pair waves for these two columns so there is
+  cross-wave overlap to measure (a single wave has nothing to hide).
 
 Shape contracts asserted (also run by CI via the ``--quick`` smoke
-mode): wave-fused TPU dispatch count strictly below the per-pair
-count, wave simulated seconds below pair seconds on every backend, the
-wave gain growing with fleet size on the TPU, bit-identical scores
-across fusion modes, and the wave cost model agreeing with the
-executed pipeline.
+mode, plus ``--pipelined`` for the overlap contract): wave-fused TPU
+dispatch count strictly below the per-pair count, wave simulated
+seconds below pair seconds on every backend, the wave gain growing
+with fleet size on the TPU, bit-identical scores across fusion *and*
+pipelining modes, pipelined elapsed strictly below serial at 100 pairs
+with dispatch counts unchanged, and the wave cost model agreeing with
+the executed pipeline.
 
 Runnable standalone::
 
-    PYTHONPATH=src python benchmarks/bench_fleet_interpretation.py [--quick]
+    PYTHONPATH=src python benchmarks/bench_fleet_interpretation.py \
+        [--quick] [--pipelined]
 """
 
 import argparse
@@ -43,6 +51,7 @@ from repro.hw.gpu import GpuDevice
 FLEET_SIZES = (1, 10, 100)
 SHAPE = (16, 16)
 BLOCK = (4, 4)
+PAIRS_PER_WAVE = 10  # wave width for the pipelined columns/contracts
 
 
 def small_backend(num_cores=8):
@@ -62,10 +71,10 @@ def planted_pairs(count, shape=SHAPE, seed=0):
     return pairs
 
 
-def _run(fusion, pairs, device=None):
+def _run(fusion, pairs, device=None, **kwargs):
     pipeline = ExplanationPipeline(
         device or small_backend(), granularity="blocks", block_shape=BLOCK,
-        eps=1e-8, fusion=fusion,
+        eps=1e-8, fusion=fusion, **kwargs,
     )
     return pipeline.run(pairs)
 
@@ -140,6 +149,56 @@ def test_tpu_wave_gain_grows_with_fleet_size():
     assert gains[-1] > gains[0]
 
 
+def test_pipelined_waves_beat_serial_waves():
+    """The PR-3 acceptance contract at executed scale: a multi-wave
+    fleet runs strictly faster double-buffered, with unchanged dispatch
+    counts and bit-identical per-pair results."""
+    pairs = planted_pairs(100)
+    serial = _run("wave", pairs, pipelined=False, max_pairs_per_wave=PAIRS_PER_WAVE)
+    pipelined = _run("wave", pairs, pipelined=True, max_pairs_per_wave=PAIRS_PER_WAVE)
+    assert pipelined.simulated_seconds < serial.simulated_seconds
+    assert (
+        pipelined.stats.op_counts["dispatch"]
+        == serial.stats.op_counts["dispatch"]
+        == 100 // PAIRS_PER_WAVE
+    )
+    # Identical compute records: the credit row is the only ledger delta.
+    serial_ops = dict(serial.stats.op_counts)
+    pipelined_ops = dict(pipelined.stats.op_counts)
+    assert pipelined_ops.pop("infeed_overlap") == 1
+    assert pipelined_ops == serial_ops
+    for a, b in zip(serial.explanations, pipelined.explanations):
+        np.testing.assert_array_equal(a.scores, b.scores)
+        assert a.residual == b.residual
+
+
+def test_pipelined_cost_model_never_above_serial():
+    """The modeled overlap mirrors the executed credit: pipelined
+    elapsed <= serial on every backend, equal for a single wave,
+    strictly below once waves alternate infeed and compute."""
+    workload = vgg19_interpretation_workload(pairs=100)
+    for factory in (CpuDevice, GpuDevice, lambda: TpuBackend(make_tpu_chip())):
+        serial = fleet_interpretation_seconds(
+            factory(), workload, fusion="wave", pairs_per_wave=PAIRS_PER_WAVE,
+        )
+        pipelined = fleet_interpretation_seconds(
+            factory(), workload, fusion="wave", pairs_per_wave=PAIRS_PER_WAVE,
+            pipelined=True,
+        )
+        assert pipelined <= serial
+        one_wave_serial = fleet_interpretation_seconds(factory(), workload, fusion="wave")
+        one_wave_pipelined = fleet_interpretation_seconds(
+            factory(), workload, fusion="wave", pipelined=True
+        )
+        assert one_wave_pipelined == one_wave_serial
+    tpu = lambda: TpuBackend(make_tpu_chip())  # noqa: E731
+    assert fleet_interpretation_seconds(
+        tpu(), workload, fusion="wave", pairs_per_wave=PAIRS_PER_WAVE, pipelined=True
+    ) < fleet_interpretation_seconds(
+        tpu(), workload, fusion="wave", pairs_per_wave=PAIRS_PER_WAVE
+    )
+
+
 # ----------------------------------------------------------------------
 # Report + CLI smoke mode
 # ----------------------------------------------------------------------
@@ -148,8 +207,11 @@ def test_tpu_wave_gain_grows_with_fleet_size():
 def _report(fleet_sizes=FLEET_SIZES) -> str:
     lines = [
         "FLEET-SCALE INTERPRETATION (simulated seconds per fleet)",
+        f"(wave/wave-pip split into {PAIRS_PER_WAVE}-pair waves; "
+        "overlap = host-link time hidden by double-buffered infeed)",
         f"{'workload':10s} {'pairs':>5s} {'device':6s} "
-        f"{'loop':>12s} {'pair':>12s} {'wave':>12s} {'wave gain':>9s}",
+        f"{'loop':>12s} {'pair':>12s} {'wave':>12s} {'wave-pip':>12s} "
+        f"{'overlap':>10s} {'gain':>7s}",
     ]
     for make_workload in (vgg19_interpretation_workload, resnet50_interpretation_workload):
         for pairs in fleet_sizes:
@@ -163,12 +225,61 @@ def _report(fleet_sizes=FLEET_SIZES) -> str:
                     factory(), workload, method="loop"
                 )
                 pair = fleet_interpretation_seconds(factory(), workload, fusion="pair")
-                wave = fleet_interpretation_seconds(factory(), workload, fusion="wave")
+                wave = fleet_interpretation_seconds(
+                    factory(), workload, fusion="wave",
+                    pairs_per_wave=PAIRS_PER_WAVE,
+                )
+                pipelined = fleet_interpretation_seconds(
+                    factory(), workload, fusion="wave",
+                    pairs_per_wave=PAIRS_PER_WAVE, pipelined=True,
+                )
                 lines.append(
                     f"{workload.name:10s} {pairs:5d} {name:6s} "
-                    f"{loop:12.4f} {pair:12.4f} {wave:12.4f} {pair / wave:8.2f}x"
+                    f"{loop:12.4f} {pair:12.4f} {wave:12.4f} {pipelined:12.4f} "
+                    f"{wave - pipelined:10.4f} {pair / pipelined:6.2f}x"
                 )
     return "\n".join(lines)
+
+
+def _pipelined_smoke() -> int:
+    """Executed overlap contract at 100 pairs (the CI pipelined smoke).
+
+    Runs the same 100-pair fleet serially and double-buffered
+    (10-pair waves both times) and exits non-zero unless pipelined
+    elapsed is strictly below serial, the wave dispatch count is
+    unchanged by pipelining, and per-pair results are bit-identical.
+    """
+    pairs = planted_pairs(100)
+    serial = _run("wave", pairs, pipelined=False, max_pairs_per_wave=PAIRS_PER_WAVE)
+    pipelined = _run("wave", pairs, pipelined=True, max_pairs_per_wave=PAIRS_PER_WAVE)
+    overlap = -pipelined.stats.op_seconds.get("infeed_overlap", 0.0)
+    print(
+        f"executed 100-pair fleet in {PAIRS_PER_WAVE}-pair waves: "
+        f"dispatches serial={serial.stats.op_counts['dispatch']} "
+        f"pipelined={pipelined.stats.op_counts['dispatch']}, "
+        f"seconds serial={serial.simulated_seconds:.4f} "
+        f"pipelined={pipelined.simulated_seconds:.4f} "
+        f"(overlap hidden: {overlap:.4f}s)"
+    )
+    if pipelined.simulated_seconds >= serial.simulated_seconds:
+        print(
+            "FAIL: pipelined elapsed must be strictly below serial at 100 pairs",
+            file=sys.stderr,
+        )
+        return 1
+    if pipelined.stats.op_counts["dispatch"] != serial.stats.op_counts["dispatch"]:
+        print(
+            "FAIL: pipelining must not change the wave dispatch count",
+            file=sys.stderr,
+        )
+        return 1
+    for a, b in zip(serial.explanations, pipelined.explanations):
+        if not np.array_equal(a.scores, b.scores):
+            print(
+                "FAIL: pipelined scores diverge from serial scores", file=sys.stderr
+            )
+            return 1
+    return 0
 
 
 def main(argv=None) -> int:
@@ -177,6 +288,12 @@ def main(argv=None) -> int:
         "--quick",
         action="store_true",
         help="CI smoke mode: small fleet, executed-dispatch assertion only",
+    )
+    parser.add_argument(
+        "--pipelined",
+        action="store_true",
+        help="also run the executed 100-pair pipelined-vs-serial contract "
+        "(pipelined elapsed < serial, unchanged dispatch count)",
     )
     args = parser.parse_args(argv)
 
@@ -203,6 +320,10 @@ def main(argv=None) -> int:
         if not np.array_equal(a.scores, b.scores):
             print("FAIL: wave scores diverge from per-pair scores", file=sys.stderr)
             return 1
+    if args.pipelined:
+        status = _pipelined_smoke()
+        if status:
+            return status
     print()
     print(_report(fleet_sizes=(1, 10) if args.quick else FLEET_SIZES))
     return 0

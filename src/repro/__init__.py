@@ -38,6 +38,7 @@ from repro.core import (
     DecomposedFourier,
     ExplanationPipeline,
     MaskPlan,
+    MaskSpec,
     MultiInputScheduler,
     OutputEmbedding,
     TpuBackend,
@@ -58,6 +59,7 @@ __all__ = [
     "DecomposedFourier",
     "ExplanationPipeline",
     "MaskPlan",
+    "MaskSpec",
     "MultiInputScheduler",
     "score_plan",
     "OutputEmbedding",

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 from repro.core.backend import TpuBackend, make_tpu_chip
 from repro.hw.cpu import CpuDevice
+from repro.hw.device import PipelineStage, pipelined_elapsed_seconds
 from repro.hw.gpu import GpuDevice
 from repro.nn.flops import ModelCensus, model_census
 from repro.nn.resnet import resnet50
@@ -327,6 +328,7 @@ def fleet_interpretation_seconds(
     method: str = "batched",
     fusion: str = "wave",
     pairs_per_wave: int | None = None,
+    pipelined: bool = False,
 ) -> float:
     """Cost of the distill-and-interpret fleet under cross-pair fusion.
 
@@ -347,6 +349,24 @@ def fleet_interpretation_seconds(
       (``device.batch_conv_seconds(P * (features + 1))``),
     * and, on the TPU, **one** program round trip for the wave --
       dispatch count drops from ~N per fleet to ~1 per wave.
+
+    Whatever ``pipelined`` says, each wave's feed is modeled as two
+    DMA calls -- a prologue (dispatch + fp32 infeed of the wave's x/y
+    pairs) and an epilogue (fp64 kernel outfeed) -- mirroring the
+    executed program scope's separate ``host_to_device`` /
+    ``device_to_host`` transfers.  (On links with a per-call latency,
+    e.g. the GPU's PCIe model, serial wave totals therefore carry one
+    extra transfer latency per wave relative to the historical
+    single-call feed; ``method="loop"`` and ``fusion="pair"`` numbers
+    are untouched.)  ``pipelined=True`` models the double-buffered
+    executor (``FleetExecutor.run(pipelined=True)``): stages combine
+    via :func:`repro.hw.device.pipelined_elapsed_seconds`, wave
+    ``i+1``'s prologue hiding under wave ``i``'s compute --
+    ``infeed_0 + sum(max(compute_i + outfeed_i, infeed_{i+1})) +
+    outfeed_last`` (intermediate outfeeds ride with their wave's
+    compute on the full-duplex link; the last wave's outfeed is charged
+    in full).  With a single wave (the default split) pipelining
+    changes nothing; ``False`` sums the stages serially.
     """
     if method not in ("loop", "batched"):
         raise ValueError(f"unknown method {method!r}; expected 'loop' or 'batched'")
@@ -363,25 +383,27 @@ def fleet_interpretation_seconds(
     elements = m * n
     solve = _solve_seconds(device, m, n)
 
-    total = 0.0
+    stages: list[PipelineStage] = []
     remaining = workload.pairs
     while remaining > 0:
         wave_pairs = min(pairs_per_wave, remaining)
         remaining -= wave_pairs
         rows = wave_pairs * (workload.num_features + 1)  # masks + residuals
-        wave = wave_pairs * solve
-        wave += device.kernel_spectrum_batch_seconds(wave_pairs, m, n)
-        wave += device.batch_conv_seconds(rows, m, n)
-        # One program per wave: x/y stream in as fp32 per pair, the
-        # fp64 kernels stream back (the loop model's per-pair feed,
-        # amortized over one launch).
-        feed = device.transfer_seconds(wave_pairs * elements * (4 + 4 + 8))
+        body = wave_pairs * solve
+        body += device.kernel_spectrum_batch_seconds(wave_pairs, m, n)
+        body += device.batch_conv_seconds(rows, m, n)
+        # One program per wave: x/y stream in as fp32 per pair (the
+        # prologue a double-buffered pipeline can hide), the fp64
+        # kernels stream back (the epilogue) -- the loop model's
+        # per-pair feed, amortized over one launch.
+        infeed = device.transfer_seconds(wave_pairs * elements * (4 + 4))
+        outfeed = device.transfer_seconds(wave_pairs * elements * 8)
         if isinstance(device, TpuBackend):
-            wave += device.chip.config.dispatch_latency_sec + feed
-        else:
-            wave += feed
-        total += wave
-    return total
+            infeed += device.chip.config.dispatch_latency_sec
+        stages.append(PipelineStage(prologue=infeed, body=body, epilogue=outfeed))
+    if pipelined:
+        return pipelined_elapsed_seconds(stages)
+    return sum(stage.total for stage in stages)
 
 
 # ----------------------------------------------------------------------

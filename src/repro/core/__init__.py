@@ -51,12 +51,15 @@ from repro.core.interpretation import (
     top_k_features,
 )
 from repro.core.masking import (
+    DEFAULT_CHUNK_ROWS,
     DEFAULT_STACK_BUDGET_BYTES,
     MaskPlan,
+    MaskSpec,
     MaskStackBudgetError,
     SliceRow,
     SliceTable,
     check_stack_budget,
+    effective_chunk_rows,
     reduce_batch,
     score_plan,
 )

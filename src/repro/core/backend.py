@@ -237,6 +237,17 @@ class TpuBackend(Device):
                 bytes_moved=outfeed_bytes,
             )
 
+    def _credit_overlap(self, seconds: float) -> None:
+        """Pipeline credit lands on the chip event ledger too.
+
+        The device ledger gets the standard negative ``infeed_overlap``
+        row; mirroring it as a chip event keeps the per-event audit
+        trail (``chip.event_count``) able to distinguish a pipelined
+        fleet run from a serial one without consulting device stats.
+        """
+        super()._credit_overlap(seconds)
+        self.chip.infeed_overlap_seconds(seconds)
+
     def energy_joules(self, seconds: float) -> float:
         """Chip energy at per-core TDP across all cores."""
         return seconds * self.chip.config.core.tdp_watts * self.chip.num_cores

@@ -9,24 +9,41 @@ convolution *per pair*.  This module removes that last per-pair axis:
 
 * :class:`FleetSchedule` -- wave planning: pairs of equal plane shape
   are grouped into **waves**, each wave sized to a configurable stack
-  budget (:class:`~repro.core.masking.MaskStackBudgetError` guards the
-  rest);
-* :class:`FleetExecutor` -- wave execution: a wave's mask plans are
-  concatenated, together with each pair's *unmasked* residual plane,
-  into one ``(sum(num_masks_i) + P, M, N)`` cross-pair stack whose rows
-  a :class:`~repro.core.masking.SliceTable` maps back to
-  ``(pair, feature)``; the whole stack is scored by **one**
-  ``device.conv2d_circular_batch`` call (per-row kernels, one
-  kernel-spectrum batch shared by the wave's pairs) inside **one**
-  ``device.program`` scope per wave.
+  budget (with lazy streaming, a single over-budget pair gets a wave of
+  its own instead of erroring -- only a plane that cannot fit at all
+  still raises :class:`~repro.core.masking.MaskStackBudgetError`);
+* :class:`FleetExecutor` -- wave execution: a wave's **lazy** mask
+  plans (:class:`~repro.core.masking.MaskSpec`) stream, together with
+  each pair's *unmasked* residual plane, through one conceptual
+  ``(sum(num_masks_i) + P, M, N)`` cross-pair stack whose rows a
+  :class:`~repro.core.masking.SliceTable` maps back to
+  ``(pair, feature)``; the stack is **never materialized** -- masked
+  chunks of at most ``chunk_rows`` planes are generated, convolved
+  (``device.conv2d_circular_batch_chunks``, per-row kernels, one
+  kernel-spectrum batch shared by the wave's pairs) and reduced to
+  scores on the fly, all inside **one** ``device.program`` scope per
+  wave, so peak host memory is ``O(chunk_rows * M * N)`` plus one
+  residual plane per pair regardless of how many masks a wave fuses.
 
-On the TPU backend that is one dispatch round trip per *wave* instead
-of one per pair plus one per residual convolution -- the
-batching-across-instances efficiency axis of the companion TPU paper
-(Pan & Mishra 2021) and the Efficient-XAI survey (Chuang et al. 2023).
-Scores, kernels and residuals are bit-identical to per-pair execution:
-the batched FFT kernels are plane-independent, so fusing rows across
-pairs changes only the cost ledger, never the numbers.
+Two cost levers stack on top of the PR-2 wave fusion:
+
+* one dispatch round trip per *wave* instead of one per pair plus one
+  per residual convolution (unchanged);
+* **wave-aware infeed pipelining** (``run(pipelined=True)``, the
+  default): waves execute inside a ``device.pipeline()`` scope, so wave
+  ``i+1``'s dispatch + infeed streams into the spare buffer while wave
+  ``i`` computes -- elapsed becomes ``infeed_0 + sum(max(compute_i +
+  outfeed_i, infeed_{i+1})) + outfeed_last`` (intermediate outfeeds
+  ride with their wave's compute on the full-duplex link; the last
+  outfeed is charged in full) and the hidden host-link time is
+  credited back as a negative ``infeed_overlap`` ledger row.
+  ``pipelined=False`` preserves the PR-2 serial timing exactly (and a
+  single-wave fleet times identically either way).
+
+Scores, kernels and residuals are bit-identical to per-pair *and* to
+dense non-pipelined execution: the batched FFT kernels are
+plane-independent and per-row reductions plane-local, so streaming and
+pipelining change only the cost ledger, never the numbers.
 """
 
 from __future__ import annotations
@@ -39,10 +56,11 @@ from repro.core.distillation import ConvolutionDistiller
 from repro.core.interpretation import element_scores_from_base
 from repro.core.masking import (
     DEFAULT_STACK_BUDGET_BYTES,
-    MaskPlan,
+    MaskSpec,
     REDUCTIONS,
     SliceTable,
     check_stack_budget,
+    effective_chunk_rows,
     reduce_batch,
 )
 from repro.core.transform import OutputEmbedding
@@ -99,6 +117,7 @@ class FleetSchedule:
         max_stack_bytes: int | None = DEFAULT_STACK_BUDGET_BYTES,
         max_pairs_per_wave: int | None = None,
         complex_flags=None,
+        streaming: bool = False,
     ) -> "FleetSchedule":
         """Group pairs into budgeted waves.
 
@@ -107,9 +126,17 @@ class FleetSchedule:
         for the ``elements`` fast path).  Every pair also contributes
         one residual row.  A wave closes when adding the next pair would
         push its stack past ``max_stack_bytes`` (or its pair count past
-        ``max_pairs_per_wave``); a single pair that alone exceeds the
-        budget raises :class:`~repro.core.masking.MaskStackBudgetError`
-        up front, pointing at ``method="loop"``.
+        ``max_pairs_per_wave``).
+
+        ``streaming`` selects what the budget means for a pair that
+        alone exceeds it.  ``False`` (dense semantics, the PR-2
+        contract): the wave stack would be materialized, so the pair
+        raises :class:`~repro.core.masking.MaskStackBudgetError` up
+        front.  ``True`` (the lazy executor): stacks stream in
+        ``chunk_rows``-bounded chunks, so an over-budget pair simply
+        closes the current wave and takes one of its own -- only a
+        plane too large for the budget to hold even a single ``M x N``
+        float row still raises.
 
         ``complex_flags[i]`` marks a pair whose convolutions are
         complex-valued.  Real and complex pairs never share a wave:
@@ -150,11 +177,22 @@ class FleetSchedule:
             current_rows = 0
             for index in indices:
                 pair_rows = mask_counts[index] + 1  # masks + residual plane
-                check_stack_budget(
-                    pair_rows * plane_bytes,
-                    max_stack_bytes,
-                    what=f"wave stack for pair {index}",
-                )
+                if streaming:
+                    # Chunked execution bounds memory by the chunk, not
+                    # the pair; only a single plane must fit the budget.
+                    check_stack_budget(
+                        plane_bytes,
+                        max_stack_bytes,
+                        what=f"streamed wave chunk for pair {index} (a single plane)",
+                        bool_nbytes=m * n,
+                    )
+                else:
+                    check_stack_budget(
+                        pair_rows * plane_bytes,
+                        max_stack_bytes,
+                        what=f"wave stack for pair {index}",
+                        bool_nbytes=pair_rows * m * n,
+                    )
                 over_budget = (
                     max_stack_bytes is not None
                     and (current_rows + pair_rows) * plane_bytes > max_stack_bytes
@@ -208,17 +246,25 @@ class FleetExecutor:
     selects the mask family, ``block_shape`` the tile size for
     ``blocks``, ``eps``/``embedding`` configure the per-pair
     distillation solve, ``reduction``/``fill_value`` the Eq. 5 scoring.
-    ``max_stack_bytes`` bounds each wave's materialized stack
-    (``None`` disables the guard) and ``max_pairs_per_wave`` optionally
-    caps wave width.
+    ``max_stack_bytes`` still shapes wave splitting, but under streamed
+    execution it bounds the *chunk* (and must hold at least one plane;
+    ``None`` disables the guard); ``max_pairs_per_wave`` optionally caps
+    wave width, and ``chunk_rows`` sets how many masked planes stream
+    per chunk (default
+    :data:`~repro.core.masking.DEFAULT_CHUNK_ROWS`, clamped to the
+    budget).
 
     Execution per wave: one ``device.program`` scope whose infeed is
     every fused pair's data and whose outfeed is their score planes;
     inside it each pair's kernel is solved (Eq. 4), then all pairs'
-    masked variants and unmasked residual planes are scored by a single
-    batched convolution with per-row kernels.  The ``elements``
-    granularity contributes only its residual row and scores through
-    the linearity fast path, exactly as in per-pair execution.
+    masked variants and unmasked residual planes stream through a
+    single chunked batched convolution with per-row kernels -- masks
+    are generated lazily (:class:`~repro.core.masking.MaskSpec`) and
+    each convolved chunk is reduced to scores immediately, so neither
+    the bool mask stack nor the masked float stack ever exists in
+    full.  The ``elements`` granularity contributes only its residual
+    row and scores through the linearity fast path, exactly as in
+    per-pair execution.
     """
 
     def __init__(
@@ -232,6 +278,7 @@ class FleetExecutor:
         fill_value: float = 0.0,
         max_stack_bytes: int | None = DEFAULT_STACK_BUDGET_BYTES,
         max_pairs_per_wave: int | None = None,
+        chunk_rows: int | None = None,
     ) -> None:
         if granularity not in GRANULARITIES:
             raise ValueError(
@@ -252,14 +299,15 @@ class FleetExecutor:
         self.fill_value = fill_value
         self.max_stack_bytes = max_stack_bytes
         self.max_pairs_per_wave = max_pairs_per_wave
+        self.chunk_rows = chunk_rows
 
     # ------------------------------------------------------------------
     # Planning
     # ------------------------------------------------------------------
-    def _plan_for(self, x: np.ndarray) -> MaskPlan | None:
+    def _plan_for(self, x: np.ndarray) -> MaskSpec | None:
         if self.granularity == "elements":
             return None  # linearity fast path: only the residual row
-        return MaskPlan.for_granularity(
+        return MaskSpec.for_granularity(
             self.granularity, x.shape, block_shape=self.block_shape
         )
 
@@ -281,6 +329,7 @@ class FleetExecutor:
                 np.iscomplexobj(x) or np.iscomplexobj(y)
                 for x, y in zip(xs, ys)
             ],
+            streaming=True,  # waves execute chunk-streamed, never dense
         )
 
     @staticmethod
@@ -292,8 +341,21 @@ class FleetExecutor:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, pairs) -> FleetRun:
-        """Explain every pair; returns results in input order."""
+    def run(self, pairs, pipelined: bool = True) -> FleetRun:
+        """Explain every pair; returns results in input order.
+
+        ``pipelined=True`` (the default) executes the waves inside a
+        ``device.pipeline()`` scope: wave ``i+1``'s dispatch + infeed
+        overlaps wave ``i``'s compute, and the hidden host-link time is
+        credited back to the ledger (``infeed_overlap``), so multi-wave
+        fleets finish in ``infeed_0 + sum(max(compute_i + outfeed_i,
+        infeed_{i+1})) + outfeed_last`` (intermediate outfeeds riding
+        with their wave's compute) instead of the serial sum.
+        ``pipelined=False``
+        preserves the serial PR-2 timing exactly; results, per-op
+        compute records and dispatch counts are identical either way
+        (a single-wave fleet also times identically).
+        """
         pairs = list(pairs)
         if not pairs:
             raise ValueError("no pairs to interpret")
@@ -302,14 +364,45 @@ class FleetExecutor:
         plans = [self._plan_for(x) for x in xs]
         schedule = self._schedule(xs, ys, plans)
         results: list[PairResult | None] = [None] * len(pairs)
-        for wave in schedule.waves:
-            self._run_wave(wave, xs, ys, plans, results)
+        if pipelined:
+            with self.device.pipeline():
+                for wave in schedule.waves:
+                    self._run_wave(wave, xs, ys, plans, results)
+        else:
+            for wave in schedule.waves:
+                self._run_wave(wave, xs, ys, plans, results)
         return FleetRun(results=tuple(results), schedule=schedule)
+
+    def _wave_chunks(self, wave: WavePlan, xs, plans, rows_per_chunk: int):
+        """Generate the wave's conceptual stack chunk by chunk.
+
+        Yields ``(chunk, row_range)`` covering, for each fused pair,
+        its lazily generated masked variants followed by its unmasked
+        residual plane -- the same row layout the
+        :class:`~repro.core.masking.SliceTable` records, without ever
+        concatenating (or even holding) the full stack.
+        """
+        row = 0
+        for i in wave.pair_indices:
+            plan = plans[i]
+            if plan is not None:
+                base = row
+                for masked, rows in plan.apply_chunks(
+                    xs[i], fill_value=self.fill_value, chunk_rows=rows_per_chunk
+                ):
+                    yield masked, range(base + rows.start, base + rows.stop)
+                row += plan.num_masks
+            yield np.asarray(xs[i])[np.newaxis], range(row, row + 1)
+            row += 1
 
     def _run_wave(self, wave: WavePlan, xs, ys, plans, results) -> None:
         indices = wave.pair_indices
         infeed = sum(xs[i].nbytes + ys[i].nbytes for i in indices)
         outfeed = sum(xs[i].nbytes for i in indices)
+        rows_per_chunk = effective_chunk_rows(
+            wave.plane_shape, self.chunk_rows, self.max_stack_bytes,
+            what="streamed wave chunk",
+        )
         with self.device.program(infeed_bytes=infeed, outfeed_bytes=outfeed):
             # Per-pair Eq. 4 solves (device ops inside the wave program).
             kernels: list[np.ndarray] = []
@@ -322,22 +415,56 @@ class FleetExecutor:
                 kernels.append(distiller.kernel_)
                 y_planes.append(distiller.lift_outputs(ys[i])[0])
 
-            # The fused cross-pair stack: each pair's masked variants
-            # followed by its unmasked residual plane.
+            # Stream the fused cross-pair stack: masked chunks and
+            # residual planes flow through one chunked batched
+            # convolution; mask rows reduce to scores on the spot, and
+            # only the P residual predictions are retained as planes.
             table = SliceTable.for_plans([plans[i] for i in indices])
-            segments: list[np.ndarray] = []
-            for i in indices:
-                if plans[i] is not None:
-                    segments.append(plans[i].apply(xs[i], fill_value=self.fill_value))
-                segments.append(np.asarray(xs[i])[np.newaxis])
-            stack = np.concatenate(segments, axis=0)
-            convolved = self.device.conv2d_circular_batch(
-                stack, np.stack(kernels), row_kernel=table.row_pair_indices()
+            row_pair = table.row_pair_indices()
+            row_is_mask = np.asarray([r.kind == "mask" for r in table.rows])
+            convolved_chunks = self.device.conv2d_circular_batch_chunks(
+                self._wave_chunks(wave, xs, plans, rows_per_chunk),
+                np.stack(kernels),
+                num_rows=len(table),
+                row_kernel=row_pair,
             )
+            local_of = {i: local for local, i in enumerate(indices)}
+            mask_scores = {
+                local: np.empty(plans[i].num_masks)
+                for local, i in enumerate(indices)
+                if plans[i] is not None
+            }
+            cursors = dict.fromkeys(mask_scores, 0)
+            residual_pred: dict[int, np.ndarray] = {}
+            for convolved, rows in convolved_chunks:
+                offset = 0
+                while offset < len(convolved):
+                    row = rows.start + offset
+                    if not row_is_mask[row]:
+                        residual_pred[row_pair[row]] = convolved[offset]
+                        offset += 1
+                        continue
+                    # Contiguous run of mask rows sharing one pair.
+                    stop = offset + 1
+                    while (
+                        rows.start + stop < rows.stop
+                        and row_is_mask[rows.start + stop]
+                        and row_pair[rows.start + stop] == row_pair[row]
+                    ):
+                        stop += 1
+                    local = int(row_pair[row])
+                    deltas = y_planes[local][np.newaxis] - convolved[offset:stop]
+                    cursor = cursors[local]
+                    mask_scores[local][cursor : cursor + stop - offset] = reduce_batch(
+                        deltas, self.reduction
+                    )
+                    cursors[local] = cursor + stop - offset
+                    offset = stop
 
-            # Reassembly: slice the fused result back per pair.
-            for local, i in enumerate(indices):
-                pred = convolved[table.residual_row(local)]
+            # Reassembly: fold each pair's streamed scores and residual.
+            for i in indices:
+                local = local_of[i]
+                pred = residual_pred[local]
                 delta = pred - y_planes[local]
                 residual = float(np.sqrt(np.mean(np.abs(delta) ** 2)))
                 if plans[i] is None:
@@ -345,10 +472,7 @@ class FleetExecutor:
                         xs[i], kernels[local], y_planes[local], pred
                     )
                 else:
-                    deltas = y_planes[local][np.newaxis] - convolved[table.mask_rows(local)]
-                    scores = plans[i].reshape_scores(
-                        reduce_batch(deltas, self.reduction)
-                    )
+                    scores = plans[i].reshape_scores(mask_scores[local])
                 results[i] = PairResult(
                     kernel=kernels[local], scores=scores, residual=residual
                 )

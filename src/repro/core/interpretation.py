@@ -24,12 +24,15 @@ columns of a trace table).  This module provides:
 * :func:`top_k_features` -- ranked indices for report generation.
 
 Every occlusion entry point routes through the batched engine of
-:mod:`repro.core.masking`: the masks of one granularity form a
-:class:`~repro.core.masking.MaskPlan` scored as a single ``(num_masks,
-M, N)`` batch with the kernel spectrum computed once (``method=
-"batched"``, the default), or one convolution per mask
-(``method="loop"``, the historical execution kept for equivalence tests
-and speedup benchmarks).
+:mod:`repro.core.masking`: the masks of one granularity form a *lazy*
+:class:`~repro.core.masking.MaskSpec` scored as one conceptual
+``(num_masks, M, N)`` batch with the kernel spectrum computed once
+(``method="batched"``, the default) -- generated, convolved and reduced
+``chunk_rows`` planes at a time, so peak memory is
+``O(chunk_rows * M * N)`` on any plane size -- or one convolution per
+mask (``method="loop"``, the historical execution kept for equivalence
+tests and speedup benchmarks).  Scores are bit-identical across
+methods and chunk sizes.
 
 All entry points accept an optional device so interpretation time can be
 accounted on CPU/GPU/TPU backends (Table II).
@@ -39,7 +42,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.masking import REDUCTIONS, MaskPlan, reduce_batch, score_plan
+from repro.core.masking import (
+    REDUCTIONS,
+    MaskPlan,
+    MaskSpec,
+    reduce_batch,
+    score_plan,
+)
 from repro.fft.convolution import fft_circular_convolve2d
 from repro.hw.device import Device
 
@@ -120,8 +129,10 @@ def feature_contributions(
 
     m, n = x.shape
     if method == "batched":
+        # Lazy element spec: the quadratic (M*N, M, N) stack streams in
+        # bounded chunks instead of materializing.
         return score_plan(
-            x, kernel, y, MaskPlan.elements(x.shape),
+            x, kernel, y, MaskSpec.elements(x.shape),
             reduction=reduction, method="batched", device=device,
         )
     if method in ("naive", "loop"):
@@ -225,22 +236,25 @@ def block_contributions(
     device: Device | None = None,
     fill_value: float = 0.0,
     method: str = "batched",
+    chunk_rows: int | None = None,
 ) -> np.ndarray:
     """Figure 5: contribution of each square sub-block of an image.
 
     The input is segmented into a grid of ``block_shape`` tiles; each
     tile is zeroed and scored through the distilled model -- all tiles
-    in one batched program by default.  Returns the grid of scores with
+    in one batched program by default, streamed ``chunk_rows`` masked
+    planes at a time from a lazy spec.  Returns the grid of scores with
     shape ``(M // bh, N // bw)`` (input dimensions must tile evenly).
     """
     x = np.asarray(x)
     kernel = np.asarray(kernel)
     y = np.asarray(y)
     _check_operands(x, kernel, y)
-    plan = MaskPlan.blocks(x.shape, block_shape)
+    plan = MaskSpec.blocks(x.shape, block_shape)
     return score_plan(
         x, kernel, y, plan,
         reduction=reduction, method=method, device=device, fill_value=fill_value,
+        chunk_rows=chunk_rows,
     )
 
 
@@ -252,14 +266,16 @@ def column_contributions(
     device: Device | None = None,
     fill_value: float = 0.0,
     method: str = "batched",
+    chunk_rows: int | None = None,
 ) -> np.ndarray:
     """Figure 6: contribution of each column (clock cycle of a trace table)."""
     x = np.asarray(x)
     _check_operands(x, np.asarray(kernel), np.asarray(y))
-    plan = MaskPlan.columns(x.shape)
+    plan = MaskSpec.columns(x.shape)
     return score_plan(
         x, np.asarray(kernel), np.asarray(y), plan,
         reduction=reduction, method=method, device=device, fill_value=fill_value,
+        chunk_rows=chunk_rows,
     )
 
 
@@ -271,14 +287,16 @@ def row_contributions(
     device: Device | None = None,
     fill_value: float = 0.0,
     method: str = "batched",
+    chunk_rows: int | None = None,
 ) -> np.ndarray:
     """Per-row contributions (registers of a trace table)."""
     x = np.asarray(x)
     _check_operands(x, np.asarray(kernel), np.asarray(y))
-    plan = MaskPlan.rows(x.shape)
+    plan = MaskSpec.rows(x.shape)
     return score_plan(
         x, np.asarray(kernel), np.asarray(y), plan,
         reduction=reduction, method=method, device=device, fill_value=fill_value,
+        chunk_rows=chunk_rows,
     )
 
 

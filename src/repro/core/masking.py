@@ -13,12 +13,27 @@ module replaces those loops with one engine:
   granularities (:meth:`MaskPlan.elements`, :meth:`MaskPlan.blocks`,
   :meth:`MaskPlan.columns`, :meth:`MaskPlan.rows`) and arbitrary mask
   stacks (:meth:`MaskPlan.from_masks`).
+* :class:`MaskSpec` -- the *lazy* form of the same four granularities:
+  a compact descriptor (granularity + plane + block shape, a few ints)
+  whose :meth:`MaskSpec.iter_chunks` generates ``(bool_chunk,
+  row_range)`` slices on demand, so neither the ``(num_masks, M, N)``
+  bool stack nor the masked float stack is ever materialized.
 * :func:`score_plan` -- Eq. 5 for every mask of a plan at once.
-  ``method="batched"`` stacks all masked variants and convolves them in
-  one batched device program, computing the kernel spectrum exactly
-  once; ``method="loop"`` preserves the historical one-launch-per-mask
+  ``method="batched"`` convolves all masked variants through one
+  batched device program, computing the kernel spectrum exactly once;
+  ``method="loop"`` preserves the historical one-launch-per-mask
   execution so tests can assert the two agree and benchmarks can report
   the speedup.
+
+Memory model: scoring a dense :class:`MaskPlan` materializes the
+``(num_masks, M, N)`` float64 masked stack (8x the bool masks) and is
+guarded by ``max_stack_bytes``; scoring a :class:`MaskSpec` -- or a
+dense plan with ``chunk_rows`` set -- *streams*: masked variants are
+generated, convolved and reduced ``chunk_rows`` planes at a time, so
+peak memory is ``O(chunk_rows * M * N)`` however many masks the plan
+describes, and the stack budget stops being a ceiling.  All three
+executions are bit-identical (the batched FFT kernels are
+plane-independent, and per-row reductions are plane-local).
 
 Occlusion is throughput work, not latency work: the masked variants are
 data-independent, so a whole plan can ship to an accelerator as one
@@ -36,6 +51,7 @@ import numpy as np
 from repro.fft.convolution import (
     fft_circular_convolve2d,
     fft_circular_convolve2d_batch,
+    fft_circular_convolve2d_chunks,
 )
 from repro.hw.device import Device
 
@@ -43,9 +59,18 @@ REDUCTIONS = ("l2", "l1", "mean_abs", "max_abs")
 METHODS = ("batched", "loop")
 
 #: Default ceiling on the float64 stack a batched scoring call may
-#: materialize (4 GiB).  Waves and plans past this must stream
-#: (``method="loop"``) or split; see :class:`MaskStackBudgetError`.
+#: materialize (4 GiB).  Dense plans past this must stream (a lazy
+#: :class:`MaskSpec`, ``chunk_rows``, or ``method="loop"``) or split;
+#: see :class:`MaskStackBudgetError`.
 DEFAULT_STACK_BUDGET_BYTES = 4 * 1024**3
+
+#: Mask rows generated/convolved per chunk when streaming (lazy
+#: :class:`MaskSpec` scoring and streamed fleet waves).  Matches the
+#: dense batch path's internal FFT chunking, so streamed and dense
+#: execution share the same working-set profile.
+DEFAULT_CHUNK_ROWS = 64
+
+FLOAT64_BYTES = 8  # masked variants materialize as float64 (8x the bools)
 
 
 class MaskStackBudgetError(MemoryError):
@@ -58,19 +83,62 @@ class MaskStackBudgetError(MemoryError):
 
 
 def check_stack_budget(
-    nbytes: int, max_stack_bytes: int | None, what: str = "mask stack"
+    nbytes: int,
+    max_stack_bytes: int | None,
+    what: str = "mask stack",
+    bool_nbytes: int | None = None,
 ) -> None:
     """Raise :class:`MaskStackBudgetError` when ``nbytes`` exceeds the budget.
 
+    ``nbytes`` must price the *float64* stack the batched path actually
+    materializes -- the bool masks are 1 byte/element, but ``apply``
+    blows each one up into an 8-byte float row, so budgeting the bools
+    would undercount real pressure 8x.  Pass the projected bool bytes
+    via ``bool_nbytes`` so the error reports both figures.
     ``max_stack_bytes=None`` disables the check (the caller opted out).
     """
     if max_stack_bytes is None or nbytes <= max_stack_bytes:
         return
-    raise MaskStackBudgetError(
-        f"{what} needs {nbytes} bytes, over the {max_stack_bytes}-byte budget; "
-        "use method='loop' (streams one mask at a time), raise max_stack_bytes, "
-        "or split the batch into smaller waves"
+    bool_note = (
+        f" ({bool_nbytes} bytes of bool masks before the 8x float64 blow-up)"
+        if bool_nbytes is not None
+        else ""
     )
+    raise MaskStackBudgetError(
+        f"{what} needs {nbytes} bytes of float64{bool_note}, over the "
+        f"{max_stack_bytes}-byte budget; stream it (a lazy MaskSpec or "
+        "chunk_rows=), use method='loop' (one mask at a time), raise "
+        "max_stack_bytes, or split the batch into smaller waves"
+    )
+
+
+def _apply_chunks(plan, x: np.ndarray, fill_value: float, chunk_rows: int):
+    """Shared ``apply_chunks`` body of :class:`MaskPlan` / :class:`MaskSpec`.
+
+    Validates eagerly (a bad input shape raises at the call, not at
+    first iteration), then yields masked chunks lazily.
+    """
+    x = np.asarray(x)
+    if x.shape != plan.plane_shape:
+        raise ValueError(
+            f"input shape {x.shape} does not match plan plane {plan.plane_shape}"
+        )
+
+    def _generate():
+        for chunk, rows in plan.iter_chunks(chunk_rows):
+            yield np.where(chunk, fill_value, x[np.newaxis]), rows
+
+    return _generate()
+
+
+def _reshape_scores(plan, flat_scores: np.ndarray) -> np.ndarray:
+    """Shared ``reshape_scores`` body of :class:`MaskPlan` / :class:`MaskSpec`."""
+    flat_scores = np.asarray(flat_scores)
+    if flat_scores.shape != (plan.num_masks,):
+        raise ValueError(
+            f"expected {plan.num_masks} flat scores, got shape {flat_scores.shape}"
+        )
+    return flat_scores.reshape(plan.output_shape)
 
 
 def reduce_batch(deltas: np.ndarray, reduction: str) -> np.ndarray:
@@ -156,12 +224,20 @@ class MaskPlan:
         """Bytes the batched path materializes for this plan's float stack.
 
         The estimate prices the ``(num_masks, M, N)`` float64 stack of
-        masked input variants that :func:`score_plan`'s batched method
-        (and a fused wave containing this plan) allocates -- the bool
-        mask storage itself is 8x smaller.  Compare against a budget via
-        :func:`check_stack_budget` before materializing.
+        masked input variants that :func:`score_plan`'s dense batched
+        method (and a fused wave containing this plan) allocates -- the
+        real memory pressure, 8x the bool storage
+        (:attr:`bool_nbytes`).  Compare against a budget via
+        :func:`check_stack_budget` before materializing; streamed
+        scoring (:class:`MaskSpec`, or ``chunk_rows``) never allocates
+        either stack.
         """
-        return self.num_masks * self.masks.shape[1] * self.masks.shape[2] * 8
+        return self.bool_nbytes * FLOAT64_BYTES
+
+    @property
+    def bool_nbytes(self) -> int:
+        """Bytes of the ``(num_masks, M, N)`` bool mask stack itself."""
+        return self.num_masks * self.masks.shape[1] * self.masks.shape[2]
 
     def __len__(self) -> int:
         return self.num_masks
@@ -308,14 +384,38 @@ class MaskPlan:
             )
         return np.where(self.masks, fill_value, x[np.newaxis])
 
+    def iter_chunks(self, chunk_rows: int = DEFAULT_CHUNK_ROWS):
+        """Yield ``(bool_chunk, row_range)`` slices of the mask stack.
+
+        Chunks are *views* of the dense stack (no copies); the protocol
+        matches :meth:`MaskSpec.iter_chunks` so streaming consumers
+        (:func:`score_plan`, the fleet executor) treat dense and lazy
+        plans uniformly.
+        """
+        chunk_rows = _check_chunk_rows(chunk_rows)
+        for start in range(0, self.num_masks, chunk_rows):
+            stop = min(start + chunk_rows, self.num_masks)
+            yield self.masks[start:stop], range(start, stop)
+
+    def apply_chunks(
+        self,
+        x: np.ndarray,
+        fill_value: float = 0.0,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    ):
+        """Yield ``(masked_chunk, row_range)`` without the full float stack.
+
+        The streamed form of :meth:`apply`: each chunk holds at most
+        ``chunk_rows`` masked input variants, so peak float memory is
+        ``O(chunk_rows * M * N)`` instead of ``O(num_masks * M * N)``.
+        Values are bit-identical to the corresponding :meth:`apply`
+        rows.
+        """
+        return _apply_chunks(self, x, fill_value, chunk_rows)
+
     def reshape_scores(self, flat_scores: np.ndarray) -> np.ndarray:
         """Fold the flat per-mask score vector into the output grid."""
-        flat_scores = np.asarray(flat_scores)
-        if flat_scores.shape != (self.num_masks,):
-            raise ValueError(
-                f"expected {self.num_masks} flat scores, got shape {flat_scores.shape}"
-            )
-        return flat_scores.reshape(self.output_shape)
+        return _reshape_scores(self, flat_scores)
 
 
 def _check_plane(shape: tuple[int, int]) -> tuple[int, int]:
@@ -323,6 +423,213 @@ def _check_plane(shape: tuple[int, int]) -> tuple[int, int]:
     if m <= 0 or n <= 0:
         raise ValueError(f"plane shape must be positive, got {shape}")
     return int(m), int(n)
+
+
+def _check_chunk_rows(chunk_rows: int) -> int:
+    chunk_rows = int(chunk_rows)
+    if chunk_rows <= 0:
+        raise ValueError(f"chunk_rows must be positive, got {chunk_rows}")
+    return chunk_rows
+
+
+@dataclass(frozen=True)
+class MaskSpec:
+    """A lazy mask plan: the four paper granularities as a descriptor.
+
+    Where :class:`MaskPlan` *stores* a ``(num_masks, M, N)`` bool stack,
+    a spec stores only ``(granularity, plane_shape, block_shape)`` -- a
+    few ints -- and *generates* mask rows on demand through
+    :meth:`iter_chunks`.  Element, block, column and row occlusion are
+    all structured (mask ``i`` is a deterministic function of ``i``), so
+    nothing about the stack needs to exist ahead of time; a plan whose
+    dense stack would blow the memory budget streams instead.
+
+    The scoring-facing surface mirrors :class:`MaskPlan` exactly
+    (``num_masks``, ``plane_shape``, ``output_shape``, ``labels``,
+    ``nbytes``/``bool_nbytes`` -- *projected*, nothing allocated --
+    ``reshape_scores``, ``iter_chunks``, ``apply_chunks``), so
+    :func:`score_plan` and the fleet executor accept either; chunks are
+    bit-identical to the corresponding dense rows
+    (:meth:`materialize` returns the equivalent :class:`MaskPlan`,
+    asserted by tests).
+    """
+
+    granularity: str
+    plane_shape: tuple[int, int]
+    block_shape: tuple[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        m, n = _check_plane(self.plane_shape)
+        object.__setattr__(self, "plane_shape", (m, n))
+        if self.granularity not in ("elements", "blocks", "columns", "rows"):
+            raise ValueError(
+                f"unknown granularity {self.granularity!r}; expected one of "
+                "('elements', 'blocks', 'columns', 'rows')"
+            )
+        if self.granularity == "blocks":
+            if self.block_shape is None:
+                raise ValueError("blocks granularity requires a block_shape")
+            bh, bw = (int(v) for v in self.block_shape)
+            if bh <= 0 or bw <= 0:
+                raise ValueError(
+                    f"block shape must be positive, got {self.block_shape}"
+                )
+            if m % bh or n % bw:
+                raise ValueError(
+                    f"block shape {(bh, bw)} does not tile input of shape {(m, n)}"
+                )
+            object.__setattr__(self, "block_shape", (bh, bw))
+        elif self.block_shape is not None:
+            raise ValueError(
+                f"{self.granularity} granularity takes no block_shape"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors, mirroring MaskPlan's
+    # ------------------------------------------------------------------
+    @classmethod
+    def elements(cls, shape: tuple[int, int]) -> "MaskSpec":
+        return cls("elements", tuple(shape))
+
+    @classmethod
+    def blocks(cls, shape: tuple[int, int], block_shape: tuple[int, int]) -> "MaskSpec":
+        return cls("blocks", tuple(shape), tuple(block_shape))
+
+    @classmethod
+    def columns(cls, shape: tuple[int, int]) -> "MaskSpec":
+        return cls("columns", tuple(shape))
+
+    @classmethod
+    def rows(cls, shape: tuple[int, int]) -> "MaskSpec":
+        return cls("rows", tuple(shape))
+
+    @classmethod
+    def for_granularity(
+        cls,
+        granularity: str,
+        shape: tuple[int, int],
+        block_shape: tuple[int, int] | None = None,
+    ) -> "MaskSpec":
+        """Dispatch constructor used by the explanation pipeline."""
+        if granularity == "blocks":
+            if block_shape is None:
+                raise ValueError("blocks granularity requires a block_shape")
+            return cls.blocks(shape, block_shape)
+        return cls(granularity, tuple(shape))
+
+    # ------------------------------------------------------------------
+    # Introspection (projected -- nothing is allocated)
+    # ------------------------------------------------------------------
+    @property
+    def _grid(self) -> tuple[int, int]:
+        bh, bw = self.block_shape
+        return self.plane_shape[0] // bh, self.plane_shape[1] // bw
+
+    @property
+    def num_masks(self) -> int:
+        m, n = self.plane_shape
+        if self.granularity == "elements":
+            return m * n
+        if self.granularity == "blocks":
+            grid = self._grid
+            return grid[0] * grid[1]
+        if self.granularity == "columns":
+            return n
+        return m
+
+    @property
+    def output_shape(self) -> tuple[int, ...]:
+        m, n = self.plane_shape
+        if self.granularity == "elements":
+            return (m, n)
+        if self.granularity == "blocks":
+            return self._grid
+        if self.granularity == "columns":
+            return (n,)
+        return (m,)
+
+    @property
+    def labels(self) -> tuple[tuple[int, ...], ...]:
+        m, n = self.plane_shape
+        if self.granularity == "elements":
+            return tuple((i, j) for i in range(m) for j in range(n))
+        if self.granularity == "blocks":
+            gh, gw = self._grid
+            return tuple((bi, bj) for bi in range(gh) for bj in range(gw))
+        if self.granularity == "columns":
+            return tuple((j,) for j in range(n))
+        return tuple((i,) for i in range(m))
+
+    @property
+    def nbytes(self) -> int:
+        """Projected float64 stack bytes, were this spec materialized."""
+        return self.bool_nbytes * FLOAT64_BYTES
+
+    @property
+    def bool_nbytes(self) -> int:
+        """Projected bool stack bytes, were this spec materialized."""
+        m, n = self.plane_shape
+        return self.num_masks * m * n
+
+    def __len__(self) -> int:
+        return self.num_masks
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def iter_chunks(self, chunk_rows: int = DEFAULT_CHUNK_ROWS):
+        """Yield ``(bool_chunk, row_range)`` slices, generated on demand.
+
+        Each chunk is a freshly built ``(rows, M, N)`` bool array
+        covering masks ``row_range`` of the conceptual stack --
+        bit-identical to the same rows of the dense
+        :class:`MaskPlan` constructor -- so peak mask memory is
+        ``O(chunk_rows * M * N)`` however many masks the spec
+        describes.
+        """
+        chunk_rows = _check_chunk_rows(chunk_rows)
+        m, n = self.plane_shape
+        total = self.num_masks
+        for start in range(0, total, chunk_rows):
+            stop = min(start + chunk_rows, total)
+            count = stop - start
+            chunk = np.zeros((count, m, n), dtype=bool)
+            local = np.arange(count)
+            index = np.arange(start, stop)
+            if self.granularity == "elements":
+                chunk[local, index // n, index % n] = True
+            elif self.granularity == "blocks":
+                bh, bw = self.block_shape
+                gw = self._grid[1]
+                for offset, block in enumerate(index):
+                    bi, bj = divmod(int(block), gw)
+                    chunk[
+                        offset, bi * bh : (bi + 1) * bh, bj * bw : (bj + 1) * bw
+                    ] = True
+            elif self.granularity == "columns":
+                chunk[local, :, index] = True
+            else:  # rows
+                chunk[local, index, :] = True
+            yield chunk, range(start, stop)
+
+    def apply_chunks(
+        self,
+        x: np.ndarray,
+        fill_value: float = 0.0,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    ):
+        """Yield ``(masked_chunk, row_range)``: the streamed :meth:`MaskPlan.apply`."""
+        return _apply_chunks(self, x, fill_value, chunk_rows)
+
+    def reshape_scores(self, flat_scores: np.ndarray) -> np.ndarray:
+        """Fold the flat per-mask score vector into the output grid."""
+        return _reshape_scores(self, flat_scores)
+
+    def materialize(self) -> MaskPlan:
+        """The equivalent dense :class:`MaskPlan` (tests assert identity)."""
+        return MaskPlan.for_granularity(
+            self.granularity, self.plane_shape, block_shape=self.block_shape
+        )
 
 
 @dataclass(frozen=True)
@@ -404,37 +711,92 @@ class SliceTable:
         return np.asarray([r.pair_index for r in self.rows], dtype=np.intp)
 
 
+def effective_chunk_rows(
+    plane_shape: tuple[int, int],
+    chunk_rows: int | None,
+    max_stack_bytes: int | None,
+    what: str = "streamed mask chunk",
+) -> int:
+    """Chunk size a streamed scoring call should generate at.
+
+    Defaults to :data:`DEFAULT_CHUNK_ROWS`, then clamps so one chunk's
+    float64 planes fit ``max_stack_bytes``.  Streaming needs at least
+    one whole plane in flight, so a budget below a single ``M x N``
+    float plane still raises :class:`MaskStackBudgetError` -- that
+    ceiling is the plane size now, not ``num_masks`` times it.
+    """
+    m, n = plane_shape
+    plane_bytes = m * n * FLOAT64_BYTES
+    rows = _check_chunk_rows(chunk_rows if chunk_rows is not None else DEFAULT_CHUNK_ROWS)
+    if max_stack_bytes is None:
+        return rows
+    check_stack_budget(
+        plane_bytes, max_stack_bytes, what=f"{what} (a single plane)",
+        bool_nbytes=m * n,
+    )
+    return max(1, min(rows, max_stack_bytes // plane_bytes))
+
+
+def _stream_scores(
+    plan,
+    x: np.ndarray,
+    kernel: np.ndarray,
+    y: np.ndarray,
+    reduction: str,
+    device: Device | None,
+    fill_value: float,
+    chunk_rows: int,
+) -> np.ndarray:
+    """Chunk-streamed batched scoring: generate, convolve, reduce, drop."""
+    chunks = plan.apply_chunks(x, fill_value=fill_value, chunk_rows=chunk_rows)
+    if device is None:
+        convolved_chunks = fft_circular_convolve2d_chunks(
+            chunks, kernel, num_rows=plan.num_masks
+        )
+    else:
+        convolved_chunks = device.conv2d_circular_batch_chunks(
+            chunks, kernel, num_rows=plan.num_masks
+        )
+    scores = np.empty(plan.num_masks)
+    for convolved, rows in convolved_chunks:
+        deltas = y[np.newaxis] - convolved
+        scores[rows.start : rows.stop] = reduce_batch(deltas, reduction)
+    return plan.reshape_scores(scores)
+
+
 def score_plan(
     x: np.ndarray,
     kernel: np.ndarray,
     y: np.ndarray,
-    plan: MaskPlan,
+    plan: "MaskPlan | MaskSpec",
     reduction: str = "l2",
     method: str = "batched",
     device: Device | None = None,
     fill_value: float = 0.0,
     max_stack_bytes: int | None = None,
+    chunk_rows: int | None = None,
 ) -> np.ndarray:
     """Eq. 5 scores for every mask of ``plan``, in the plan's output grid.
 
-    ``method="batched"`` applies all masks at once and convolves the
-    whole stack through one batched program: the kernel spectrum is
-    computed exactly once, and on compiled backends the plan costs one
-    dispatch instead of one host round trip per mask.
-    ``method="loop"`` re-runs one masked convolution per mask -- the
-    historical execution, kept so equivalence is testable and the
-    speedup measurable.  Both methods produce identical scores.
+    ``method="batched"`` convolves every masked variant through one
+    batched program: the kernel spectrum is computed exactly once, and
+    on compiled backends the plan costs one dispatch instead of one
+    host round trip per mask.  ``method="loop"`` re-runs one masked
+    convolution per mask -- the historical execution, kept so
+    equivalence is testable and the speedup measurable.  All executions
+    produce bit-identical scores.
 
-    Memory: the batched path materializes the ``(num_masks, M, N)``
-    masked stack (the FFT intermediates are chunk-bounded downstream).
-    For the paper's granularities ``num_masks`` is O(M + N) masks or a
-    block grid, so the stack is a modest multiple of the plane; on
-    planes large enough that ``num_masks * M * N`` floats do not fit,
-    use ``method="loop"``, which streams one mask at a time.  Pass
-    ``max_stack_bytes`` to enforce that bound up front: a batched call
-    whose :attr:`MaskPlan.nbytes` exceeds it raises
-    :class:`MaskStackBudgetError` instead of materializing the stack
-    (``None`` disables the check).
+    Memory: with a dense :class:`MaskPlan` (and ``chunk_rows=None``)
+    the batched path materializes the ``(num_masks, M, N)`` masked
+    float stack, guarded up front by ``max_stack_bytes`` against
+    :attr:`MaskPlan.nbytes` (:class:`MaskStackBudgetError`; ``None``
+    disables the check).  With a lazy :class:`MaskSpec` -- or a dense
+    plan plus an explicit ``chunk_rows`` -- scoring *streams*: masked
+    variants are generated, convolved and reduced ``chunk_rows`` planes
+    at a time, so peak memory is ``O(chunk_rows * M * N)`` regardless
+    of ``num_masks`` and the budget only bounds the chunk (it must
+    still hold one plane).  ``chunk_rows=None`` streams at
+    :data:`DEFAULT_CHUNK_ROWS`.
     """
     x = np.asarray(x)
     kernel = np.asarray(kernel)
@@ -457,16 +819,27 @@ def score_plan(
 
     if method == "loop":
         scores = np.empty(plan.num_masks)
-        for index, mask in enumerate(plan.masks):
-            masked = np.where(mask, fill_value, x)
+        for chunk, rows in plan.iter_chunks(1):
+            masked = np.where(chunk[0], fill_value, x)
             if device is None:
                 convolved = fft_circular_convolve2d(masked, kernel)
             else:
                 convolved = device.conv2d_circular(masked, kernel)
-            scores[index] = reduce_batch((y - convolved)[np.newaxis], reduction)[0]
+            scores[rows.start] = reduce_batch((y - convolved)[np.newaxis], reduction)[0]
         return plan.reshape_scores(scores)
 
-    check_stack_budget(plan.nbytes, max_stack_bytes, what="batched mask stack")
+    if isinstance(plan, MaskSpec) or chunk_rows is not None:
+        rows_per_chunk = effective_chunk_rows(
+            plan.plane_shape, chunk_rows, max_stack_bytes
+        )
+        return _stream_scores(
+            plan, x, kernel, y, reduction, device, fill_value, rows_per_chunk
+        )
+
+    check_stack_budget(
+        plan.nbytes, max_stack_bytes, what="batched mask stack",
+        bool_nbytes=plan.bool_nbytes,
+    )
     stacked = plan.apply(x, fill_value=fill_value)
     if device is None:
         convolved = fft_circular_convolve2d_batch(stacked, kernel)

@@ -205,6 +205,7 @@ class MultiInputScheduler:
         pairs,
         granularity: str = "blocks",
         block_shape: tuple[int, int] | None = None,
+        pipelined: bool = True,
         **executor_kwargs,
     ) -> FleetRun:
         """Explain a fleet of pairs on this chip, one program per wave.
@@ -212,16 +213,21 @@ class MultiInputScheduler:
         The chip is presented through the device interface
         (:class:`repro.core.backend.TpuBackend`) and handed to the
         wave-fused :class:`~repro.core.fleet.FleetExecutor`: each wave's
-        mask plans and residual planes score as a single cross-pair
-        batched convolution, so the fleet pays one dispatch per wave
-        instead of one (plus a residual round trip) per pair.  The
-        returned run carries the harvested device ledger in ``stats``.
+        lazy mask plans and residual planes stream through a single
+        cross-pair chunked batched convolution, so the fleet pays one
+        dispatch per wave instead of one (plus a residual round trip)
+        per pair, in ``O(chunk_rows * M * N)`` host memory.
+        ``pipelined`` (default ``True``) double-buffers the waves --
+        wave ``i+1``'s infeed overlaps wave ``i``'s compute, the chip
+        ledger crediting the hidden time as an ``infeed_overlap`` event.
+        The returned run carries the harvested device ledger in
+        ``stats``.
         """
         executor = self._fleet_executor(
             granularity, block_shape, **executor_kwargs
         )
         executor.device.reset_stats()
-        fleet = executor.run(pairs)
+        fleet = executor.run(pairs, pipelined=pipelined)
         return replace(fleet, stats=executor.device.take_stats())
 
     def _fleet_executor(

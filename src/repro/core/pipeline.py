@@ -31,9 +31,17 @@ control the execution structure:
   Fusion only restructures the batched method; ``method="loop"`` is
   inherently pair-at-a-time and always runs per pair.
 
-Scores, kernels and residuals are bit-identical along both axes; only
-simulated cost and the op ledger differ -- the paper's structural
-contrast, now measurable per pair *and* per fleet.
+Wave fusion is additionally *streaming* and *pipelined*: each wave's
+mask stack is generated lazily and convolved in ``chunk_rows``-bounded
+chunks (peak memory ``O(chunk_rows * M * N)`` however many masks the
+fleet fuses), and with ``pipelined=True`` (default) wave ``i+1``'s
+dispatch + infeed overlaps wave ``i``'s compute, crediting the hidden
+host-link time back as a negative ``infeed_overlap`` ledger row.
+
+Scores, kernels and residuals are bit-identical along every axis
+(method, fusion, streaming, pipelining); only simulated cost and the op
+ledger differ -- the paper's structural contrast, now measurable per
+pair *and* per fleet.
 """
 
 from __future__ import annotations
@@ -113,11 +121,31 @@ class ExplanationPipeline:
         per pair.  Only consulted for ``method="batched"``; the loop
         method always executes per pair.
     max_stack_bytes:
-        Memory budget for the materialized float stacks of the batched
-        method (a fused wave's cross-pair stack, or a single pair's
-        plan stack under pair fusion).  Exceeding it raises
+        Memory budget for the batched method's float stacks.  Under
+        pair fusion (dense plans) exceeding it raises
         :class:`~repro.core.masking.MaskStackBudgetError` pointing at
-        ``method="loop"``; ``None`` disables the guard.
+        ``method="loop"``; under wave fusion execution *streams*
+        (lazy :class:`~repro.core.masking.MaskSpec` chunks), so the
+        budget bounds the per-chunk working set and wave splitting
+        instead of capping plan size -- only a plane too large for the
+        budget to hold one ``M x N`` float row still raises.  ``None``
+        disables the guard.
+    pipelined:
+        Wave fusion only: ``True`` (default) double-buffers wave
+        execution -- wave ``i+1``'s dispatch + infeed overlaps wave
+        ``i``'s compute inside a ``device.pipeline()`` scope, the
+        hidden time credited back as a negative ``infeed_overlap``
+        ledger row.  ``False`` preserves serial wave timing (results
+        and per-op compute records are identical either way).
+    chunk_rows:
+        Masked planes generated/convolved per streamed chunk under wave
+        fusion (default
+        :data:`~repro.core.masking.DEFAULT_CHUNK_ROWS`, clamped to the
+        budget); peak streaming memory is ``O(chunk_rows * M * N)``.
+    max_pairs_per_wave:
+        Optional cap on pairs fused per wave (wave fusion only) --
+        the lever benchmarks use to trade per-wave batch width against
+        cross-wave infeed overlap.
     """
 
     def __init__(
@@ -130,6 +158,9 @@ class ExplanationPipeline:
         method: str = "batched",
         fusion: str = "wave",
         max_stack_bytes: int | None = DEFAULT_STACK_BUDGET_BYTES,
+        pipelined: bool = True,
+        chunk_rows: int | None = None,
+        max_pairs_per_wave: int | None = None,
     ) -> None:
         if granularity not in GRANULARITIES:
             raise ValueError(
@@ -149,6 +180,9 @@ class ExplanationPipeline:
         self.method = method
         self.fusion = fusion
         self.max_stack_bytes = max_stack_bytes
+        self.pipelined = pipelined
+        self.chunk_rows = chunk_rows
+        self.max_pairs_per_wave = max_pairs_per_wave
 
     def explain_pair(self, x: np.ndarray, y: np.ndarray) -> PairExplanation:
         """Distill and interpret one pair (no program scoping)."""
@@ -215,8 +249,10 @@ class ExplanationPipeline:
             eps=self.eps,
             embedding=self.embedding,
             max_stack_bytes=self.max_stack_bytes,
+            max_pairs_per_wave=self.max_pairs_per_wave,
+            chunk_rows=self.chunk_rows,
         )
-        fleet = executor.run(pairs)
+        fleet = executor.run(pairs, pipelined=self.pipelined)
         stats = self.device.take_stats()
         explanations = [
             PairExplanation(

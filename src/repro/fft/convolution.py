@@ -12,8 +12,19 @@ provides:
 * batched FFT convolution -- a stack of inputs against one shared
   kernel whose spectrum is computed exactly once, the hot path of the
   batched occlusion engine (:mod:`repro.core.masking`);
+* chunk-streamed FFT convolution -- the same arithmetic driven by an
+  *iterator* of ``(chunk, row_range)`` slices instead of a materialized
+  ``(batch, M, N)`` stack, so peak memory is ``O(chunk_rows * M * N)``
+  regardless of batch size (the substrate of lazy
+  :class:`~repro.core.masking.MaskSpec` scoring and streamed fleet
+  waves); the dense batch form is a thin wrapper over it;
 * linear convolution via zero-padding to a circular one, for callers who
   need aperiodic behaviour.
+
+Chunk boundaries never change bits: :func:`repro.fft.fft2d.fft2_batch`
+transforms each plane independently, and the per-row Hadamard products
+and reductions are plane-local, so streamed, dense-batched and
+one-plane-at-a-time execution agree exactly.
 """
 
 from __future__ import annotations
@@ -121,6 +132,160 @@ def fft_circular_convolve2d(x: np.ndarray, k: np.ndarray) -> np.ndarray:
 _CONV_BATCH_CHUNK = 64
 
 
+def _validate_batch_kernel(
+    k: np.ndarray,
+    row_kernel: np.ndarray | None,
+    kernel_spectrum: np.ndarray | None,
+    num_rows: int | None,
+    name: str,
+) -> tuple[np.ndarray, bool, np.ndarray | None, np.ndarray | None]:
+    """Shared kernel/row-map validation for dense and streamed batches.
+
+    Returns ``(k, multi_kernel, row_kernel, kernel_spectrum)`` with the
+    row map cast to ``intp`` and the spectrum shape-checked (``None``
+    when the caller must compute it).  ``num_rows`` is the batch length
+    the row map must cover; ``None`` skips that check (streamed callers
+    of unknown length validate per chunk instead).
+    """
+    multi_kernel = k.ndim == 3
+    if not multi_kernel:
+        k = _as_2d(k, name)
+    elif 0 in k.shape:
+        raise ValueError(f"{name} kernel stack is empty")
+    if multi_kernel:
+        if row_kernel is None:
+            raise ValueError("a kernel stack needs a row_kernel mapping")
+        row_kernel = np.asarray(row_kernel, dtype=np.intp)
+        if row_kernel.ndim != 1:
+            raise ValueError(
+                f"row_kernel must be a flat row map, got shape {row_kernel.shape}"
+            )
+        if num_rows is not None and row_kernel.shape != (num_rows,):
+            raise ValueError(
+                f"row_kernel must map all {num_rows} rows, "
+                f"got shape {row_kernel.shape}"
+            )
+        if row_kernel.size and (
+            row_kernel.min() < 0 or row_kernel.max() >= k.shape[0]
+        ):
+            raise ValueError(
+                f"row_kernel indices must lie in [0, {k.shape[0]}), "
+                f"got range [{row_kernel.min()}, {row_kernel.max()}]"
+            )
+    elif row_kernel is not None:
+        raise ValueError("row_kernel requires a (P, M, N) kernel stack")
+    if kernel_spectrum is not None:
+        kernel_spectrum = np.asarray(kernel_spectrum)
+        if kernel_spectrum.shape != k.shape:
+            raise ValueError(
+                f"kernel_spectrum shape {kernel_spectrum.shape} does not match "
+                f"kernel of shape {k.shape}"
+            )
+    return k, multi_kernel, row_kernel, kernel_spectrum
+
+
+def _hadamard_by_kernel_runs(
+    chunk_spectrum: np.ndarray,
+    kernel_spectrum: np.ndarray,
+    row_kernel_chunk: np.ndarray,
+) -> np.ndarray:
+    """Per-row kernel Hadamard product, exploiting sorted row maps.
+
+    :meth:`repro.core.masking.SliceTable.row_pair_indices` is always
+    non-decreasing (waves list pairs in order), so instead of the fancy
+    -index gather ``kernel_spectrum[row_kernel]`` -- which copies one
+    ``(rows, M, N)`` complex128 plane per input row -- each contiguous
+    run of rows sharing a kernel broadcasts directly against that
+    kernel's ``(M, N)`` spectrum *view*.  Falls back to the gather for
+    unsorted maps.  Bit-identical either way: the same complex products
+    are formed, only the operand staging changes.
+    """
+    diffs = np.diff(row_kernel_chunk)
+    if row_kernel_chunk.size and (diffs < 0).any():
+        return chunk_spectrum * kernel_spectrum[row_kernel_chunk]
+    product = np.empty_like(chunk_spectrum)
+    boundaries = [0, *(np.flatnonzero(diffs) + 1), row_kernel_chunk.size]
+    for start, stop in zip(boundaries[:-1], boundaries[1:]):
+        if start == stop:
+            continue
+        np.multiply(
+            chunk_spectrum[start:stop],
+            kernel_spectrum[row_kernel_chunk[start]],
+            out=product[start:stop],
+        )
+    return product
+
+
+def fft_circular_convolve2d_chunks(
+    chunks,
+    k: np.ndarray,
+    kernel_spectrum: np.ndarray | None = None,
+    row_kernel: np.ndarray | None = None,
+    num_rows: int | None = None,
+):
+    """Streamed circular convolution over an iterator of stack chunks.
+
+    ``chunks`` yields ``(chunk, row_range)`` pairs: a ``(rows, M, N)``
+    slice of the conceptual batch plus the ``range`` of global row
+    indices it covers (used to slice ``row_kernel``).  Yields
+    ``(convolved_chunk, row_range)`` in the same order.  Rows must
+    arrive in order and without gaps starting at 0; when ``num_rows``
+    is given the stream must cover exactly that many rows (a desync
+    raises instead of silently mis-assigning kernels to rows).
+
+    This is the lazy-mask-plan fast path: the conceptual batch is never
+    materialized, so peak memory is ``O(chunk_rows * M * N)`` however
+    many masks a plan generates.  Kernel handling matches
+    :func:`fft_circular_convolve2d_batch` (single shared kernel, or a
+    ``(P, M, N)`` stack with a per-row map whose spectra are computed
+    exactly once up front); each output plane is bit-identical to the
+    dense batch form and to :func:`fft_circular_convolve2d` on the
+    corresponding planes.
+    """
+    k = np.asarray(k)
+    k, multi_kernel, row_kernel, kernel_spectrum = _validate_batch_kernel(
+        k, row_kernel, kernel_spectrum, num_rows, "fft_circular_convolve2d_chunks"
+    )
+    if kernel_spectrum is None:
+        kernel_spectrum = fft2_batch(k) if multi_kernel else fft2(k)
+    real_kernel = np.isrealobj(k)
+    plane_shape = k.shape[-2:]
+    next_row = 0
+    for chunk, rows in chunks:
+        chunk = np.asarray(chunk)
+        if chunk.ndim != 3 or chunk.shape[1:] != plane_shape:
+            raise ValueError(
+                f"chunk of shape {chunk.shape} does not slice a "
+                f"(batch, {plane_shape[0]}, {plane_shape[1]}) stack"
+            )
+        rows = range(rows.start, rows.stop) if not isinstance(rows, range) else rows
+        if len(rows) != chunk.shape[0] or rows.start != next_row:
+            raise ValueError(
+                f"chunk rows {rows} desynchronized from stream position "
+                f"{next_row} (chunk holds {chunk.shape[0]} planes)"
+            )
+        next_row = rows.stop
+        if multi_kernel:
+            if rows.stop > row_kernel.shape[0]:
+                raise ValueError(
+                    f"chunk rows {rows} overrun the {row_kernel.shape[0]}-row "
+                    "row_kernel map"
+                )
+            product = _hadamard_by_kernel_runs(
+                fft2_batch(chunk), kernel_spectrum, row_kernel[rows.start : rows.stop]
+            )
+        else:
+            product = fft2_batch(chunk) * kernel_spectrum
+        convolved = ifft2_batch(product)
+        if real_kernel and np.isrealobj(chunk):
+            convolved = convolved.real
+        yield convolved, rows
+    if num_rows is not None and next_row != num_rows:
+        raise ValueError(
+            f"chunk stream ended at row {next_row}, expected {num_rows} rows"
+        )
+
+
 def fft_circular_convolve2d_batch(
     x_batch: np.ndarray,
     k: np.ndarray,
@@ -139,10 +304,12 @@ def fft_circular_convolve2d_batch(
     callers convolving several batches against the same kernels amortize
     them further).  Each output plane is bit-identical to
     :func:`fft_circular_convolve2d` on the corresponding (input, kernel)
-    planes; internally the stack is transformed in bounded-size slices so
-    peak memory stays a small multiple of the input stack (per-row
-    spectra are gathered chunk-wise, never materialized for the full
-    batch).
+    planes; internally the stack is driven through
+    :func:`fft_circular_convolve2d_chunks` in bounded-size slices so
+    peak *intermediate* memory stays a small multiple of one chunk
+    (per-row spectra are staged run-by-run, never gathered for the full
+    batch).  Callers that cannot afford the dense input/output stacks
+    either should use the chunk iterator directly.
     """
     x_batch = np.asarray(x_batch)
     if x_batch.ndim != 3:
@@ -153,55 +320,30 @@ def fft_circular_convolve2d_batch(
     if 0 in x_batch.shape:
         raise ValueError("fft_circular_convolve2d_batch of an empty batch is undefined")
     k = np.asarray(k)
-    multi_kernel = k.ndim == 3
-    if not multi_kernel:
-        k = _as_2d(k, "fft_circular_convolve2d_batch")
-    elif 0 in k.shape:
-        raise ValueError("fft_circular_convolve2d_batch kernel stack is empty")
-    if x_batch.shape[1:] != k.shape[-2:]:
+    if k.ndim not in (2, 3) or x_batch.shape[1:] != k.shape[-2:]:
         raise ValueError(
             "batched circular convolution needs matching plane shapes, got "
             f"{x_batch.shape[1:]} and {k.shape[-2:]}"
         )
-    if multi_kernel:
-        if row_kernel is None:
-            raise ValueError("a kernel stack needs a row_kernel mapping")
-        row_kernel = np.asarray(row_kernel, dtype=np.intp)
-        if row_kernel.shape != (x_batch.shape[0],):
-            raise ValueError(
-                f"row_kernel must map all {x_batch.shape[0]} rows, "
-                f"got shape {row_kernel.shape}"
-            )
-        if row_kernel.size and (
-            row_kernel.min() < 0 or row_kernel.max() >= k.shape[0]
-        ):
-            raise ValueError(
-                f"row_kernel indices must lie in [0, {k.shape[0]}), "
-                f"got range [{row_kernel.min()}, {row_kernel.max()}]"
-            )
-    elif row_kernel is not None:
-        raise ValueError("row_kernel requires a (P, M, N) kernel stack")
-    if kernel_spectrum is None:
-        kernel_spectrum = fft2_batch(k) if multi_kernel else fft2(k)
-    else:
-        kernel_spectrum = np.asarray(kernel_spectrum)
-        if kernel_spectrum.shape != k.shape:
-            raise ValueError(
-                f"kernel_spectrum shape {kernel_spectrum.shape} does not match "
-                f"kernel of shape {k.shape}"
-            )
+    num_rows = x_batch.shape[0]
+    # Validate eagerly so bad calls raise here, not at first iteration.
+    _validate_batch_kernel(
+        k, row_kernel, kernel_spectrum, num_rows, "fft_circular_convolve2d_batch"
+    )
     real_output = np.isrealobj(x_batch) and np.isrealobj(k)
-    out_dtype = np.float64 if real_output else np.complex128
-    result = np.empty(x_batch.shape, dtype=out_dtype)
-    for start in range(0, x_batch.shape[0], _CONV_BATCH_CHUNK):
-        stop = start + _CONV_BATCH_CHUNK
-        chunk = x_batch[start:stop]
-        if multi_kernel:
-            spectrum = kernel_spectrum[row_kernel[start:stop]]
-        else:
-            spectrum = kernel_spectrum
-        convolved = ifft2_batch(fft2_batch(chunk) * spectrum)
-        result[start:stop] = convolved.real if real_output else convolved
+    result = np.empty(
+        x_batch.shape, dtype=np.float64 if real_output else np.complex128
+    )
+    chunk_views = (
+        (x_batch[start : start + _CONV_BATCH_CHUNK],
+         range(start, min(start + _CONV_BATCH_CHUNK, num_rows)))
+        for start in range(0, num_rows, _CONV_BATCH_CHUNK)
+    )
+    for convolved, rows in fft_circular_convolve2d_chunks(
+        chunk_views, k, kernel_spectrum=kernel_spectrum,
+        row_kernel=row_kernel, num_rows=num_rows,
+    ):
+        result[rows.start : rows.stop] = convolved
     return result
 
 

@@ -19,7 +19,12 @@ table and figure in the paper reports.
 """
 
 from repro.hw.cpu import CpuConfig, CpuDevice
-from repro.hw.device import Device, DeviceStats
+from repro.hw.device import (
+    Device,
+    DeviceStats,
+    PipelineStage,
+    pipelined_elapsed_seconds,
+)
 from repro.hw.gpu import GpuConfig, GpuDevice
 from repro.hw.compiler import (
     Op,

@@ -13,8 +13,19 @@ itself is irrelevant and never mixed in.
 
 Backends implement the ``_*_seconds`` cost hooks and may override the
 ``_*_compute`` numeric hooks; the base class provides the operation
-bookkeeping, composite ops (FFT-form convolution) and cost-only variants
-used by large workload sweeps where materializing results is pointless.
+bookkeeping, composite ops (FFT-form convolution, chunk-streamed
+batched convolution) and cost-only variants used by large workload
+sweeps where materializing results is pointless.
+
+Two program-level scopes model launch structure: :meth:`Device.program`
+brackets one dispatched program (infeed / compute / outfeed), and
+:meth:`Device.pipeline` double-buffers a *sequence* of programs --
+while program ``i`` computes, program ``i+1``'s dispatch and infeed
+stream into the spare buffer, so elapsed time follows
+:func:`pipelined_elapsed_seconds` (``infeed_0 + sum(max(compute_i +
+outfeed_i, infeed_{i+1})) + outfeed_last``, intermediate outfeeds
+riding with their program's compute) and the hidden host-link time is
+credited back to the ledger as a negative ``infeed_overlap`` row.
 """
 
 from __future__ import annotations
@@ -26,7 +37,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.fft.convolution import fft_circular_convolve2d_batch
+from repro.fft.convolution import (
+    _validate_batch_kernel,
+    fft_circular_convolve2d_batch,
+    fft_circular_convolve2d_chunks,
+)
 from repro.fft.fft2d import fft2, fft2_batch, ifft2
 
 #: Real flops one complex point-wise op costs per element: a complex
@@ -34,6 +49,69 @@ from repro.fft.fft2d import fft2, fft2_batch, ifft2
 #: on the critical multiplier path, priced as 4 flops; a complex add or
 #: subtract is just 2 real adds.
 _COMPLEX_HADAMARD_FLOPS = {"mul": 4.0, "div": 4.0, "add": 2.0, "sub": 2.0}
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One program's cost split, as a double-buffering pipeline sees it.
+
+    ``prologue`` is the host-link preamble that a double-buffered
+    pipeline can hide under the *previous* stage's compute (program
+    dispatch + input infeed); ``body`` is the on-device work; and
+    ``epilogue`` the result outfeed.
+    """
+
+    prologue: float
+    body: float
+    epilogue: float
+
+    @property
+    def total(self) -> float:
+        return self.prologue + self.body + self.epilogue
+
+
+def pipelined_elapsed_seconds(stages) -> float:
+    """Elapsed time of stages run double-buffered instead of serially.
+
+    While stage ``i`` computes, stage ``i+1``'s prologue (dispatch +
+    infeed) streams into the spare buffer, so only the part of each
+    prologue that outlasts the previous compute is exposed::
+
+        elapsed = prologue_0
+                + sum_i max(body_i [+ epilogue_i], prologue_{i+1})
+                + epilogue_last
+
+    Intermediate epilogues ride with their stage's body (the host link
+    is full duplex: wave ``i``'s outfeed and wave ``i+1``'s infeed are
+    opposite directions); the last epilogue has nothing left to overlap
+    and is charged in full.  A single stage degenerates to its serial
+    total, and the result is never above the serial sum -- overlap can
+    only hide time, not add it.
+    """
+    stages = list(stages)
+    if not stages:
+        return 0.0
+    elapsed = stages[0].prologue
+    for index, stage in enumerate(stages):
+        last = index == len(stages) - 1
+        work = stage.body + (0.0 if last else stage.epilogue)
+        next_prologue = 0.0 if last else stages[index + 1].prologue
+        elapsed += max(work, next_prologue)
+    return elapsed + stages[-1].epilogue
+
+
+class _PipelineLedger:
+    """Stages observed inside one :meth:`Device.pipeline` scope."""
+
+    def __init__(self) -> None:
+        self.stages: list[PipelineStage] = []
+
+    def add_stage(self, prologue: float, body: float, epilogue: float) -> None:
+        self.stages.append(PipelineStage(prologue, body, epilogue))
+
+    def overlap_savings(self) -> float:
+        serial = sum(stage.total for stage in self.stages)
+        return serial - pipelined_elapsed_seconds(self.stages)
 
 
 @dataclass
@@ -54,6 +132,21 @@ class DeviceStats:
         self.bytes_moved += bytes_moved
         self.op_counts[op] += 1
         self.op_seconds[op] = self.op_seconds.get(op, 0.0) + seconds
+
+    def credit(self, op: str, seconds: float) -> None:
+        """Subtract overlapped time from the ledger, leaving an audit row.
+
+        The double-buffering credit of :meth:`Device.pipeline`: every
+        individual op record stays untouched (op counts and per-op
+        seconds audit exactly as serial execution), while ``op`` appears
+        with *negative* accumulated seconds so the hidden time is
+        visible rather than silently vanished.
+        """
+        if seconds < 0:
+            raise ValueError(f"negative credit for {op!r}")
+        self.seconds -= seconds
+        self.op_counts[op] += 1
+        self.op_seconds[op] = self.op_seconds.get(op, 0.0) - seconds
 
     def merge(self, other: "DeviceStats") -> None:
         self.seconds += other.seconds
@@ -84,6 +177,7 @@ class Device(abc.ABC):
         self.name = name
         self.stats = DeviceStats()
         self._program_depth = 0
+        self._pipeline: _PipelineLedger | None = None
 
     # ------------------------------------------------------------------
     # Stats plumbing
@@ -212,14 +306,63 @@ class Device(abc.ABC):
         accelerator backends add their launch round trip, e.g. the
         TPU's dispatch latency), while the depth bookkeeping behind
         :attr:`in_program` stays here so every backend gets it right.
+
+        Inside a :meth:`pipeline` scope, each *top-level* program also
+        registers as one pipeline stage, its ledger deltas split into
+        prologue (dispatch + infeed), body (ops inside the scope) and
+        epilogue (outfeed) for the double-buffering credit.
         """
+        is_stage = self._pipeline is not None and self._program_depth == 0
+        before = self.stats.seconds
         self._begin_program(infeed_bytes)
+        after_begin = self.stats.seconds
         self._program_depth += 1
         try:
             yield self
         finally:
             self._program_depth -= 1
+        before_end = self.stats.seconds
         self._end_program(outfeed_bytes)
+        if is_stage and self._pipeline is not None:
+            self._pipeline.add_stage(
+                prologue=after_begin - before,
+                body=before_end - after_begin,
+                epilogue=self.stats.seconds - before_end,
+            )
+
+    @contextlib.contextmanager
+    def pipeline(self):
+        """Scope a double-buffered sequence of program launches.
+
+        While one program computes, the next program's dispatch and
+        infeed stream into the spare buffer -- the wave-aware infeed
+        pipelining of the fleet executor.  Every program opened inside
+        this scope becomes one stage; on exit the overlap savings
+        (serial sum minus :func:`pipelined_elapsed_seconds`) are
+        credited back to the ledger as a negative ``infeed_overlap``
+        row, so elapsed time drops while every individual op record --
+        dispatch counts, compute seconds, transfer bytes -- stays
+        exactly as serial execution would have written it.
+
+        With zero or one stage the credit is zero and the ledger is
+        untouched, so a pipelined single-wave run times identically to
+        a serial one.  Scopes do not nest.
+        """
+        if self._pipeline is not None:
+            raise RuntimeError("pipeline scopes do not nest")
+        self._pipeline = _PipelineLedger()
+        try:
+            yield self
+        finally:
+            ledger = self._pipeline
+            self._pipeline = None
+            savings = ledger.overlap_savings()
+            if savings > 0:
+                self._credit_overlap(savings)
+
+    def _credit_overlap(self, seconds: float) -> None:
+        """Apply the pipeline overlap credit (backends may extend)."""
+        self.stats.credit("infeed_overlap", seconds)
 
     def _begin_program(self, infeed_bytes: int) -> None:
         """Cost of entering a program scope (override for launch semantics)."""
@@ -403,6 +546,60 @@ class Device(abc.ABC):
         )
         self._record_batch_conv(x_batch.shape[0], m, n)
         return result
+
+    def conv2d_circular_batch_chunks(
+        self,
+        chunks,
+        kernel: np.ndarray,
+        num_rows: int,
+        row_kernel: np.ndarray | None = None,
+    ):
+        """Streamed :meth:`conv2d_circular_batch`: chunk iterator in and out.
+
+        ``chunks`` yields ``(chunk, row_range)`` slices of a conceptual
+        ``(num_rows, M, N)`` stack that is never materialized -- the
+        lazy-mask-plan execution of streamed scoring and fleet waves;
+        convolved chunks are yielded back in order, so peak memory is
+        one chunk regardless of ``num_rows``.  Kernel semantics and
+        numeric results match the dense form exactly, and so does the
+        ledger: the kernel spectra are computed (and recorded) once up
+        front, and one batched-convolution record for all ``num_rows``
+        planes is committed when the stream is created -- a streamed
+        batch costs precisely what the dense batch costs, it just never
+        holds the stack (and, like a dispatched program, the cost
+        stands even if the consumer abandons the stream early).
+        """
+        kernel = np.asarray(kernel)
+        if kernel.ndim not in (2, 3):
+            raise ValueError(
+                f"conv2d_circular_batch_chunks expects a (M, N) or (P, M, N) "
+                f"kernel, got shape {kernel.shape}"
+            )
+        num_rows = int(num_rows)
+        if num_rows <= 0:
+            raise ValueError(f"num_rows must be positive, got {num_rows}")
+        kernel, _, row_kernel, _ = _validate_batch_kernel(
+            kernel, row_kernel, None, num_rows, "conv2d_circular_batch_chunks"
+        )
+        m, n = kernel.shape[-2], kernel.shape[-1]
+        if kernel.ndim == 3:
+            kernel_spectrum = fft2_batch(kernel)
+            self._record_kernel_spectra(kernel.shape[0], m, n)
+        else:
+            kernel_spectrum = self.fft2(kernel)  # once per stream, as "fft2"
+        # The cost of the full batch is committed now, like a dispatched
+        # program: the simulated device performs all num_rows
+        # convolutions whether or not the host finishes reading the
+        # stream, so an aborted consumer cannot leave a ledger holding
+        # kernel spectra but no convolution work.
+        self._record_batch_conv(num_rows, m, n)
+        return fft_circular_convolve2d_chunks(
+            chunks,
+            kernel,
+            kernel_spectrum=kernel_spectrum,
+            row_kernel=row_kernel,
+            num_rows=num_rows,
+        )
 
     def kernel_spectrum_batch_seconds(self, batch: int, m: int, n: int) -> float:
         """Simulated time to transform a ``(batch, M, N)`` kernel stack.

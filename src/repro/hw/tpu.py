@@ -275,6 +275,23 @@ class TpuChip:
             "outfeed", nbytes / self.config.host_bandwidth_bytes_per_sec
         )
 
+    def infeed_overlap_seconds(self, seconds: float) -> float:
+        """Credit host-link time hidden by double-buffered infeed.
+
+        The chip's infeed queue holds the next program's data while the
+        current one computes (the overlapped-infeed discipline the paper
+        leans on to amortize the Colab host link), so a pipelined
+        driver can hide part of each dispatch + infeed under the
+        previous wave's compute.  Recorded as a *negative* event so the
+        chip ledger shows the hidden time explicitly --
+        ``event_count("infeed_overlap")`` audits how many pipeline
+        scopes credited it -- while every dispatch/infeed/outfeed event
+        stays exactly as serial execution logged it.
+        """
+        if seconds < 0:
+            raise ValueError("cannot credit a negative overlap")
+        return self._record("infeed_overlap", -seconds)
+
     def cross_replica_sum_seconds(self, nbytes: int, num_cores: int | None = None) -> float:
         """The paper's ``tf.cross_replica_sum`` reassembly barrier."""
         cores = self.num_cores if num_cores is None else num_cores
