@@ -4,6 +4,8 @@ Not in the paper -- these isolate each mechanism's contribution so the
 speedup story is explainable rather than monolithic:
 
 * int8 quantization vs bf16 vs fp32 MXU modes;
+* the quantized **batched** path: precision-axis waves vs fp64 waves
+  (error bounded, dispatch structure unchanged, MXU-rate speedup);
 * data decomposition (Algorithm 1) on vs off (core-count sweep);
 * scheduler overlap (double-buffered weights, DMA overlap) on vs off;
 * complex-matmul decomposition: 4 real products vs 3 (Karatsuba);
@@ -57,6 +59,96 @@ class TestQuantizationAblation:
         approx = quantized_matmul(a, b)
         rel = np.abs(exact - approx).max() / np.abs(exact).max()
         assert rel < 0.05
+
+
+class TestQuantizedBatchAblation:
+    """The precision axis of the batched/wave convolution stack: int8 and
+    bf16 waves must be cheaper than fp32/fp64 waves with the *same*
+    launch structure, quantization error must respect the documented
+    bound, and batched quantization must add no error over looped
+    quantization (bit-identical scores)."""
+
+    SHAPE = (16, 16)
+    BLOCK = (4, 4)
+
+    def _backend(self):
+        return TpuBackend(
+            make_tpu_chip(num_cores=8, precision="fp32", mxu_rows=8, mxu_cols=8)
+        )
+
+    def _pairs(self, count=4, seed=0):
+        from repro.bench.workloads import planted_interpretation_pairs
+
+        return planted_interpretation_pairs(count, shape=self.SHAPE, seed=seed)
+
+    def _run(self, precision, **kwargs):
+        from repro.core.pipeline import ExplanationPipeline
+
+        return ExplanationPipeline(
+            self._backend(), granularity="blocks", block_shape=self.BLOCK,
+            eps=1e-8, precision=precision, **kwargs,
+        ).run(self._pairs())
+
+    def test_precision_ladder_prices_batched_conv(self):
+        backend = self._backend()
+        seconds = {
+            name: backend.batch_conv_seconds(64, 256, 256, precision=name)
+            for name in ("int8", "bf16", "fp32", "fp64")
+        }
+        assert seconds["int8"] <= seconds["bf16"] < seconds["fp32"] < seconds["fp64"]
+
+    def test_quantized_wave_beats_fp64_wave_with_same_structure(self):
+        int8 = self._run("int8")
+        fp64 = self._run("fp64")
+        assert int8.simulated_seconds < fp64.simulated_seconds
+        assert int8.stats.op_counts == fp64.stats.op_counts  # launch parity
+
+    def test_batched_quantization_adds_no_error_over_loop(self):
+        int8_wave = self._run("int8")
+        int8_loop = self._run("int8", method="loop")
+        for a, b in zip(int8_wave.explanations, int8_loop.explanations):
+            np.testing.assert_array_equal(a.scores, b.scores)
+
+    def test_int8_batched_error_within_documented_bound(self):
+        from repro.hw.quantize import quantized_score_error_bound
+
+        exact = self._run("fp64")
+        int8 = self._run("int8")
+        for (x, _), a, b in zip(self._pairs(), int8.explanations, exact.explanations):
+            bound = quantized_score_error_bound(x, b.kernel, bits=8)
+            assert np.max(np.abs(a.scores - b.scores)) <= bound
+
+    def test_precision_error_monotone(self):
+        exact = self._run("fp64")
+
+        def err(run):
+            return max(
+                float(np.max(np.abs(a.scores - b.scores)))
+                for a, b in zip(run.explanations, exact.explanations)
+            )
+
+        int8_err = err(self._run("int8"))
+        bf16_err = err(self._run("bf16"))
+        assert int8_err > bf16_err > 0.0
+
+    def test_modeled_quantized_fleet_speedup(self):
+        """The cost model agrees with the ablation's direction: at 100
+        pairs a quantized wave fleet is modeled strictly faster than an
+        fp64 one on the full-size chip."""
+        from repro.bench.workloads import (
+            fleet_interpretation_seconds,
+            vgg19_interpretation_workload,
+        )
+
+        workload = vgg19_interpretation_workload(pairs=100)
+        seconds = {
+            name: fleet_interpretation_seconds(
+                TpuBackend(make_tpu_chip()), workload, fusion="wave",
+                precision=name,
+            )
+            for name in ("int8", "bf16", "fp64")
+        }
+        assert seconds["int8"] < seconds["bf16"] < seconds["fp64"]
 
 
 class TestDecompositionAblation:

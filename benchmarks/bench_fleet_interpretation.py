@@ -14,14 +14,24 @@ the paper's two interpretation workloads, in four execution modes:
   is split into 10-pair waves for these two columns so there is
   cross-wave overlap to measure (a single wave has nothing to hide).
 
+A second report covers the **precision axis**
+(``ExplanationPipeline(precision=...)``): for each fleet size it shows
+the modeled wave-pipelined seconds per precision, the simulated speedup
+over fp64 waves, and the *executed* quantization error of batched
+scores -- which is asserted equal to looped quantized scores bit for
+bit (batching adds no error) and within the documented
+``quantized_conv_error_bound``.
+
 Shape contracts asserted (also run by CI via the ``--quick`` smoke
 mode, plus ``--pipelined`` for the overlap contract): wave-fused TPU
 dispatch count strictly below the per-pair count, wave simulated
 seconds below pair seconds on every backend, the wave gain growing
 with fleet size on the TPU, bit-identical scores across fusion *and*
 pipelining modes, pipelined elapsed strictly below serial at 100 pairs
-with dispatch counts unchanged, and the wave cost model agreeing with
-the executed pipeline.
+with dispatch counts unchanged, the wave cost model agreeing with the
+executed pipeline, and -- in the quantized smoke, part of ``--quick``
+-- int8 batched error within the documented bound with dispatch counts
+matching the exact run.
 
 Runnable standalone::
 
@@ -39,12 +49,12 @@ from repro.bench.workloads import (
     InterpretationWorkload,
     fleet_interpretation_seconds,
     interpretation_seconds,
+    planted_interpretation_pairs,
     resnet50_interpretation_workload,
     vgg19_interpretation_workload,
 )
 from repro.core.backend import TpuBackend, make_tpu_chip
 from repro.core.pipeline import ExplanationPipeline
-from repro.fft import fft_circular_convolve2d
 from repro.hw.cpu import CpuDevice
 from repro.hw.gpu import GpuDevice
 
@@ -52,6 +62,7 @@ FLEET_SIZES = (1, 10, 100)
 SHAPE = (16, 16)
 BLOCK = (4, 4)
 PAIRS_PER_WAVE = 10  # wave width for the pipelined columns/contracts
+PRECISIONS = ("fp64", "bf16", "int8")  # the quantized-batch ladder
 
 
 def small_backend(num_cores=8):
@@ -61,14 +72,7 @@ def small_backend(num_cores=8):
 
 
 def planted_pairs(count, shape=SHAPE, seed=0):
-    rng = np.random.default_rng(seed)
-    pairs = []
-    for _ in range(count):
-        x = rng.standard_normal(shape)
-        x[0, 0] += 5.0 * np.prod(shape) ** 0.5
-        kernel = rng.standard_normal(shape)
-        pairs.append((x, fft_circular_convolve2d(x, kernel)))
-    return pairs
+    return planted_interpretation_pairs(count, shape=shape, seed=seed)
 
 
 def _run(fusion, pairs, device=None, **kwargs):
@@ -199,6 +203,55 @@ def test_pipelined_cost_model_never_above_serial():
     )
 
 
+class TestQuantizedFleetContracts:
+    """The precision-axis acceptance contracts at executed fleet scale."""
+
+    def test_quantized_wave_matches_quantized_loop_bit_for_bit(self):
+        pairs = planted_pairs(6, seed=5)
+        for precision in ("int8", "bf16"):
+            wave = _run("wave", pairs, precision=precision)
+            loop = _run("wave", pairs, method="loop", precision=precision)
+            for a, b in zip(wave.explanations, loop.explanations):
+                np.testing.assert_array_equal(a.scores, b.scores)
+                assert a.residual == b.residual
+
+    def test_quantized_dispatch_structure_matches_fp64(self):
+        pairs = planted_pairs(10, seed=6)
+        fp64 = _run("wave", pairs, precision="fp64")
+        int8 = _run("wave", pairs, precision="int8")
+        assert int8.stats.op_counts == fp64.stats.op_counts
+        assert int8.simulated_seconds < fp64.simulated_seconds
+
+    def test_quantized_cost_model_ordering_matches_executed(self):
+        """Model and execution agree on the precision ladder's direction
+        at every fleet size."""
+        for pairs_count in (1, 10):
+            workload = vgg19_interpretation_workload(pairs=pairs_count)
+            modeled = {
+                name: fleet_interpretation_seconds(
+                    TpuBackend(make_tpu_chip()), workload, fusion="wave",
+                    precision=name,
+                )
+                for name in PRECISIONS
+            }
+            assert modeled["int8"] < modeled["bf16"] < modeled["fp64"]
+
+
+def _max_score_error(run, reference):
+    """Executed error metric: max |score - reference score| over a fleet."""
+    return max(
+        float(np.max(np.abs(a.scores - b.scores)))
+        for a, b in zip(run.explanations, reference.explanations)
+    )
+
+
+def _quantized_error(pairs, precision):
+    """Max executed score error of a quantized wave fleet vs exact."""
+    exact = _run("wave", pairs)
+    quantized = _run("wave", pairs, precision=precision)
+    return _max_score_error(quantized, exact), quantized, exact
+
+
 # ----------------------------------------------------------------------
 # Report + CLI smoke mode
 # ----------------------------------------------------------------------
@@ -239,6 +292,122 @@ def _report(fleet_sizes=FLEET_SIZES) -> str:
                     f"{wave - pipelined:10.4f} {pair / pipelined:6.2f}x"
                 )
     return "\n".join(lines)
+
+
+def _precision_report(fleet_sizes=FLEET_SIZES) -> str:
+    """The quantized-batch ablation table.
+
+    Modeled columns use the full-size TPU at workload scale per
+    precision; the error columns come from an *executed* small-plane
+    fleet (batched vs loop quantization error -- equal by construction,
+    both reported so the equality is visible).
+    """
+    lines = [
+        "QUANTIZED BATCHED INTERPRETATION (wave-pipelined, simulated seconds)",
+        "(speedup = fp64 wave seconds / this precision's wave seconds;",
+        " err columns: executed 16x16 fleet, max |score - fp64 score| --",
+        " shared by both workloads, since error depends on the plane data,",
+        " not the modeled workload; fp64 is exact by construction)",
+        f"{'workload':10s} {'pairs':>5s} {'precision':>9s} "
+        f"{'wave-pip':>12s} {'speedup':>8s} {'batched-err':>12s} {'loop-err':>12s}",
+    ]
+    # Executed quantization error depends only on the planted planes
+    # (keyed by fleet size), not on the modeled workload: compute each
+    # error fleet once and reuse it for every workload row.  Exact
+    # precisions skip execution -- their error is zero by construction.
+    errors: dict[tuple[int, str], tuple[float, float]] = {}
+    for pairs_count in fleet_sizes:
+        executed_pairs = planted_pairs(min(pairs_count, 10), seed=pairs_count)
+        exact = _run("wave", executed_pairs)
+        for name in PRECISIONS:
+            if name in ("fp64", "fp32"):
+                errors[pairs_count, name] = (0.0, 0.0)
+                continue
+            quantized = _run("wave", executed_pairs, precision=name)
+            looped = _run("wave", executed_pairs, method="loop", precision=name)
+            errors[pairs_count, name] = (
+                _max_score_error(quantized, exact),
+                _max_score_error(looped, exact),
+            )
+    for make_workload in (vgg19_interpretation_workload, resnet50_interpretation_workload):
+        for pairs_count in fleet_sizes:
+            workload = make_workload(pairs=pairs_count)
+            modeled = {
+                name: fleet_interpretation_seconds(
+                    TpuBackend(make_tpu_chip()), workload, fusion="wave",
+                    pairs_per_wave=min(PAIRS_PER_WAVE, pairs_count),
+                    pipelined=True, precision=name,
+                )
+                for name in PRECISIONS
+            }
+            for name in PRECISIONS:
+                batched_err, loop_err = errors[pairs_count, name]
+                lines.append(
+                    f"{workload.name:10s} {pairs_count:5d} {name:>9s} "
+                    f"{modeled[name]:12.4f} "
+                    f"{modeled['fp64'] / modeled[name]:7.2f}x "
+                    f"{batched_err:12.3e} {loop_err:12.3e}"
+                )
+    return "\n".join(lines)
+
+
+def _quantized_smoke() -> int:
+    """The quantized-batch ablation contract (part of ``--quick``).
+
+    Executes a 10-pair fleet at int8 against the exact (unquantized
+    legacy-priced) run and exits non-zero unless int8 batched scores
+    equal int8 looped scores bit for bit, the int8 batched error stays
+    within the documented ``quantized_conv_error_bound``, and the
+    dispatch/op structure matches the exact run exactly.  (Modeled
+    int8-vs-fp64 speedups live in the precision report, which prices
+    both ends with the MXU cycle model.)
+    """
+    from repro.hw.quantize import quantized_score_error_bound
+
+    pairs = planted_pairs(10, seed=3)
+    error, int8, exact = _quantized_error(pairs, "int8")
+    loop = _run("wave", pairs, method="loop", precision="int8")
+    # The bound is per pair: each pair's error must respect *its own*
+    # documented bound (a fleet-wide max-vs-max comparison could mask a
+    # single pair's violation behind another pair's looser bound).
+    violations = []
+    for index, ((x, _), a, b) in enumerate(
+        zip(pairs, int8.explanations, exact.explanations)
+    ):
+        pair_error = float(np.max(np.abs(a.scores - b.scores)))
+        pair_bound = quantized_score_error_bound(x, b.kernel, bits=8)
+        if pair_error > pair_bound:
+            violations.append((index, pair_error, pair_bound))
+    print(
+        f"executed 10-pair quantized fleet: int8 batched err={error:.3e} "
+        f"(per-pair documented bounds all hold: {not violations}), dispatches "
+        f"int8={int8.stats.op_counts['dispatch']} "
+        f"exact={exact.stats.op_counts['dispatch']}, seconds "
+        f"int8={int8.simulated_seconds:.4f} exact={exact.simulated_seconds:.4f}"
+    )
+    for a, b in zip(int8.explanations, loop.explanations):
+        if not np.array_equal(a.scores, b.scores):
+            print(
+                "FAIL: int8 batched scores must equal int8 looped scores "
+                "bit for bit",
+                file=sys.stderr,
+            )
+            return 1
+    if violations:
+        for index, err, pair_bound in violations:
+            print(
+                f"FAIL: pair {index} int8 batched error {err:.3e} exceeds "
+                f"its documented bound {pair_bound:.3e}",
+                file=sys.stderr,
+            )
+        return 1
+    if int8.stats.op_counts != exact.stats.op_counts:
+        print(
+            "FAIL: quantization must not change the dispatch/op structure",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _pipelined_smoke() -> int:
@@ -320,12 +489,17 @@ def main(argv=None) -> int:
         if not np.array_equal(a.scores, b.scores):
             print("FAIL: wave scores diverge from per-pair scores", file=sys.stderr)
             return 1
+    status = _quantized_smoke()
+    if status:
+        return status
     if args.pipelined:
         status = _pipelined_smoke()
         if status:
             return status
     print()
     print(_report(fleet_sizes=(1, 10) if args.quick else FLEET_SIZES))
+    print()
+    print(_precision_report(fleet_sizes=(1, 10) if args.quick else FLEET_SIZES))
     return 0
 
 

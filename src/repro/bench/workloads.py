@@ -28,10 +28,13 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.backend import TpuBackend, make_tpu_chip
 from repro.hw.cpu import CpuDevice
 from repro.hw.device import PipelineStage, pipelined_elapsed_seconds
 from repro.hw.gpu import GpuDevice
+from repro.hw.quantize import infeed_bytes_per_element, resolve_precision
 from repro.nn.flops import ModelCensus, model_census
 from repro.nn.resnet import resnet50
 from repro.nn.vgg import vgg19
@@ -236,6 +239,34 @@ def resnet50_interpretation_workload(pairs: int = 10) -> InterpretationWorkload:
     )
 
 
+def planted_interpretation_pairs(
+    count: int,
+    shape: tuple[int, int] = (16, 16),
+    seed: int = 0,
+    spike: float = 5.0,
+):
+    """Planted ``(x, y)`` fleets for *executed* interpretation benches.
+
+    Each pair is a standard-normal plane with a ``spike * sqrt(M*N)``
+    feature planted at ``[0, 0]`` (so occlusion scoring has an
+    unambiguous top feature and int8 quantization error stays
+    meaningful relative to the signal), convolved against a random
+    kernel for the exact target.  The single recipe shared by the fleet
+    benchmark and the quantized-batch ablation, so their contracts
+    exercise the same data distribution.
+    """
+    from repro.fft.convolution import fft_circular_convolve2d
+
+    rng = np.random.default_rng(seed)
+    pairs = []
+    for _ in range(count):
+        x = rng.standard_normal(shape)
+        x[0, 0] += spike * float(np.prod(shape)) ** 0.5
+        kernel = rng.standard_normal(shape)
+        pairs.append((x, fft_circular_convolve2d(x, kernel)))
+    return pairs
+
+
 def _solve_seconds(device, m: int, n: int) -> float:
     """One Eq. 4 distillation solve on an ``m x n`` plane.
 
@@ -253,7 +284,8 @@ def _solve_seconds(device, m: int, n: int) -> float:
 
 
 def interpretation_seconds(
-    device, workload: InterpretationWorkload, method: str = "loop"
+    device, workload: InterpretationWorkload, method: str = "loop",
+    precision=None,
 ) -> float:
     """Cost of the full distill-and-interpret batch on one device.
 
@@ -286,9 +318,16 @@ def interpretation_seconds(
     is transformed once (``device.batch_conv_seconds``); on the TPU the
     per-mask host round trips disappear because the plan executes
     inside the pair's already-dispatched program.
+
+    ``precision`` mirrors the executable pipeline's axis: the batched
+    convolution (and on TPU each masked plane's infeed) is priced at
+    that numeric mode -- int8/bf16 at full MXU rate with 1-/2-byte
+    feeds, fp32/fp64 at reduced rate.  ``None`` (default) keeps the
+    legacy arithmetic, so Table II regenerates unchanged.
     """
     if method not in ("loop", "batched"):
         raise ValueError(f"unknown method {method!r}; expected 'loop' or 'batched'")
+    spec = resolve_precision(precision)
     m, n = workload.plane
     elements = m * n
     transform = device.fft2_seconds(m, n)
@@ -301,7 +340,7 @@ def interpretation_seconds(
         # residual conv stays eager; the plan batches: one kernel fft2
         # plus the device's batched-convolution cost for all features.
         per_pair = solve + conv + transform + device.batch_conv_seconds(
-            workload.num_features, m, n
+            workload.num_features, m, n, precision=spec
         )
 
     if isinstance(device, TpuBackend):
@@ -313,12 +352,21 @@ def interpretation_seconds(
         # TpuBackend.conv2d_circular.  In batched mode only the eager
         # residual convolution pays that round trip.
         dispatch = device.chip.config.dispatch_latency_sec
-        program = dispatch + device.transfer_seconds(elements * (4 + 4 + 8))
-        conv_round_trip = dispatch + device.transfer_seconds(elements * (4 + 8))
+        # x/y and every masked plane stream at the precision's storage
+        # width (the executed feed_bytes / TpuBackend.conv2d_circular
+        # payloads); fp64 results stream back at full width either way.
+        stream_width = infeed_bytes_per_element(spec)
+        program = dispatch + device.transfer_seconds(
+            elements * (stream_width + stream_width + 8)
+        )
+        conv_round_trip = dispatch + device.transfer_seconds(
+            elements * (stream_width + 8)
+        )
         eager_convs = (workload.num_features + 1) if method == "loop" else 1
         overhead = program + eager_convs * conv_round_trip
     else:
-        overhead = device.transfer_seconds(elements * (4 + 4 + 8))
+        stream_width = infeed_bytes_per_element(spec)
+        overhead = device.transfer_seconds(elements * (stream_width + stream_width + 8))
     return workload.pairs * (per_pair + overhead)
 
 
@@ -329,6 +377,7 @@ def fleet_interpretation_seconds(
     fusion: str = "wave",
     pairs_per_wave: int | None = None,
     pipelined: bool = False,
+    precision=None,
 ) -> float:
     """Cost of the distill-and-interpret fleet under cross-pair fusion.
 
@@ -367,13 +416,23 @@ def fleet_interpretation_seconds(
     compute on the full-duplex link; the last wave's outfeed is charged
     in full).  With a single wave (the default split) pipelining
     changes nothing; ``False`` sums the stages serially.
+
+    ``precision`` models the quantized wave path
+    (``FleetExecutor(precision=...)``): the kernel-spectrum batch and
+    the fused batched convolution are priced with the MXU cycle hooks
+    at that numeric mode, and the wave's x/y infeed streams at the
+    spec's storage width (1 byte/element for int8) instead of the
+    legacy fp32 feed.  ``None`` keeps every number exactly as before.
     """
     if method not in ("loop", "batched"):
         raise ValueError(f"unknown method {method!r}; expected 'loop' or 'batched'")
     if fusion not in ("wave", "pair"):
         raise ValueError(f"unknown fusion {fusion!r}; expected 'wave' or 'pair'")
+    spec = resolve_precision(precision)
     if method == "loop" or fusion == "pair":
-        return interpretation_seconds(device, workload, method=method)
+        return interpretation_seconds(
+            device, workload, method=method, precision=spec
+        )
     if pairs_per_wave is None:
         pairs_per_wave = workload.pairs
     if pairs_per_wave <= 0:
@@ -382,6 +441,7 @@ def fleet_interpretation_seconds(
     m, n = workload.plane
     elements = m * n
     solve = _solve_seconds(device, m, n)
+    stream_width = infeed_bytes_per_element(spec)
 
     stages: list[PipelineStage] = []
     remaining = workload.pairs
@@ -390,13 +450,14 @@ def fleet_interpretation_seconds(
         remaining -= wave_pairs
         rows = wave_pairs * (workload.num_features + 1)  # masks + residuals
         body = wave_pairs * solve
-        body += device.kernel_spectrum_batch_seconds(wave_pairs, m, n)
-        body += device.batch_conv_seconds(rows, m, n)
-        # One program per wave: x/y stream in as fp32 per pair (the
-        # prologue a double-buffered pipeline can hide), the fp64
-        # kernels stream back (the epilogue) -- the loop model's
-        # per-pair feed, amortized over one launch.
-        infeed = device.transfer_seconds(wave_pairs * elements * (4 + 4))
+        body += device.kernel_spectrum_batch_seconds(wave_pairs, m, n, precision=spec)
+        body += device.batch_conv_seconds(rows, m, n, precision=spec)
+        # One program per wave: x/y stream in as fp32 (or the quantized
+        # storage width) per pair (the prologue a double-buffered
+        # pipeline can hide), the fp64 kernels stream back (the
+        # epilogue) -- the loop model's per-pair feed, amortized over
+        # one launch.
+        infeed = device.transfer_seconds(wave_pairs * elements * 2 * stream_width)
         outfeed = device.transfer_seconds(wave_pairs * elements * 8)
         if isinstance(device, TpuBackend):
             infeed += device.chip.config.dispatch_latency_sec

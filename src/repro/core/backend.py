@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.decomposition import shard_slices
 from repro.hw.device import Device
 from repro.hw.mxu import MxuConfig
+from repro.hw.quantize import infeed_bytes_per_element, resolve_precision
 from repro.hw.tpu import TpuChip, TpuChipConfig, TpuCoreConfig
 
 COMPLEX128_BYTES = 16
@@ -64,11 +65,17 @@ class TpuBackend(Device):
     def _core(self):
         return self.chip.cores[0]
 
-    def matmul_seconds(self, m: int, k: int, n: int) -> float:
-        """Row-sharded matmul: slowest core plus the merge collective."""
+    def matmul_seconds(self, m: int, k: int, n: int, precision=None) -> float:
+        """Row-sharded matmul: slowest core plus the merge collective.
+
+        ``precision`` reprices the per-core compute with the MXU cycle
+        model in that numeric mode (int8/bf16 full rate, fp32/fp64
+        reduced -- see :class:`~repro.hw.quantize.PrecisionSpec`); the
+        merge collective moves the same result bytes either way.
+        """
         cores = min(self.chip.num_cores, m)
         shard_rows = math.ceil(m / cores)
-        compute = self._core.matmul_seconds(shard_rows, k, n)
+        compute = self._core.matmul_seconds(shard_rows, k, n, precision=precision)
         merge = self.chip.interconnect.all_gather_seconds(
             (m * n * 8) // cores, cores
         )
@@ -120,7 +127,7 @@ class TpuBackend(Device):
     # ------------------------------------------------------------------
     # Convolution: host round trip per call
     # ------------------------------------------------------------------
-    def conv2d_circular(self, x: np.ndarray, k: np.ndarray) -> np.ndarray:
+    def conv2d_circular(self, x: np.ndarray, k: np.ndarray, precision=None) -> np.ndarray:
         """Circular convolution with an explicit host round trip.
 
         The interpretation loop masks features *host-side* (Eq. 5's
@@ -131,11 +138,18 @@ class TpuBackend(Device):
         measured TPU interpretation time is overhead-bound rather than
         MXU-bound.  (The distillation *solve* has no data-dependent host
         logic and runs as one fused program -- see ``program``.)
+
+        With ``precision`` set, the masked plane streams in at the
+        spec's storage width (1 byte/element for int8) instead of the
+        legacy fp32 feed; numerics quantize per
+        :meth:`repro.hw.device.Device.conv2d_circular`.
         """
-        result = super().conv2d_circular(np.asarray(x), np.asarray(k))
-        # fp32 masked plane in, fp64 residual plane out (kernel stays
-        # resident on-device across the interpretation loop).
-        payload = int(np.asarray(x).size * 4 + np.asarray(result).size * 8)
+        spec = resolve_precision(precision)
+        result = super().conv2d_circular(np.asarray(x), np.asarray(k), precision=spec)
+        # fp32 (or quantized-width) masked plane in, fp64 residual plane
+        # out (kernel stays resident on-device across the loop).
+        in_bytes = infeed_bytes_per_element(spec)
+        payload = int(np.asarray(x).size * in_bytes + np.asarray(result).size * 8)
         round_trip = self.chip.config.dispatch_latency_sec + self.transfer_seconds(
             payload
         )
@@ -145,7 +159,7 @@ class TpuBackend(Device):
     # ------------------------------------------------------------------
     # Batched convolution: one compiled program for the whole mask plan
     # ------------------------------------------------------------------
-    def batch_conv_seconds(self, batch: int, m: int, n: int) -> float:
+    def batch_conv_seconds(self, batch: int, m: int, n: int, precision=None) -> float:
         """One fused batched program instead of ``batch`` eager op chains.
 
         The ``batch`` forward (and inverse) transforms share their DFT
@@ -155,45 +169,52 @@ class TpuBackend(Device):
         into ``(B m) x n @ n x n`` -- amortizing the per-matmul merge
         collective that dominates small per-mask launches.  The ``batch``
         Hadamard products fuse into a single wide VPU pass.
+
+        ``precision`` prices the wide products with the MXU cycle model
+        in that numeric mode (the quantized-batch axis: int8/bf16 stream
+        the systolic array at full rate, fp32/fp64 at 1/4 and 1/8);
+        ``None`` keeps the chip's configured MXU mode.
         """
         if batch <= 0:
             raise ValueError(f"batch must be positive, got {batch}")
         factor = self.complex_matmul_real_products
         fused_transform = factor * (
-            self.matmul_seconds(m, m, batch * n)
-            + self.matmul_seconds(batch * m, n, n)
+            self.matmul_seconds(m, m, batch * n, precision=precision)
+            + self.matmul_seconds(batch * m, n, n, precision=precision)
         )
         hadamard = self.elementwise_seconds(batch * m * n, flops_per_element=4.0)
         return 2.0 * fused_transform + hadamard
 
-    def kernel_spectrum_batch_seconds(self, batch: int, m: int, n: int) -> float:
+    def kernel_spectrum_batch_seconds(
+        self, batch: int, m: int, n: int, precision=None
+    ) -> float:
         """One fused wide transform for a wave's ``batch`` kernel spectra.
 
         The pairs of a wave share the DFT matrices, so their kernel
         transforms lower to the same wide sharded products as the data
-        stack (see :meth:`batch_conv_seconds`) instead of ``batch``
-        separate launches -- equal-shape pairs share one kernel-spectrum
-        batch.
+        stack (see :meth:`batch_conv_seconds`, including its
+        ``precision`` repricing) instead of ``batch`` separate launches
+        -- equal-shape pairs share one kernel-spectrum batch.
         """
         if batch <= 0:
             raise ValueError(f"batch must be positive, got {batch}")
         factor = self.complex_matmul_real_products
         return factor * (
-            self.matmul_seconds(m, m, batch * n)
-            + self.matmul_seconds(batch * m, n, n)
+            self.matmul_seconds(m, m, batch * n, precision=precision)
+            + self.matmul_seconds(batch * m, n, n, precision=precision)
         )
 
-    def _record_kernel_spectra(self, batch: int, m: int, n: int) -> None:
+    def _record_kernel_spectra(self, batch: int, m: int, n: int, spec=None) -> None:
         """One ``fft2_kernel_batch`` record for the fused spectrum batch."""
         factor = self.complex_matmul_real_products
         macs = factor * batch * (m * m * n + m * n * n)
         self.stats.record(
             "fft2_kernel_batch",
-            self.kernel_spectrum_batch_seconds(batch, m, n),
+            self.kernel_spectrum_batch_seconds(batch, m, n, precision=spec),
             macs=macs,
         )
 
-    def _record_batch_conv(self, batch: int, m: int, n: int) -> None:
+    def _record_batch_conv(self, batch: int, m: int, n: int, spec=None) -> None:
         """One ``conv2d_batch`` record for the fused program.
 
         Inside a :meth:`program` scope the batch is part of the already
@@ -201,14 +222,18 @@ class TpuBackend(Device):
         variants are built on-device from the resident input and nothing
         crosses the host link.  Standalone calls pay one launch round
         trip for the whole plan (one dispatch, one infeed of the fp32
-        batch, one outfeed of the fp64 results) -- in contrast with the
-        loop path's one round trip *per mask*.
+        batch -- at the quantized storage width when ``spec`` is set --
+        one outfeed of the fp64 results) -- in contrast with the loop
+        path's one round trip *per mask*.
         """
         factor = self.complex_matmul_real_products
         macs = 2 * factor * batch * (m * m * n + m * n * n)
-        self.stats.record("conv2d_batch", self.batch_conv_seconds(batch, m, n), macs=macs)
+        self.stats.record(
+            "conv2d_batch", self.batch_conv_seconds(batch, m, n, precision=spec),
+            macs=macs,
+        )
         if not self.in_program:
-            infeed_bytes = batch * m * n * 4
+            infeed_bytes = batch * m * n * infeed_bytes_per_element(spec)
             outfeed_bytes = batch * m * n * 8
             self.stats.record("dispatch", self.chip.config.dispatch_latency_sec)
             self.stats.record(

@@ -37,6 +37,16 @@ class ConvolutionDistiller:
     embedding:
         :class:`OutputEmbedding` used to lift vector outputs onto the
         input plane; matrix outputs pass through unchanged.
+    precision:
+        Optional numeric mode (a name or
+        :class:`~repro.hw.quantize.PrecisionSpec`) for the distilled
+        model's *inference* convolutions (:meth:`predict`,
+        :meth:`residual`): the input plane quantizes spatially and the
+        kernel spectrum per component, exactly as the batched
+        interpretation path does -- so per-pair residuals match
+        wave-fused residuals bit for bit at every precision.  The
+        closed-form *solve* always runs exact (int8 FFTs would destroy
+        it); kernels are precision-independent.
     """
 
     def __init__(
@@ -44,12 +54,16 @@ class ConvolutionDistiller:
         device: Device | None = None,
         eps: float = 1e-6,
         embedding: OutputEmbedding | None = None,
+        precision=None,
     ) -> None:
         if eps < 0:
             raise ValueError(f"eps must be non-negative, got {eps}")
+        from repro.hw.quantize import resolve_precision
+
         self.device = device
         self.eps = eps
         self.embedding = embedding or OutputEmbedding("spatial")
+        self.precision = resolve_precision(precision)
         self._kernel: np.ndarray | None = None
         self._shape: tuple[int, int] | None = None
 
@@ -145,8 +159,8 @@ class ConvolutionDistiller:
                 f"input shape {x.shape} does not match fitted shape {kernel.shape}"
             )
         if self.device is None:
-            return fft_circular_convolve2d(x, kernel)
-        result = self.device.conv2d_circular(x, kernel)
+            return fft_circular_convolve2d(x, kernel, precision=self.precision)
+        result = self.device.conv2d_circular(x, kernel, precision=self.precision)
         return result
 
     def predict_classes(self, x: np.ndarray, classes: int) -> np.ndarray:

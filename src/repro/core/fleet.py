@@ -44,6 +44,22 @@ Scores, kernels and residuals are bit-identical to per-pair *and* to
 dense non-pipelined execution: the batched FFT kernels are
 plane-independent and per-row reductions plane-local, so streaming and
 pipelining change only the cost ledger, never the numbers.
+
+**Precision model.**  The executor's ``precision`` axis (default
+``None`` = exact legacy execution) hands a
+:class:`~repro.hw.quantize.PrecisionSpec` to the wave's single batched
+convolution: every streamed chunk of masked planes -- and each pair's
+residual row -- quantizes spatially with a per-plane scale, and the
+wave's kernel-spectrum batch quantizes per plane and complex component,
+before the Hadamard products accumulate in float64 (the MXU int8/bf16
+datapath; the per-pair Eq. 4 *solves* stay exact, so kernels are
+precision-independent).  Because the rounding is strictly per-plane,
+wave-fused scores and residuals remain bit-identical to per-pair and
+``method="loop"`` execution *at the same precision*; a quantized wave
+additionally streams its infeed at the spec's storage width (1
+byte/element for int8) and is priced by the MXU cycle hooks at the
+spec's rate -- the accuracy-vs-speed trade-off
+``benchmarks/bench_fleet_interpretation.py`` reports per precision.
 """
 
 from __future__ import annotations
@@ -65,10 +81,48 @@ from repro.core.masking import (
 )
 from repro.core.transform import OutputEmbedding
 from repro.hw.device import Device, DeviceStats
+from repro.hw.quantize import resolve_precision
 
 GRANULARITIES = ("blocks", "columns", "rows", "elements")
 
 FLOAT_BYTES = 8  # the fused stack is materialized in float64
+
+
+def feed_bytes(arrays, spec) -> int:
+    """Host-link bytes to stream ``arrays`` at a precision's storage width.
+
+    ``spec=None`` preserves the legacy feed (the arrays' own nbytes);
+    with a spec, each real plane streams at ``bytes_per_element`` and a
+    complex plane as two such component planes -- so ``fp64`` prices
+    exactly like the legacy float64 feed while ``int8`` models the
+    1-byte quantized infeed.
+    """
+    if spec is None:
+        return sum(int(np.asarray(a).nbytes) for a in arrays)
+    total = 0
+    for a in arrays:
+        a = np.asarray(a)
+        planes = 2 if np.iscomplexobj(a) else 1
+        total += planes * a.size * spec.bytes_per_element
+    return total
+
+
+def check_precision_granularity(spec, granularity: str) -> None:
+    """Reject lossy precisions for the ``elements`` granularity.
+
+    The single home of the rule both interpretation entry points
+    (:class:`FleetExecutor` and
+    :class:`~repro.core.pipeline.ExplanationPipeline`) enforce: the
+    elements granularity scores through the linearity fast path, whose
+    closed form assumes exact convolution arithmetic -- per-plane
+    quantization breaks it, so only exact specs (or ``None``) pass.
+    """
+    if spec is not None and not spec.is_exact and granularity == "elements":
+        raise ValueError(
+            "elements granularity scores through the linearity fast "
+            "path, which per-plane quantization breaks; use blocks/"
+            "columns/rows or an exact precision ('fp64'/'fp32')"
+        )
 
 
 @dataclass(frozen=True)
@@ -252,7 +306,10 @@ class FleetExecutor:
     wave width, and ``chunk_rows`` sets how many masked planes stream
     per chunk (default
     :data:`~repro.core.masking.DEFAULT_CHUNK_ROWS`, clamped to the
-    budget).
+    budget).  ``precision`` selects the numeric mode of each wave's
+    batched convolution (see the module docstring); quantizing
+    precisions reject the ``elements`` granularity, whose linearity
+    fast path quantization breaks.
 
     Execution per wave: one ``device.program`` scope whose infeed is
     every fused pair's data and whose outfeed is their score planes;
@@ -279,6 +336,7 @@ class FleetExecutor:
         max_stack_bytes: int | None = DEFAULT_STACK_BUDGET_BYTES,
         max_pairs_per_wave: int | None = None,
         chunk_rows: int | None = None,
+        precision=None,
     ) -> None:
         if granularity not in GRANULARITIES:
             raise ValueError(
@@ -290,6 +348,8 @@ class FleetExecutor:
             raise ValueError(
                 f"unknown reduction {reduction!r}; expected one of {REDUCTIONS}"
             )
+        self.precision = resolve_precision(precision)
+        check_precision_granularity(self.precision, granularity)
         self.device = device
         self.granularity = granularity
         self.block_shape = block_shape
@@ -397,7 +457,12 @@ class FleetExecutor:
 
     def _run_wave(self, wave: WavePlan, xs, ys, plans, results) -> None:
         indices = wave.pair_indices
-        infeed = sum(xs[i].nbytes + ys[i].nbytes for i in indices)
+        # Quantized waves stream their pairs at the spec's storage width
+        # (fp64 reproduces the legacy float64 feed); scores stream back
+        # dequantized, at full width.
+        infeed = feed_bytes(
+            [a for i in indices for a in (xs[i], ys[i])], self.precision
+        )
         outfeed = sum(xs[i].nbytes for i in indices)
         rows_per_chunk = effective_chunk_rows(
             wave.plane_shape, self.chunk_rows, self.max_stack_bytes,
@@ -427,6 +492,7 @@ class FleetExecutor:
                 np.stack(kernels),
                 num_rows=len(table),
                 row_kernel=row_pair,
+                precision=self.precision,
             )
             local_of = {i: local for local, i in enumerate(indices)}
             mask_scores = {

@@ -746,16 +746,17 @@ def _stream_scores(
     device: Device | None,
     fill_value: float,
     chunk_rows: int,
+    precision=None,
 ) -> np.ndarray:
     """Chunk-streamed batched scoring: generate, convolve, reduce, drop."""
     chunks = plan.apply_chunks(x, fill_value=fill_value, chunk_rows=chunk_rows)
     if device is None:
         convolved_chunks = fft_circular_convolve2d_chunks(
-            chunks, kernel, num_rows=plan.num_masks
+            chunks, kernel, num_rows=plan.num_masks, precision=precision
         )
     else:
         convolved_chunks = device.conv2d_circular_batch_chunks(
-            chunks, kernel, num_rows=plan.num_masks
+            chunks, kernel, num_rows=plan.num_masks, precision=precision
         )
     scores = np.empty(plan.num_masks)
     for convolved, rows in convolved_chunks:
@@ -775,6 +776,7 @@ def score_plan(
     fill_value: float = 0.0,
     max_stack_bytes: int | None = None,
     chunk_rows: int | None = None,
+    precision=None,
 ) -> np.ndarray:
     """Eq. 5 scores for every mask of ``plan``, in the plan's output grid.
 
@@ -797,7 +799,17 @@ def score_plan(
     of ``num_masks`` and the budget only bounds the chunk (it must
     still hold one plane).  ``chunk_rows=None`` streams at
     :data:`DEFAULT_CHUNK_ROWS`.
+
+    ``precision`` (a name or :class:`~repro.hw.quantize.PrecisionSpec`)
+    quantizes each masked plane spatially and the kernel spectrum per
+    component before the Hadamard product -- the MXU int8/bf16 datapath.
+    The rounding is strictly per-plane, so every execution mode above
+    (loop, dense batched, streamed at any chunk size) still produces
+    bit-identical scores at the same precision.
     """
+    from repro.hw.quantize import resolve_precision
+
+    spec = resolve_precision(precision)
     x = np.asarray(x)
     kernel = np.asarray(kernel)
     y = np.asarray(y)
@@ -822,9 +834,9 @@ def score_plan(
         for chunk, rows in plan.iter_chunks(1):
             masked = np.where(chunk[0], fill_value, x)
             if device is None:
-                convolved = fft_circular_convolve2d(masked, kernel)
+                convolved = fft_circular_convolve2d(masked, kernel, precision=spec)
             else:
-                convolved = device.conv2d_circular(masked, kernel)
+                convolved = device.conv2d_circular(masked, kernel, precision=spec)
             scores[rows.start] = reduce_batch((y - convolved)[np.newaxis], reduction)[0]
         return plan.reshape_scores(scores)
 
@@ -833,7 +845,8 @@ def score_plan(
             plan.plane_shape, chunk_rows, max_stack_bytes
         )
         return _stream_scores(
-            plan, x, kernel, y, reduction, device, fill_value, rows_per_chunk
+            plan, x, kernel, y, reduction, device, fill_value, rows_per_chunk,
+            precision=spec,
         )
 
     check_stack_budget(
@@ -842,8 +855,8 @@ def score_plan(
     )
     stacked = plan.apply(x, fill_value=fill_value)
     if device is None:
-        convolved = fft_circular_convolve2d_batch(stacked, kernel)
+        convolved = fft_circular_convolve2d_batch(stacked, kernel, precision=spec)
     else:
-        convolved = device.conv2d_circular_batch(stacked, kernel)
+        convolved = device.conv2d_circular_batch(stacked, kernel, precision=spec)
     deltas = y[np.newaxis] - convolved
     return plan.reshape_scores(reduce_batch(deltas, reduction))

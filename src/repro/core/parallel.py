@@ -220,6 +220,10 @@ class MultiInputScheduler:
         ``pipelined`` (default ``True``) double-buffers the waves --
         wave ``i+1``'s infeed overlaps wave ``i``'s compute, the chip
         ledger crediting the hidden time as an ``infeed_overlap`` event.
+        Executor options pass through ``executor_kwargs`` -- notably
+        ``precision="int8"|"bf16"|"fp32"|"fp64"`` runs every wave's
+        batched convolution in that numeric mode (quantized infeed and
+        MXU-rate pricing, scores bit-identical to a quantized loop).
         The returned run carries the harvested device ledger in
         ``stats``.
         """

@@ -38,6 +38,19 @@ fleet fuses), and with ``pipelined=True`` (default) wave ``i+1``'s
 dispatch + infeed overlaps wave ``i``'s compute, crediting the hidden
 host-link time back as a negative ``infeed_overlap`` ledger row.
 
+A third orthogonal axis, ``precision``, selects the numeric mode of the
+interpretation convolutions (``"fp64"``/``"fp32"`` exact, ``"bf16"``
+rounding, ``"int8"`` per-plane symmetric quantization -- parsed by the
+single :func:`repro.hw.quantize.precision_spec` entry point): masked
+planes and residual rows quantize spatially, kernel spectra per complex
+component, the distillation solve stays exact.  Because the rounding is
+strictly per-plane, scores and residuals remain bit-identical along
+method/fusion/streaming/pipelining *at the same precision* -- a
+quantized wave matches a quantized loop exactly -- while the TPU cost
+model prices the batched transforms with the MXU cycle hooks at the
+spec's rate and the infeed at its storage width, exposing the paper's
+accuracy-vs-precision trade-off at fleet scale.
+
 Scores, kernels and residuals are bit-identical along every axis
 (method, fusion, streaming, pipelining); only simulated cost and the op
 ledger differ -- the paper's structural contrast, now measurable per
@@ -51,7 +64,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.distillation import ConvolutionDistiller
-from repro.core.fleet import GRANULARITIES, FleetExecutor
+from repro.core.fleet import (
+    GRANULARITIES,
+    FleetExecutor,
+    check_precision_granularity,
+    feed_bytes,
+)
 from repro.core.interpretation import feature_contributions
 from repro.core.masking import (
     DEFAULT_STACK_BUDGET_BYTES,
@@ -61,6 +79,7 @@ from repro.core.masking import (
 )
 from repro.core.transform import OutputEmbedding
 from repro.hw.device import Device, DeviceStats
+from repro.hw.quantize import resolve_precision
 
 FUSIONS = ("wave", "pair")
 
@@ -146,6 +165,17 @@ class ExplanationPipeline:
         Optional cap on pairs fused per wave (wave fusion only) --
         the lever benchmarks use to trade per-wave batch width against
         cross-wave infeed overlap.
+    precision:
+        Numeric mode of the interpretation convolutions: ``"fp64"`` /
+        ``"fp32"`` (exact), ``"bf16"`` or ``"int8"`` -- any name
+        :func:`repro.hw.quantize.precision_spec` accepts, or a
+        :class:`~repro.hw.quantize.PrecisionSpec`.  ``None`` (default)
+        is the exact legacy execution with legacy cost accounting.
+        Masked planes quantize per plane and kernel spectra per
+        component inside the batched convolution; scores match
+        ``method="loop"`` at the same precision bit for bit, streamed
+        and dense.  Quantizing precisions reject the ``elements``
+        granularity (its linearity fast path assumes exact arithmetic).
     """
 
     def __init__(
@@ -161,6 +191,7 @@ class ExplanationPipeline:
         pipelined: bool = True,
         chunk_rows: int | None = None,
         max_pairs_per_wave: int | None = None,
+        precision=None,
     ) -> None:
         if granularity not in GRANULARITIES:
             raise ValueError(
@@ -172,6 +203,8 @@ class ExplanationPipeline:
             raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
         if fusion not in FUSIONS:
             raise ValueError(f"unknown fusion {fusion!r}; expected one of {FUSIONS}")
+        self.precision = resolve_precision(precision)
+        check_precision_granularity(self.precision, granularity)
         self.device = device
         self.granularity = granularity
         self.block_shape = block_shape
@@ -187,7 +220,8 @@ class ExplanationPipeline:
     def explain_pair(self, x: np.ndarray, y: np.ndarray) -> PairExplanation:
         """Distill and interpret one pair (no program scoping)."""
         distiller = ConvolutionDistiller(
-            device=self.device, eps=self.eps, embedding=self.embedding
+            device=self.device, eps=self.eps, embedding=self.embedding,
+            precision=self.precision,
         )
         distiller.fit(x, y)
         kernel = distiller.kernel_
@@ -207,7 +241,7 @@ class ExplanationPipeline:
         )
         return score_plan(
             x, kernel, y, plan, method=self.method, device=self.device,
-            max_stack_bytes=self.max_stack_bytes,
+            max_stack_bytes=self.max_stack_bytes, precision=self.precision,
         )
 
     def run(self, pairs) -> InterpretationRun:
@@ -229,7 +263,7 @@ class ExplanationPipeline:
         explanations: list[PairExplanation] = []
         for x, y in pairs:
             x = np.asarray(x)
-            infeed = x.nbytes + np.asarray(y).nbytes
+            infeed = feed_bytes([x, np.asarray(y)], self.precision)
             with self.device.program(infeed_bytes=infeed, outfeed_bytes=x.nbytes):
                 explanations.append(self.explain_pair(x, y))
         stats = self.device.take_stats()
@@ -251,6 +285,7 @@ class ExplanationPipeline:
             max_stack_bytes=self.max_stack_bytes,
             max_pairs_per_wave=self.max_pairs_per_wave,
             chunk_rows=self.chunk_rows,
+            precision=self.precision,
         )
         fleet = executor.run(pairs, pipelined=self.pipelined)
         stats = self.device.take_stats()

@@ -25,6 +25,16 @@ Chunk boundaries never change bits: :func:`repro.fft.fft2d.fft2_batch`
 transforms each plane independently, and the per-row Hadamard products
 and reductions are plane-local, so streamed, dense-batched and
 one-plane-at-a-time execution agree exactly.
+
+Every FFT-convolution entry point additionally accepts an optional
+``precision`` -- a :class:`repro.hw.quantize.PrecisionSpec` (duck-typed
+here so the FFT layer stays independent of the hardware layer) whose
+``apply`` rounds operands plane by plane.  The spec quantizes the data
+planes in the spatial domain and the kernel *spectra* in the frequency
+domain, then the transforms and Hadamard products accumulate in float64
+-- the MXU int8/bf16 datapath.  Because the rounding is strictly
+per-plane, the streamed/dense/loop agreement above holds unchanged at
+every precision.
 """
 
 from __future__ import annotations
@@ -111,15 +121,26 @@ def fft_circular_convolve(x: np.ndarray, k: np.ndarray) -> np.ndarray:
     return result
 
 
-def fft_circular_convolve2d(x: np.ndarray, k: np.ndarray) -> np.ndarray:
-    """2-D circular convolution via the convolution theorem (Eq. 3)."""
+def fft_circular_convolve2d(
+    x: np.ndarray, k: np.ndarray, precision=None
+) -> np.ndarray:
+    """2-D circular convolution via the convolution theorem (Eq. 3).
+
+    ``precision`` (an optional :class:`~repro.hw.quantize.PrecisionSpec`)
+    rounds the input plane spatially and the kernel spectrum per complex
+    component before the Hadamard product -- the quantized MXU datapath.
+    """
     x = _as_2d(x, "fft_circular_convolve2d")
     k = _as_2d(k, "fft_circular_convolve2d")
     if x.shape != k.shape:
         raise ValueError(
             f"2-D circular convolution needs equal shapes, got {x.shape} and {k.shape}"
         )
-    spectrum = fft2(x) * fft2(k)
+    x_in = x if precision is None else precision.apply(x)
+    kernel_spectrum = fft2(k)
+    if precision is not None:
+        kernel_spectrum = precision.apply(kernel_spectrum)
+    spectrum = fft2(x_in) * kernel_spectrum
     result = ifft2(spectrum)
     if np.isrealobj(x) and np.isrealobj(k):
         return result.real
@@ -222,6 +243,7 @@ def fft_circular_convolve2d_chunks(
     kernel_spectrum: np.ndarray | None = None,
     row_kernel: np.ndarray | None = None,
     num_rows: int | None = None,
+    precision=None,
 ):
     """Streamed circular convolution over an iterator of stack chunks.
 
@@ -241,6 +263,14 @@ def fft_circular_convolve2d_chunks(
     exactly once up front); each output plane is bit-identical to the
     dense batch form and to :func:`fft_circular_convolve2d` on the
     corresponding planes.
+
+    ``precision`` (an optional :class:`~repro.hw.quantize.PrecisionSpec`)
+    rounds every incoming data chunk plane-by-plane in the spatial
+    domain and the kernel spectra per plane/component up front; since
+    both roundings are per-plane, chunk boundaries still never change
+    bits and the quantized stream matches quantized dense and loop
+    execution exactly.  A supplied ``kernel_spectrum`` must be the *raw*
+    (unquantized) spectrum -- the spec is applied here, exactly once.
     """
     k = np.asarray(k)
     k, multi_kernel, row_kernel, kernel_spectrum = _validate_batch_kernel(
@@ -248,6 +278,8 @@ def fft_circular_convolve2d_chunks(
     )
     if kernel_spectrum is None:
         kernel_spectrum = fft2_batch(k) if multi_kernel else fft2(k)
+    if precision is not None:
+        kernel_spectrum = precision.apply(kernel_spectrum)
     real_kernel = np.isrealobj(k)
     plane_shape = k.shape[-2:]
     next_row = 0
@@ -265,6 +297,8 @@ def fft_circular_convolve2d_chunks(
                 f"{next_row} (chunk holds {chunk.shape[0]} planes)"
             )
         next_row = rows.stop
+        if precision is not None:
+            chunk = precision.apply(chunk)
         if multi_kernel:
             if rows.stop > row_kernel.shape[0]:
                 raise ValueError(
@@ -291,6 +325,7 @@ def fft_circular_convolve2d_batch(
     k: np.ndarray,
     kernel_spectrum: np.ndarray | None = None,
     row_kernel: np.ndarray | None = None,
+    precision=None,
 ) -> np.ndarray:
     """Circular convolution of a ``(batch, M, N)`` stack with shared kernels.
 
@@ -310,6 +345,11 @@ def fft_circular_convolve2d_batch(
     (per-row spectra are staged run-by-run, never gathered for the full
     batch).  Callers that cannot afford the dense input/output stacks
     either should use the chunk iterator directly.
+
+    ``precision`` forwards to the chunk iterator: data planes quantize
+    spatially per plane, kernel spectra per plane/component, so a
+    quantized dense batch is bit-identical to the quantized stream and
+    to quantized per-plane :func:`fft_circular_convolve2d` calls.
     """
     x_batch = np.asarray(x_batch)
     if x_batch.ndim != 3:
@@ -341,7 +381,7 @@ def fft_circular_convolve2d_batch(
     )
     for convolved, rows in fft_circular_convolve2d_chunks(
         chunk_views, k, kernel_spectrum=kernel_spectrum,
-        row_kernel=row_kernel, num_rows=num_rows,
+        row_kernel=row_kernel, num_rows=num_rows, precision=precision,
     ):
         result[rows.start : rows.stop] = convolved
     return result

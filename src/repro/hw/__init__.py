@@ -58,16 +58,22 @@ from repro.hw.perf import (
 from repro.hw.quantize import (
     BF16,
     FP32,
+    FP64,
     INT8,
     PrecisionSpec,
     QuantizedTensor,
     dequantize,
+    infeed_bytes_per_element,
     precision_spec,
     quantization_error_bound,
     quantization_scale,
     quantize,
+    quantize_dequantize,
     quantized_complex_matmul,
+    quantized_conv_error_bound,
     quantized_matmul,
+    quantized_score_error_bound,
+    resolve_precision,
     to_bfloat16,
 )
 from repro.hw.systolic import SystolicArray, SystolicResult, streaming_cycles
@@ -125,16 +131,22 @@ __all__ = [
     "speedup",
     "BF16",
     "FP32",
+    "FP64",
     "INT8",
     "PrecisionSpec",
     "QuantizedTensor",
     "dequantize",
+    "infeed_bytes_per_element",
     "precision_spec",
     "quantization_error_bound",
     "quantization_scale",
     "quantize",
+    "quantize_dequantize",
     "quantized_complex_matmul",
+    "quantized_conv_error_bound",
     "quantized_matmul",
+    "quantized_score_error_bound",
+    "resolve_precision",
     "to_bfloat16",
     "SystolicArray",
     "SystolicResult",

@@ -43,6 +43,7 @@ from repro.fft.convolution import (
     fft_circular_convolve2d_chunks,
 )
 from repro.fft.fft2d import fft2, fft2_batch, ifft2
+from repro.hw.quantize import resolve_precision
 
 #: Real flops one complex point-wise op costs per element: a complex
 #: multiply (or divide, to first order) is 4 real multiplies + 2 adds
@@ -435,17 +436,30 @@ class Device(abc.ABC):
         self.stats.record("ifft2", seconds, macs=factor * (m * m * n + m * n * n))
         return result
 
-    def conv2d_circular(self, x: np.ndarray, k: np.ndarray) -> np.ndarray:
+    def conv2d_circular(self, x: np.ndarray, k: np.ndarray, precision=None) -> np.ndarray:
         """Circular convolution via the convolution theorem (Eq. 3).
 
         Composite of fft2(x), fft2(k), a Hadamard product and one
         inverse transform -- each op individually accounted.
+
+        ``precision`` (a name or :class:`~repro.hw.quantize
+        .PrecisionSpec`) rounds the input plane spatially and the kernel
+        spectrum per component before the Hadamard product -- the
+        quantized MXU datapath, numerically identical to the batched
+        precision axis plane for plane.  The op ledger is unchanged
+        (rounding is infeed-side staging, not an accounted kernel);
+        ``None`` preserves exact execution.
         """
         x = np.asarray(x)
         k = np.asarray(k)
         if x.shape != k.shape:
             raise ValueError(f"operands must share a shape, got {x.shape} and {k.shape}")
-        spectrum = self.hadamard(self.fft2(x), self.fft2(k), op="mul")
+        spec = resolve_precision(precision)
+        x_in = x if spec is None else spec.apply(x)
+        kernel_spectrum = self.fft2(k)
+        if spec is not None:
+            kernel_spectrum = spec.apply(kernel_spectrum)
+        spectrum = self.hadamard(self.fft2(x_in), kernel_spectrum, op="mul")
         result = self.ifft2(spectrum)
         if np.isrealobj(x) and np.isrealobj(k):
             return result.real
@@ -454,7 +468,7 @@ class Device(abc.ABC):
     # ------------------------------------------------------------------
     # Batched convolution (the occlusion engine's device hot path)
     # ------------------------------------------------------------------
-    def batch_conv_seconds(self, batch: int, m: int, n: int) -> float:
+    def batch_conv_seconds(self, batch: int, m: int, n: int, precision=None) -> float:
         """Simulated time of ``batch`` circular convolutions that share
         one already-transformed ``m x n`` kernel spectrum.
 
@@ -469,6 +483,13 @@ class Device(abc.ABC):
         assumed resident, staged by the caller's :meth:`program` scope.
         Accelerator backends override this to price one fused batched
         program instead.
+
+        ``precision`` is accepted for interface symmetry and ignored
+        here: eager backends *emulate* quantized arithmetic in float
+        math, so a quantized batch costs what the exact batch costs --
+        the paper's structural point that only the MXU turns reduced
+        precision into speed (see
+        :meth:`repro.core.backend.TpuBackend.batch_conv_seconds`).
         """
         if batch <= 0:
             raise ValueError(f"batch must be positive, got {batch}")
@@ -482,6 +503,7 @@ class Device(abc.ABC):
         x_batch: np.ndarray,
         kernel: np.ndarray,
         row_kernel: np.ndarray | None = None,
+        precision=None,
     ) -> np.ndarray:
         """Circular convolution of a ``(batch, M, N)`` stack against shared kernels.
 
@@ -499,9 +521,18 @@ class Device(abc.ABC):
         bit-identical to the looped path; simulated cost is delegated to
         :meth:`_record_batch_conv` so eager and compiled backends can
         model their dispatch semantics.
+
+        ``precision`` (a name or :class:`~repro.hw.quantize
+        .PrecisionSpec`) quantizes the data stack spatially and the
+        kernel spectra per plane inside the batched convolution (see
+        :func:`repro.fft.convolution.fft_circular_convolve2d_batch`);
+        results stay bit-identical to quantized :meth:`conv2d_circular`
+        loops, and the cost hooks receive the spec so compiled backends
+        can price the quantized transforms.
         """
         x_batch = np.asarray(x_batch)
         kernel = np.asarray(kernel)
+        spec = resolve_precision(precision)
         if x_batch.ndim != 3:
             raise ValueError(
                 f"conv2d_circular_batch expects a (batch, M, N) stack, got {x_batch.shape}"
@@ -538,13 +569,14 @@ class Device(abc.ABC):
         if kernel.ndim == 3:
             # One spectrum batch for the wave's P kernels.
             kernel_spectrum = fft2_batch(kernel)
-            self._record_kernel_spectra(kernel.shape[0], m, n)
+            self._record_kernel_spectra(kernel.shape[0], m, n, spec=spec)
         else:
             kernel_spectrum = self.fft2(kernel)  # once per plan, recorded as "fft2"
         result = fft_circular_convolve2d_batch(
-            x_batch, kernel, kernel_spectrum=kernel_spectrum, row_kernel=row_kernel
+            x_batch, kernel, kernel_spectrum=kernel_spectrum, row_kernel=row_kernel,
+            precision=spec,
         )
-        self._record_batch_conv(x_batch.shape[0], m, n)
+        self._record_batch_conv(x_batch.shape[0], m, n, spec=spec)
         return result
 
     def conv2d_circular_batch_chunks(
@@ -553,6 +585,7 @@ class Device(abc.ABC):
         kernel: np.ndarray,
         num_rows: int,
         row_kernel: np.ndarray | None = None,
+        precision=None,
     ):
         """Streamed :meth:`conv2d_circular_batch`: chunk iterator in and out.
 
@@ -568,8 +601,12 @@ class Device(abc.ABC):
         batch costs precisely what the dense batch costs, it just never
         holds the stack (and, like a dispatched program, the cost
         stands even if the consumer abandons the stream early).
+        ``precision`` behaves exactly as in :meth:`conv2d_circular_batch`
+        -- per-plane quantization keeps the stream bit-identical to the
+        quantized dense batch at every chunk size.
         """
         kernel = np.asarray(kernel)
+        spec = resolve_precision(precision)
         if kernel.ndim not in (2, 3):
             raise ValueError(
                 f"conv2d_circular_batch_chunks expects a (M, N) or (P, M, N) "
@@ -584,7 +621,7 @@ class Device(abc.ABC):
         m, n = kernel.shape[-2], kernel.shape[-1]
         if kernel.ndim == 3:
             kernel_spectrum = fft2_batch(kernel)
-            self._record_kernel_spectra(kernel.shape[0], m, n)
+            self._record_kernel_spectra(kernel.shape[0], m, n, spec=spec)
         else:
             kernel_spectrum = self.fft2(kernel)  # once per stream, as "fft2"
         # The cost of the full batch is committed now, like a dispatched
@@ -592,33 +629,39 @@ class Device(abc.ABC):
         # convolutions whether or not the host finishes reading the
         # stream, so an aborted consumer cannot leave a ledger holding
         # kernel spectra but no convolution work.
-        self._record_batch_conv(num_rows, m, n)
+        self._record_batch_conv(num_rows, m, n, spec=spec)
         return fft_circular_convolve2d_chunks(
             chunks,
             kernel,
             kernel_spectrum=kernel_spectrum,
             row_kernel=row_kernel,
             num_rows=num_rows,
+            precision=spec,
         )
 
-    def kernel_spectrum_batch_seconds(self, batch: int, m: int, n: int) -> float:
+    def kernel_spectrum_batch_seconds(
+        self, batch: int, m: int, n: int, precision=None
+    ) -> float:
         """Simulated time to transform a ``(batch, M, N)`` kernel stack.
 
         Eager default (CPU/GPU semantics): each kernel launches its own
-        forward transform.  Accelerator backends override this to price
-        one fused wide transform for the whole stack.
+        forward transform; ``precision`` is ignored here just as in
+        :meth:`batch_conv_seconds` (eager float emulation).  Accelerator
+        backends override this to price one fused wide transform for the
+        whole stack at the requested precision.
         """
         if batch <= 0:
             raise ValueError(f"batch must be positive, got {batch}")
         return batch * self.fft2_seconds(m, n)
 
-    def _record_kernel_spectra(self, batch: int, m: int, n: int) -> None:
+    def _record_kernel_spectra(self, batch: int, m: int, n: int, spec=None) -> None:
         """Eager ledger for a kernel-spectrum batch (CPU/GPU semantics).
 
         One ``fft2`` record per kernel: eager backends transform each
         pair's kernel as its own launch, mirroring the per-plane records
         of :meth:`_record_batch_conv`.  The recorded seconds sum exactly
-        to :meth:`kernel_spectrum_batch_seconds`.
+        to :meth:`kernel_spectrum_batch_seconds` (``spec`` is ignored
+        here, matching that hook's eager semantics).
         """
         transform_seconds = self.fft2_seconds(m, n)
         factor = self.complex_matmul_real_products
@@ -626,14 +669,14 @@ class Device(abc.ABC):
         for _ in range(batch):
             self.stats.record("fft2_kernel", transform_seconds, macs=transform_macs)
 
-    def _record_batch_conv(self, batch: int, m: int, n: int) -> None:
+    def _record_batch_conv(self, batch: int, m: int, n: int, spec=None) -> None:
         """Eager ledger for one batched convolution (CPU/GPU semantics).
 
         One record per per-plane operation: the batch executes as
         ``batch`` independent op chains, so op counts and per-op
         overheads are preserved -- only the kernel transform was
         amortized by the caller.  The recorded seconds sum exactly to
-        :meth:`batch_conv_seconds`.
+        :meth:`batch_conv_seconds` (``spec`` ignored, eager semantics).
         """
         transform_seconds = self.fft2_seconds(m, n)
         hadamard_seconds = self.elementwise_seconds(m * n, flops_per_element=4.0)

@@ -16,6 +16,20 @@ Two execution paths share one cycle model:
   configured precision's rounding) and prices it with the closed-form
   tile count -- what the benchmarks use for 1024x1024 sweeps.
 
+**Precision model.**  :class:`MxuConfig.precision` names the datapath's
+numeric mode via :func:`repro.hw.quantize.precision_spec` (the single
+parsing point): ``int8`` and ``bf16`` stream one MAC per PE per cycle,
+``fp32`` a quarter and ``fp64`` an eighth
+(:attr:`~repro.hw.quantize.PrecisionSpec.macs_per_pe_per_cycle` scales
+the streaming phase of :func:`matmul_cycles`).  The same cycle model
+prices the *quantized batched-convolution axis*: when a wave of the
+fleet executor runs at ``precision="int8"``,
+:meth:`repro.core.backend.TpuBackend.batch_conv_seconds` reprices its
+wide fused transforms through :meth:`repro.hw.tpu.TpuCore
+.matmul_seconds` with the MXU config swapped to that precision -- so
+the speed side of the accuracy-vs-precision trade-off comes from this
+one model, whether the MXU mode is fixed chip-wide or chosen per wave.
+
 Tests assert both paths return identical cycle counts and matching
 numerics on randomized shapes.
 """

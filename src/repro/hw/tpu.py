@@ -20,7 +20,7 @@ interface.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -114,8 +114,21 @@ class TpuCore(Device):
     # ------------------------------------------------------------------
     # Device cost hooks
     # ------------------------------------------------------------------
-    def matmul_seconds(self, m: int, k: int, n: int) -> float:
-        stats = matmul_cycles(m, k, n, self.config.mxu)
+    def matmul_seconds(self, m: int, k: int, n: int, precision=None) -> float:
+        """Cycle-model matmul time, optionally at an overridden precision.
+
+        ``precision`` (a :class:`~repro.hw.quantize.PrecisionSpec` or
+        name) reprices the product as if the MXU ran in that numeric
+        mode -- the hook the quantized batched-convolution axis uses to
+        translate int8/bf16 execution into cycles; ``None`` uses the
+        core's configured :class:`~repro.hw.mxu.MxuConfig` precision.
+        """
+        mxu = self.config.mxu
+        if precision is not None:
+            from repro.hw.quantize import precision_spec
+
+            mxu = replace(mxu, precision=precision_spec(precision).name)
+        stats = matmul_cycles(m, k, n, mxu)
         return stats.cycles / self.config.clock_hz
 
     def elementwise_seconds(self, elements: int, flops_per_element: float = 1.0) -> float:

@@ -454,3 +454,167 @@ class TestStreamingFleet:
             stats[chunk_rows] = run.stats
         assert stats[1].op_counts == stats[64].op_counts == stats[3].op_counts
         assert stats[1].seconds == stats[3].seconds == stats[64].seconds
+
+
+class TestQuantizedStreaming:
+    """PR-4 contracts: the precision axis quantizes per plane, so
+    streamed, dense and loop execution stay bit-identical at bf16 and
+    int8, with the documented error bound holding for batched runs."""
+
+    MASK_SPECS = [spec for spec in SPECS if spec[0] != "elements"]
+
+    @pytest.mark.parametrize("name,make_spec", MASK_SPECS)
+    @pytest.mark.parametrize("precision", ["bf16", "int8"])
+    def test_streamed_equals_dense_equals_loop_quantized(
+        self, name, make_spec, precision
+    ):
+        x, kernel, y = fitted_setup(seed=6)
+        spec = make_spec(x.shape)
+        dense = score_plan(
+            x, kernel, y, spec.materialize(), method="batched", precision=precision
+        )
+        streamed = score_plan(x, kernel, y, spec, method="batched", precision=precision)
+        looped = score_plan(x, kernel, y, spec, method="loop", precision=precision)
+        np.testing.assert_array_equal(streamed, dense)
+        np.testing.assert_array_equal(streamed, looped)
+
+    @pytest.mark.parametrize("chunk_rows", [1, 3, 64])
+    def test_quantized_chunk_size_never_changes_bits(self, chunk_rows):
+        x, kernel, y = fitted_setup(seed=7)
+        spec = MaskSpec.columns(x.shape)
+        reference = score_plan(
+            x, kernel, y, spec.materialize(), method="batched", precision="int8"
+        )
+        np.testing.assert_array_equal(
+            score_plan(
+                x, kernel, y, spec, method="batched", precision="int8",
+                chunk_rows=chunk_rows,
+            ),
+            reference,
+        )
+
+    @pytest.mark.parametrize(
+        "device_factory", [CpuDevice, GpuDevice, small_backend],
+        ids=["cpu", "gpu", "tpu"],
+    )
+    def test_quantized_device_paths_match_no_device_paths(self, device_factory):
+        x, kernel, y = fitted_setup(seed=8)
+        spec = MaskSpec.blocks(x.shape, (2, 2))
+        reference = score_plan(x, kernel, y, spec, method="batched", precision="int8")
+        device = device_factory()
+        np.testing.assert_array_equal(
+            score_plan(
+                x, kernel, y, spec, method="batched", device=device,
+                precision="int8",
+            ),
+            reference,
+        )
+        np.testing.assert_array_equal(
+            score_plan(
+                x, kernel, y, spec, method="loop", device=device_factory(),
+                precision="int8",
+            ),
+            reference,
+        )
+
+    def test_fp64_precision_matches_unquantized_execution(self):
+        x, kernel, y = fitted_setup(seed=9)
+        spec = MaskSpec.rows(x.shape)
+        np.testing.assert_array_equal(
+            score_plan(x, kernel, y, spec, method="batched", precision="fp64"),
+            score_plan(x, kernel, y, spec, method="batched"),
+        )
+
+    def test_quantized_wave_fleet_matches_quantized_loop(self):
+        """The acceptance contract: ExplanationPipeline(precision="int8")
+        scores match method="loop" at int8 bit for bit, streamed (wave)
+        and dense (pair)."""
+        pairs = planted_pairs(5, seed=10)
+        runs = {
+            mode: ExplanationPipeline(
+                small_backend(), granularity="blocks", block_shape=(2, 2),
+                eps=1e-8, precision="int8", **kwargs,
+            ).run(pairs)
+            for mode, kwargs in {
+                "wave": dict(fusion="wave"),
+                "pair": dict(fusion="pair"),
+                "loop": dict(method="loop"),
+            }.items()
+        }
+        for a, b, c in zip(
+            runs["wave"].explanations,
+            runs["pair"].explanations,
+            runs["loop"].explanations,
+        ):
+            np.testing.assert_array_equal(a.scores, b.scores)
+            np.testing.assert_array_equal(a.scores, c.scores)
+            assert a.residual == b.residual == c.residual
+
+    def test_monotone_error_bound_holds_for_batched_execution(self):
+        """quantization_error_bound's conv extension bounds executed
+        batched scores, monotonically in bits."""
+        from repro.hw.quantize import quantized_score_error_bound
+
+        x, kernel, y = fitted_setup(seed=11)
+        spec = MaskSpec.blocks(x.shape, (2, 2))
+        exact = score_plan(x, kernel, y, spec, method="batched")
+        quantized = score_plan(x, kernel, y, spec, method="batched", precision="int8")
+        score_bound = quantized_score_error_bound(x, kernel, bits=8)
+        assert np.max(np.abs(quantized - exact)) <= score_bound
+        bounds = [quantized_score_error_bound(x, kernel, bits=b) for b in (4, 8, 16)]
+        assert bounds[0] > bounds[1] > bounds[2]
+
+    def test_precision_error_ladder_is_monotone(self):
+        x, kernel, y = fitted_setup(seed=12)
+        spec = MaskSpec.columns(x.shape)
+        exact = score_plan(x, kernel, y, spec, method="batched")
+        errors = {
+            name: np.max(np.abs(
+                score_plan(x, kernel, y, spec, method="batched", precision=name)
+                - exact
+            ))
+            for name in ("fp64", "bf16", "int8")
+        }
+        assert errors["fp64"] == 0.0
+        assert errors["int8"] > errors["bf16"] > 0.0
+
+    def test_quantized_dispatch_counts_match_fp64(self):
+        """Precision changes numerics and per-op seconds, never the
+        launch structure: dispatch and op counts are identical across
+        the ladder."""
+        pairs = planted_pairs(4, seed=13)
+        counts = {}
+        for name in ("fp64", "int8"):
+            run = ExplanationPipeline(
+                small_backend(), granularity="blocks", block_shape=(2, 2),
+                eps=1e-8, precision=name,
+            ).run(pairs)
+            counts[name] = run.stats.op_counts
+        assert counts["fp64"] == counts["int8"]
+
+    def test_quantized_wave_cheaper_than_fp64_wave_on_tpu(self):
+        """The speed side of the trade-off: int8 waves price below fp64
+        waves (MXU rate + 1-byte infeed) with identical structure."""
+        pairs = planted_pairs(4, seed=14)
+        seconds = {}
+        for name in ("int8", "fp64"):
+            run = ExplanationPipeline(
+                small_backend(), granularity="blocks", block_shape=(2, 2),
+                eps=1e-8, precision=name,
+            ).run(pairs)
+            seconds[name] = run.simulated_seconds
+        assert seconds["int8"] < seconds["fp64"]
+
+    def test_quantizing_precision_rejects_elements_granularity(self):
+        with pytest.raises(ValueError, match="linearity"):
+            ExplanationPipeline(
+                small_backend(), granularity="elements", precision="int8"
+            )
+        with pytest.raises(ValueError, match="linearity"):
+            FleetExecutor(small_backend(), granularity="elements", precision="bf16")
+
+    def test_unknown_precision_rejected_with_vocabulary(self):
+        with pytest.raises(ValueError, match="int8"):
+            ExplanationPipeline(
+                small_backend(), granularity="columns", precision="fp16"
+            )

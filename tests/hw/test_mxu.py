@@ -115,7 +115,7 @@ class TestCycleModel:
         with pytest.raises(ValueError):
             MxuConfig(rows=0, cols=8)
         with pytest.raises(ValueError):
-            MxuConfig(rows=8, cols=8, precision="fp64")
+            MxuConfig(rows=8, cols=8, precision="int4")
 
 
 class TestProperties:

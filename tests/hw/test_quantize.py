@@ -6,13 +6,20 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.hw import (
+    BF16,
+    FP64,
+    INT8,
+    PrecisionSpec,
     dequantize,
     precision_spec,
     quantization_error_bound,
     quantization_scale,
     quantize,
+    quantize_dequantize,
     quantized_complex_matmul,
+    quantized_conv_error_bound,
     quantized_matmul,
+    resolve_precision,
     to_bfloat16,
 )
 
@@ -130,14 +137,151 @@ class TestPrecisionSpec:
         assert precision_spec("int8").bytes_per_element == 1
         assert precision_spec("bf16").bytes_per_element == 2
         assert precision_spec("fp32").bytes_per_element == 4
+        assert precision_spec("fp64").bytes_per_element == 8
 
-    def test_unknown_rejected(self):
+    def test_unknown_rejected_with_vocabulary_listed(self):
+        """The single parsing point's error names every valid mode."""
+        with pytest.raises(ValueError, match="fp16"):
+            precision_spec("fp16")
+        for name in ("int8", "bf16", "fp32", "fp64"):
+            with pytest.raises(ValueError, match=name):
+                precision_spec("not-a-precision")
         with pytest.raises(ValueError):
-            precision_spec("fp64")
+            precision_spec(8)  # wrong type, same helpful error
+
+    def test_spec_instances_pass_through(self):
+        assert precision_spec(INT8) is INT8
+        assert resolve_precision(BF16) is BF16
+
+    def test_resolve_none_means_no_precision_handling(self):
+        assert resolve_precision(None) is None
+        assert resolve_precision("fp64") is FP64
 
     def test_fp32_apply_is_identity(self):
         x = np.array([1.234567891234])
         np.testing.assert_array_equal(precision_spec("fp32").apply(x), x)
+
+    def test_fp64_apply_is_identity_and_exact(self):
+        x = np.array([1.234567891234])
+        np.testing.assert_array_equal(FP64.apply(x), x)
+        assert FP64.is_exact and precision_spec("fp32").is_exact
+        assert not INT8.is_exact and not BF16.is_exact
+
+    def test_int8_apply_round_trips_per_plane(self):
+        rng = np.random.default_rng(7)
+        stack = rng.standard_normal((5, 6, 6)) * np.array(
+            [1.0, 10.0, 0.1, 100.0, 3.0]
+        ).reshape(5, 1, 1)
+        applied = INT8.apply(stack)
+        for plane, rounded in zip(stack, applied):
+            np.testing.assert_array_equal(
+                rounded, dequantize(quantize(plane, bits=8))
+            )
+
+    def test_apply_rejects_unimplemented_lossy_spec(self):
+        """A hand-built spec with no rounding semantics must raise at
+        apply() rather than silently executing exact numerics while
+        being priced as lossy."""
+        fake = PrecisionSpec(name="int4", bytes_per_element=1, macs_per_pe_per_cycle=1.0)
+        assert not fake.is_exact
+        with pytest.raises(ValueError, match="int4"):
+            fake.apply(np.ones((2, 2)))
+
+    def test_fp64_slower_than_fp32_on_mxu(self):
+        from repro.hw import MxuConfig, matmul_cycles
+
+        fp32 = matmul_cycles(256, 256, 256, MxuConfig(precision="fp32")).cycles
+        fp64 = matmul_cycles(256, 256, 256, MxuConfig(precision="fp64")).cycles
+        assert fp64 > fp32
+
+
+class TestQuantizeDequantize:
+    def test_stack_matches_per_plane_round_trips(self):
+        """The bit-identity that makes streamed == dense == loop hold at
+        int8: quantizing a stack per plane equals quantizing each plane
+        alone."""
+        rng = np.random.default_rng(11)
+        stack = rng.standard_normal((9, 8, 8)) * rng.uniform(0.01, 50.0, (9, 1, 1))
+        batched = quantize_dequantize(stack, bits=8)
+        for i in range(stack.shape[0]):
+            np.testing.assert_array_equal(
+                batched[i], quantize_dequantize(stack[i], bits=8)
+            )
+
+    def test_complex_rounds_components_independently(self):
+        rng = np.random.default_rng(12)
+        z = rng.standard_normal((4, 4)) + 1j * rng.standard_normal((4, 4)) * 40.0
+        rounded = quantize_dequantize(z)
+        np.testing.assert_array_equal(rounded.real, quantize_dequantize(z.real))
+        np.testing.assert_array_equal(rounded.imag, quantize_dequantize(z.imag))
+
+    def test_round_trip_error_within_per_plane_bound(self):
+        rng = np.random.default_rng(13)
+        stack = rng.standard_normal((6, 8, 8)) * rng.uniform(0.1, 20.0, (6, 1, 1))
+        rounded = quantize_dequantize(stack, bits=8)
+        for plane, out in zip(stack, rounded):
+            bound = quantization_error_bound(plane, bits=8)
+            assert np.max(np.abs(out - plane)) <= bound + 1e-12
+
+    def test_all_zero_plane_exact(self):
+        stack = np.zeros((2, 3, 3))
+        stack[1] = 1.5
+        rounded = quantize_dequantize(stack)
+        np.testing.assert_array_equal(rounded[0], np.zeros((3, 3)))
+
+    def test_preserves_hermitian_symmetry(self):
+        """Spectra of real signals stay Hermitian through quantization,
+        so quantized convolutions of real planes stay real."""
+        from repro.fft import fft2
+
+        rng = np.random.default_rng(14)
+        spectrum = fft2(rng.standard_normal((8, 8)))
+        rounded = quantize_dequantize(spectrum)
+        m, n = spectrum.shape
+        conj_flip = np.conj(rounded[(-np.arange(m)) % m][:, (-np.arange(n)) % n])
+        np.testing.assert_allclose(rounded, conj_flip, atol=0)
+
+    def test_too_few_bits_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_dequantize(np.ones((2, 3, 3)), bits=1)
+
+
+class TestQuantizedConvErrorBound:
+    def setup_method(self):
+        rng = np.random.default_rng(21)
+        self.x = rng.standard_normal((8, 8))
+        self.kernel = rng.standard_normal((8, 8))
+
+    def test_bound_monotone_in_bits(self):
+        bounds = [
+            quantized_conv_error_bound(self.x, self.kernel, bits=b)
+            for b in (4, 8, 16)
+        ]
+        assert bounds[0] > bounds[1] > bounds[2] > 0
+
+    def test_quantized_convolution_respects_bound(self):
+        from repro.fft import fft_circular_convolve2d
+
+        exact = fft_circular_convolve2d(self.x, self.kernel)
+        quantized = fft_circular_convolve2d(self.x, self.kernel, precision=INT8)
+        bound = quantized_conv_error_bound(self.x, self.kernel, bits=8)
+        assert np.max(np.abs(quantized - exact)) <= bound
+
+    def test_bound_holds_for_masked_variants(self):
+        """Masking only shrinks the input's l1 mass, so one bound covers
+        every zero-fill masked plane of the batched path."""
+        from repro.fft import fft_circular_convolve2d
+
+        bound = quantized_conv_error_bound(self.x, self.kernel, bits=8)
+        masked = self.x.copy()
+        masked[:4, :4] = 0.0
+        exact = fft_circular_convolve2d(masked, self.kernel)
+        quantized = fft_circular_convolve2d(masked, self.kernel, precision=INT8)
+        assert np.max(np.abs(quantized - exact)) <= bound
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            quantized_conv_error_bound(np.ones((2, 2)), np.ones((3, 3)))
 
 
 class TestProperties:
