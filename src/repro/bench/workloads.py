@@ -267,6 +267,44 @@ def planted_interpretation_pairs(
     return pairs
 
 
+def planted_request_pairs(
+    count: int,
+    shape: tuple[int, int] = (16, 16),
+    seed: int = 0,
+    repeat_fraction: float = 0.0,
+    spike: float = 5.0,
+):
+    """Planted pairs for *serving* benches: repeated-input traffic.
+
+    Like :func:`planted_interpretation_pairs`, but a seeded fraction of
+    entries repeat an earlier pair's exact arrays -- the
+    duplicate-request traffic a content-addressed explanation cache
+    monetizes (repeated inputs share a digest, so a warm service
+    answers them without touching the device).  ``repeat_fraction=0``
+    degenerates to all-unique pairs; the repeats are drawn from the
+    same seeded generator, so a trace is fully determined by
+    ``(count, shape, seed, repeat_fraction)``.
+    """
+    from repro.fft.convolution import fft_circular_convolve2d
+
+    if not 0.0 <= repeat_fraction <= 1.0:
+        raise ValueError(
+            f"repeat_fraction must lie in [0, 1], got {repeat_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    pairs = []
+    for index in range(count):
+        if index and rng.random() < repeat_fraction:
+            source = int(rng.integers(index))
+            pairs.append(pairs[source])  # same arrays => same digest
+            continue
+        x = rng.standard_normal(shape)
+        x[0, 0] += spike * float(np.prod(shape)) ** 0.5
+        kernel = rng.standard_normal(shape)
+        pairs.append((x, fft_circular_convolve2d(x, kernel)))
+    return pairs
+
+
 def _solve_seconds(device, m: int, n: int) -> float:
     """One Eq. 4 distillation solve on an ``m x n`` plane.
 

@@ -38,6 +38,8 @@ from repro.core.fleet import (
     FleetSchedule,
     PairResult,
     WavePlan,
+    feed_bytes,
+    streamed_chunk_nbytes,
 )
 from repro.core.interpretation import (
     block_contributions,
@@ -124,6 +126,8 @@ __all__ = [
     "FleetSchedule",
     "PairResult",
     "WavePlan",
+    "feed_bytes",
+    "streamed_chunk_nbytes",
     "Assignment",
     "AssignmentTable",
     "BatchResult",

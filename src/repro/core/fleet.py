@@ -71,6 +71,7 @@ import numpy as np
 from repro.core.distillation import ConvolutionDistiller
 from repro.core.interpretation import element_scores_from_base
 from repro.core.masking import (
+    DEFAULT_CHUNK_ROWS,
     DEFAULT_STACK_BUDGET_BYTES,
     MaskSpec,
     REDUCTIONS,
@@ -105,6 +106,34 @@ def feed_bytes(arrays, spec) -> int:
         planes = 2 if np.iscomplexobj(a) else 1
         total += planes * a.size * spec.bytes_per_element
     return total
+
+
+def streamed_chunk_nbytes(
+    plane_shape,
+    chunk_rows: int | None = None,
+    itemsize: int = FLOAT_BYTES,
+    max_stack_bytes: int | None = None,
+) -> int:
+    """Bytes a streamed wave holds in flight: its chunk, not its stack.
+
+    The chunk-adaptive planning footprint: at most ``chunk_rows``
+    (default :data:`~repro.core.masking.DEFAULT_CHUNK_ROWS`) planes of
+    ``M * N`` elements at ``itemsize`` bytes each -- the precision's
+    storage width for a quantized infeed -- clamped so the chunk fits
+    ``max_stack_bytes`` (streaming needs at least one plane in flight).
+    Independent of how many pairs the wave fuses, which is exactly why
+    :meth:`FleetSchedule.plan` under streaming lets waves grow past the
+    conceptual dense-stack budget.
+    """
+    m, n = (int(v) for v in plane_shape)
+    rows = int(chunk_rows) if chunk_rows is not None else DEFAULT_CHUNK_ROWS
+    if rows <= 0:
+        raise ValueError(f"chunk_rows must be positive, got {rows}")
+    if itemsize <= 0:
+        raise ValueError(f"itemsize must be positive, got {itemsize}")
+    if max_stack_bytes is not None:
+        rows = max(1, min(rows, max_stack_bytes // (m * n * itemsize)))
+    return rows * m * n * itemsize
 
 
 def check_precision_granularity(spec, granularity: str) -> None:
@@ -172,25 +201,41 @@ class FleetSchedule:
         max_pairs_per_wave: int | None = None,
         complex_flags=None,
         streaming: bool = False,
+        chunk_rows: int | None = None,
+        itemsize: int = FLOAT_BYTES,
+        dense_budget: bool = False,
     ) -> "FleetSchedule":
         """Group pairs into budgeted waves.
 
         ``plane_shapes[i]`` is pair ``i``'s ``(M, N)`` plane;
         ``mask_counts[i]`` the number of masks its plan contributes (0
         for the ``elements`` fast path).  Every pair also contributes
-        one residual row.  A wave closes when adding the next pair would
-        push its stack past ``max_stack_bytes`` (or its pair count past
-        ``max_pairs_per_wave``).
+        one residual row.  A wave closes when its byte footprint would
+        pass ``max_stack_bytes`` (or its pair count
+        ``max_pairs_per_wave``).  An empty fleet plans to an empty
+        schedule -- the service layer's idle drain path.
 
-        ``streaming`` selects what the budget means for a pair that
-        alone exceeds it.  ``False`` (dense semantics, the PR-2
-        contract): the wave stack would be materialized, so the pair
-        raises :class:`~repro.core.masking.MaskStackBudgetError` up
-        front.  ``True`` (the lazy executor): stacks stream in
-        ``chunk_rows``-bounded chunks, so an over-budget pair simply
-        closes the current wave and takes one of its own -- only a
-        plane too large for the budget to hold even a single ``M x N``
-        float row still raises.
+        ``streaming`` selects what the footprint *is*.  ``False``
+        (dense semantics, the PR-2 contract): the wave stack would be
+        materialized, so the footprint is the conceptual
+        ``(rows, M, N)`` float64 stack and a pair that alone exceeds
+        the budget raises
+        :class:`~repro.core.masking.MaskStackBudgetError` up front.
+        ``True`` (the lazy executor, **chunk-adaptive budgeting**):
+        execution streams at most ``chunk_rows`` planes at a time, so
+        the wave's working set is its streamed chunk --
+        ``chunk_rows * M * N * itemsize``, with ``itemsize`` the
+        precision's storage width -- however many pairs the wave fuses.
+        The chunk footprint is pair-independent, so bytes never close a
+        streamed wave; waves grow to whatever the infeed pipeline can
+        overlap, bounded only by ``max_pairs_per_wave`` and shape/dtype
+        group boundaries.  Only a plane too large for the budget to
+        hold even a single ``M x N`` float row still raises.
+        ``dense_budget=True`` is the escape hatch restoring the
+        historical streamed semantics: the conceptual dense stack still
+        prices the wave (an over-budget pair closes the current wave
+        and takes one of its own), for callers that key other host
+        allocations off wave width.
 
         ``complex_flags[i]`` marks a pair whose convolutions are
         complex-valued.  Real and complex pairs never share a wave:
@@ -205,8 +250,10 @@ class FleetSchedule:
             raise ValueError(
                 f"{len(plane_shapes)} plane shapes for {len(mask_counts)} mask counts"
             )
+        if itemsize <= 0:
+            raise ValueError(f"itemsize must be positive, got {itemsize}")
         if not plane_shapes:
-            raise ValueError("cannot plan an empty fleet")
+            return cls(waves=())
         if max_pairs_per_wave is not None and max_pairs_per_wave <= 0:
             raise ValueError(
                 f"max_pairs_per_wave must be positive, got {max_pairs_per_wave}"
@@ -227,6 +274,14 @@ class FleetSchedule:
         for (shape, _), indices in groups.items():
             m, n = shape
             plane_bytes = m * n * FLOAT_BYTES
+            chunk_nbytes = 0
+            if streaming and not dense_budget:
+                # Chunk-adaptive budgeting: what this shape group holds
+                # in flight per wave -- chunk_rows planes at the
+                # streamed storage width, clamped to the budget.
+                chunk_nbytes = streamed_chunk_nbytes(
+                    shape, chunk_rows, itemsize, max_stack_bytes
+                )
             current: list[int] = []
             current_rows = 0
             for index in indices:
@@ -247,10 +302,21 @@ class FleetSchedule:
                         what=f"wave stack for pair {index}",
                         bool_nbytes=pair_rows * m * n,
                     )
-                over_budget = (
-                    max_stack_bytes is not None
-                    and (current_rows + pair_rows) * plane_bytes > max_stack_bytes
-                )
+                if streaming and not dense_budget:
+                    # The wave's working set is its streamed chunk, not
+                    # the conceptual dense stack -- and the chunk does
+                    # not grow with the pairs fused, so bytes close the
+                    # wave only in the degenerate case where even one
+                    # clamped chunk overflows the budget.
+                    over_budget = (
+                        max_stack_bytes is not None
+                        and chunk_nbytes > max_stack_bytes
+                    )
+                else:
+                    over_budget = (
+                        max_stack_bytes is not None
+                        and (current_rows + pair_rows) * plane_bytes > max_stack_bytes
+                    )
                 over_count = (
                     max_pairs_per_wave is not None
                     and len(current) >= max_pairs_per_wave
@@ -309,7 +375,12 @@ class FleetExecutor:
     budget).  ``precision`` selects the numeric mode of each wave's
     batched convolution (see the module docstring); quantizing
     precisions reject the ``elements`` granularity, whose linearity
-    fast path quantization breaks.
+    fast path quantization breaks.  Wave planning is chunk-adaptive by
+    default (the budget bounds the streamed chunk, so waves fuse as
+    many pairs as ``max_pairs_per_wave`` allows);
+    ``dense_budget=True`` restores the historical dense-stack wave
+    budgeting, under which an over-budget pair closes the wave and
+    takes one of its own.
 
     Execution per wave: one ``device.program`` scope whose infeed is
     every fused pair's data and whose outfeed is their score planes;
@@ -337,6 +408,7 @@ class FleetExecutor:
         max_pairs_per_wave: int | None = None,
         chunk_rows: int | None = None,
         precision=None,
+        dense_budget: bool = False,
     ) -> None:
         if granularity not in GRANULARITIES:
             raise ValueError(
@@ -360,23 +432,32 @@ class FleetExecutor:
         self.max_stack_bytes = max_stack_bytes
         self.max_pairs_per_wave = max_pairs_per_wave
         self.chunk_rows = chunk_rows
+        self.dense_budget = dense_budget
 
     # ------------------------------------------------------------------
     # Planning
     # ------------------------------------------------------------------
-    def _plan_for(self, x: np.ndarray) -> MaskSpec | None:
+    def plan_for(self, x: np.ndarray) -> MaskSpec | None:
+        """The lazy mask plan this executor scores ``x`` with.
+
+        ``None`` for the ``elements`` granularity (linearity fast path:
+        only the residual row).  Public so submit-time callers -- the
+        online service's micro-batcher -- can build each plane shape's
+        :class:`~repro.core.masking.MaskSpec` once and hand it back to
+        :meth:`run` via ``plans=`` for every request that reuses it.
+        """
         if self.granularity == "elements":
             return None  # linearity fast path: only the residual row
         return MaskSpec.for_granularity(
-            self.granularity, x.shape, block_shape=self.block_shape
+            self.granularity, np.asarray(x).shape, block_shape=self.block_shape
         )
 
     def schedule(self, pairs) -> FleetSchedule:
-        """Wave-plan a fleet without executing it."""
+        """Wave-plan a fleet without executing it (empty fleets plan empty)."""
         pairs = list(pairs)
         xs = [np.asarray(x) for x, _ in pairs]
         ys = [np.asarray(y) for _, y in pairs]
-        plans = [self._plan_for(self._check_plane(x)) for x in xs]
+        plans = [self.plan_for(self._check_plane(x)) for x in xs]
         return self._schedule(xs, ys, plans)
 
     def _schedule(self, xs, ys, plans) -> FleetSchedule:
@@ -390,6 +471,13 @@ class FleetExecutor:
                 for x, y in zip(xs, ys)
             ],
             streaming=True,  # waves execute chunk-streamed, never dense
+            chunk_rows=self.chunk_rows,
+            itemsize=(
+                FLOAT_BYTES
+                if self.precision is None
+                else self.precision.bytes_per_element
+            ),
+            dense_budget=self.dense_budget,
         )
 
     @staticmethod
@@ -398,10 +486,36 @@ class FleetExecutor:
             raise ValueError(f"fleet pairs must be matrices, got shape {x.shape}")
         return x
 
+    def _check_plans(self, xs, plans) -> list:
+        """Validate caller-supplied plans (or build them) for ``xs``."""
+        if plans is None:
+            return [self.plan_for(x) for x in xs]
+        plans = list(plans)
+        if len(plans) != len(xs):
+            raise ValueError(f"{len(plans)} plans for {len(xs)} pairs")
+        for x, plan in zip(xs, plans):
+            if self.granularity == "elements":
+                if plan is not None:
+                    raise ValueError(
+                        "elements granularity takes no mask plan (the "
+                        "linearity fast path scores without masks)"
+                    )
+                continue
+            if plan is None:
+                raise ValueError(
+                    f"{self.granularity} granularity needs a mask plan per pair"
+                )
+            if tuple(plan.plane_shape) != tuple(x.shape):
+                raise ValueError(
+                    f"plan plane {plan.plane_shape} does not match "
+                    f"pair of shape {x.shape}"
+                )
+        return plans
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, pairs, pipelined: bool = True) -> FleetRun:
+    def run(self, pairs, pipelined: bool = True, plans=None) -> FleetRun:
         """Explain every pair; returns results in input order.
 
         ``pipelined=True`` (the default) executes the waves inside a
@@ -415,13 +529,22 @@ class FleetExecutor:
         preserves the serial PR-2 timing exactly; results, per-op
         compute records and dispatch counts are identical either way
         (a single-wave fleet also times identically).
+
+        ``plans`` optionally hands back pre-built lazy mask plans (one
+        :class:`~repro.core.masking.MaskSpec` -- or ``None`` for the
+        ``elements`` fast path -- per pair, as :meth:`plan_for`
+        returns): submit-time plan reuse, so a serving layer batching
+        many same-shape requests builds each shape's spec once instead
+        of once per dispatch.  An empty fleet returns an empty run
+        (zero waves, zero simulated seconds) -- the service's idle
+        drain path.
         """
         pairs = list(pairs)
         if not pairs:
-            raise ValueError("no pairs to interpret")
+            return FleetRun(results=(), schedule=FleetSchedule(waves=()))
         xs = [self._check_plane(np.asarray(x)) for x, _ in pairs]
         ys = [np.asarray(y) for _, y in pairs]
-        plans = [self._plan_for(x) for x in xs]
+        plans = self._check_plans(xs, plans)
         schedule = self._schedule(xs, ys, plans)
         results: list[PairResult | None] = [None] * len(pairs)
         if pipelined:

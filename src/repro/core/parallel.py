@@ -225,7 +225,9 @@ class MultiInputScheduler:
         batched convolution in that numeric mode (quantized infeed and
         MXU-rate pricing, scores bit-identical to a quantized loop).
         The returned run carries the harvested device ledger in
-        ``stats``.
+        ``stats``.  An empty batch returns an empty run -- zero waves,
+        zero simulated seconds, a zero ledger -- the serving layer's
+        idle drain path.
         """
         executor = self._fleet_executor(
             granularity, block_shape, **executor_kwargs

@@ -165,6 +165,13 @@ class ExplanationPipeline:
         Optional cap on pairs fused per wave (wave fusion only) --
         the lever benchmarks use to trade per-wave batch width against
         cross-wave infeed overlap.
+    dense_budget:
+        Wave fusion only.  ``False`` (default) plans waves
+        chunk-adaptively: the byte budget bounds the streamed chunk --
+        which does not grow with the pairs fused -- so waves grow to
+        what the infeed pipeline can overlap.  ``True`` restores the
+        historical dense-stack budgeting (an over-budget pair closes
+        the wave and takes one of its own).
     precision:
         Numeric mode of the interpretation convolutions: ``"fp64"`` /
         ``"fp32"`` (exact), ``"bf16"`` or ``"int8"`` -- any name
@@ -192,6 +199,7 @@ class ExplanationPipeline:
         chunk_rows: int | None = None,
         max_pairs_per_wave: int | None = None,
         precision=None,
+        dense_budget: bool = False,
     ) -> None:
         if granularity not in GRANULARITIES:
             raise ValueError(
@@ -216,6 +224,7 @@ class ExplanationPipeline:
         self.pipelined = pipelined
         self.chunk_rows = chunk_rows
         self.max_pairs_per_wave = max_pairs_per_wave
+        self.dense_budget = dense_budget
 
     def explain_pair(self, x: np.ndarray, y: np.ndarray) -> PairExplanation:
         """Distill and interpret one pair (no program scoping)."""
@@ -255,9 +264,17 @@ class ExplanationPipeline:
         program scope, exactly as the paper measures.
         """
         pairs = list(pairs)
-        if not pairs:
-            raise ValueError("no pairs to interpret")
         self.device.reset_stats()
+        if not pairs:
+            # Empty runs cost nothing: zero programs, zero simulated
+            # seconds -- the serving layer's idle drain path.
+            return InterpretationRun(
+                device_name=self.device.name,
+                explanations=[],
+                simulated_seconds=0.0,
+                stats=self.device.take_stats(),
+                num_programs=0,
+            )
         if self.method == "batched" and self.fusion == "wave":
             return self._run_wave(pairs)
         explanations: list[PairExplanation] = []
@@ -275,6 +292,36 @@ class ExplanationPipeline:
             num_programs=len(pairs),
         )
 
+    def service(self, **service_kwargs):
+        """An online :class:`~repro.serve.loop.ExplanationService` sharing
+        this pipeline's configuration.
+
+        The serving-layer constructor: the returned service runs on the
+        same device with the pipeline's granularity, block shape,
+        precision, solve parameters and wave/streaming knobs as its
+        request defaults, so an offline pipeline and its online
+        counterpart produce bit-identical explanations for the same
+        inputs.  ``service_kwargs`` override any of those and add the
+        serving-only knobs (``max_wait_seconds``, ``max_batch_pairs``,
+        ``cache_max_bytes``, ``admission``, ...) -- see
+        :class:`repro.serve.loop.ExplanationService`.
+        """
+        from repro.serve.loop import ExplanationService
+
+        config = dict(
+            granularity=self.granularity,
+            block_shape=self.block_shape,
+            precision=self.precision,
+            eps=self.eps,
+            embedding=self.embedding,
+            max_stack_bytes=self.max_stack_bytes,
+            chunk_rows=self.chunk_rows,
+            max_pairs_per_wave=self.max_pairs_per_wave,
+            dense_budget=self.dense_budget,
+        )
+        config.update(service_kwargs)
+        return ExplanationService(self.device, **config)
+
     def _run_wave(self, pairs) -> InterpretationRun:
         executor = FleetExecutor(
             self.device,
@@ -286,6 +333,7 @@ class ExplanationPipeline:
             max_pairs_per_wave=self.max_pairs_per_wave,
             chunk_rows=self.chunk_rows,
             precision=self.precision,
+            dense_budget=self.dense_budget,
         )
         fleet = executor.run(pairs, pipelined=self.pipelined)
         stats = self.device.take_stats()

@@ -1,0 +1,68 @@
+"""The serving layer: online explanation requests over the fleet executor.
+
+Everything below the offline stack explains *lists*; this package
+serves *traffic*.  It is the repo's fifth accelerator layer -- the one
+that turns batch economics into goodput under live load:
+
+* :mod:`repro.serve.clock`     -- deterministic simulated time (no
+  wall-clock sleeps anywhere on the request path);
+* :mod:`repro.serve.workload`  -- :class:`Request` plus seeded Poisson
+  and bursty arrival processes;
+* :mod:`repro.serve.batcher`   -- dynamic micro-batching per
+  ``(granularity, block_shape, precision)`` key under a
+  max-wait/max-batch policy;
+* :mod:`repro.serve.cache`     -- content-addressed, byte-budgeted LRU
+  of finished explanations (hits are bit-identical and device-free);
+* :mod:`repro.serve.admission` -- queue-depth/byte backpressure;
+* :mod:`repro.serve.metrics`   -- the latency ledger, p50/p95/p99 and
+  goodput report;
+* :mod:`repro.serve.loop`      -- :class:`ExplanationService`, the
+  event loop tying them together (also reachable as
+  :meth:`ExplanationPipeline.service()
+  <repro.core.pipeline.ExplanationPipeline.service>`).
+
+See ``benchmarks/bench_serve.py`` for the arrival-rate sweep comparing
+the batched service against the per-request serial baseline.
+"""
+
+from repro.serve.admission import (
+    ADMITTED,
+    AdmissionController,
+    AdmissionDecision,
+)
+from repro.serve.batcher import BatchKey, MicroBatcher, QueuedRequest
+from repro.serve.cache import (
+    DEFAULT_CACHE_BYTES,
+    ExplanationCache,
+    explanation_digest,
+    result_nbytes,
+)
+from repro.serve.clock import SimulatedClock
+from repro.serve.loop import ExplanationService
+from repro.serve.metrics import (
+    LatencyLedger,
+    RequestRecord,
+    ServiceReport,
+)
+from repro.serve.workload import Request, bursty_requests, poisson_requests
+
+__all__ = [
+    "ADMITTED",
+    "AdmissionController",
+    "AdmissionDecision",
+    "BatchKey",
+    "MicroBatcher",
+    "QueuedRequest",
+    "DEFAULT_CACHE_BYTES",
+    "ExplanationCache",
+    "explanation_digest",
+    "result_nbytes",
+    "SimulatedClock",
+    "ExplanationService",
+    "LatencyLedger",
+    "RequestRecord",
+    "ServiceReport",
+    "Request",
+    "bursty_requests",
+    "poisson_requests",
+]

@@ -1,0 +1,94 @@
+"""Admission control: queue-depth and byte backpressure.
+
+An online service that batches aggressively still has a finite host:
+the micro-batcher's queues hold each pending request's input planes
+until a wave picks them up, so unbounded admission under overload turns
+into unbounded host memory and unbounded tail latency.  The controller
+applies the two classic backpressure signals *at arrival time*:
+
+* **queue depth** -- pending requests already waiting for a wave;
+* **queued bytes** -- the host-link footprint of those requests' input
+  planes, priced by :func:`repro.core.fleet.feed_bytes` at each
+  request's precision storage width (an int8 request queues 8x fewer
+  bytes than an fp64 one -- quantization buys admission headroom, not
+  just MXU rate).
+
+A rejected request is cheap by design: it never touches the device, the
+cache, or the batcher; it is recorded on the latency ledger with its
+rejection reason and excluded from goodput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    reason: str | None = None
+
+
+#: The unconditional yes, shared by every admit() fast path.
+ADMITTED = AdmissionDecision(admitted=True)
+
+
+class AdmissionController:
+    """Reject arrivals that would overfill the pending queues.
+
+    ``max_queue_depth`` bounds how many requests may be pending across
+    the batch queues; ``max_queued_bytes`` bounds their total input
+    footprint (the arriving request's own bytes count toward the
+    check).  ``None`` disables a bound; the default controller admits
+    everything.
+    """
+
+    def __init__(
+        self,
+        max_queue_depth: int | None = None,
+        max_queued_bytes: int | None = None,
+    ) -> None:
+        if max_queue_depth is not None and max_queue_depth <= 0:
+            raise ValueError(
+                f"max_queue_depth must be positive, got {max_queue_depth}"
+            )
+        if max_queued_bytes is not None and max_queued_bytes <= 0:
+            raise ValueError(
+                f"max_queued_bytes must be positive, got {max_queued_bytes}"
+            )
+        self.max_queue_depth = max_queue_depth
+        self.max_queued_bytes = max_queued_bytes
+
+    def admit(
+        self,
+        request_nbytes: int,
+        queue_depth: int,
+        queued_bytes: int,
+    ) -> AdmissionDecision:
+        """Decide one arrival given the current pending-queue pressure."""
+        if (
+            self.max_queue_depth is not None
+            and queue_depth >= self.max_queue_depth
+        ):
+            return AdmissionDecision(
+                admitted=False,
+                reason=(
+                    f"queue depth {queue_depth} at the "
+                    f"{self.max_queue_depth}-request limit"
+                ),
+            )
+        if (
+            self.max_queued_bytes is not None
+            and queued_bytes + request_nbytes > self.max_queued_bytes
+        ):
+            return AdmissionDecision(
+                admitted=False,
+                reason=(
+                    f"queued bytes {queued_bytes} + request "
+                    f"{request_nbytes} over the "
+                    f"{self.max_queued_bytes}-byte budget"
+                ),
+            )
+        return ADMITTED

@@ -1,0 +1,133 @@
+"""Dynamic micro-batching: coalesce queued requests into fleet waves.
+
+The throughput lever of the serving layer (Clipper's adaptive batching
+applied to the occlusion engine): single requests are queued per
+**batch key** -- ``(granularity, block_shape, precision)`` -- and
+released to the wave-fused :class:`~repro.core.fleet.FleetExecutor` as
+one batch under a *max-wait / max-batch* policy:
+
+* a key's queue is **full** once it holds ``max_batch_pairs`` requests
+  (dispatch immediately -- waiting longer buys nothing);
+* a key's queue is **due** once its oldest request has waited
+  ``max_wait_seconds`` (dispatch whatever has coalesced -- waiting
+  longer only buys latency).
+
+Keys are the compatibility contract: requests of different
+granularities, block shapes or precisions never share a dispatch, so
+**mixed-precision requests never share a wave** -- each key's batch
+runs through an executor configured for exactly that precision, and the
+fleet scheduler further splits a batch by plane shape and dtype class.
+Within a key, requests dispatch in arrival order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.masking import MaskSpec
+from repro.serve.workload import Request
+
+
+@dataclass(frozen=True)
+class BatchKey:
+    """What must match for two requests to share a dispatch."""
+
+    granularity: str
+    block_shape: tuple[int, int] | None
+    precision: str | None  # spec name, or None for the exact legacy mode
+
+    def as_tuple(self) -> tuple:
+        return (self.granularity, self.block_shape, self.precision)
+
+
+@dataclass(frozen=True)
+class QueuedRequest:
+    """A pending request plus everything resolved at admission time."""
+
+    request: Request
+    enqueue_time: float
+    feed_nbytes: int  # host-link bytes of (x, y) at the key's precision
+    plan: MaskSpec | None  # prebuilt lazy mask plan (submit-time reuse)
+    digest: str | None  # content digest, for cache fill after dispatch
+
+
+class MicroBatcher:
+    """Per-key FIFO queues under the max-wait / max-batch policy."""
+
+    def __init__(
+        self,
+        max_wait_seconds: float = 0.05,
+        max_batch_pairs: int = 32,
+    ) -> None:
+        if max_wait_seconds < 0:
+            raise ValueError(
+                f"max_wait_seconds cannot be negative, got {max_wait_seconds}"
+            )
+        if max_batch_pairs <= 0:
+            raise ValueError(
+                f"max_batch_pairs must be positive, got {max_batch_pairs}"
+            )
+        self.max_wait_seconds = float(max_wait_seconds)
+        self.max_batch_pairs = int(max_batch_pairs)
+        self._queues: dict[BatchKey, list[QueuedRequest]] = {}
+
+    # ------------------------------------------------------------------
+    # Enqueue / pressure
+    # ------------------------------------------------------------------
+    def enqueue(self, key: BatchKey, queued: QueuedRequest) -> None:
+        self._queues.setdefault(key, []).append(queued)
+
+    @property
+    def pending_count(self) -> int:
+        """Requests waiting across every key (the admission depth signal)."""
+        return sum(len(queue) for queue in self._queues.values())
+
+    @property
+    def pending_bytes(self) -> int:
+        """Host-link bytes queued across every key (the byte signal)."""
+        return sum(
+            queued.feed_nbytes
+            for queue in self._queues.values()
+            for queued in queue
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch policy
+    # ------------------------------------------------------------------
+    def next_deadline(self) -> float:
+        """When the oldest pending request's max-wait expires (inf if idle)."""
+        deadlines = [
+            queue[0].enqueue_time + self.max_wait_seconds
+            for queue in self._queues.values()
+            if queue
+        ]
+        return min(deadlines) if deadlines else math.inf
+
+    def ripe_keys(self, now: float) -> list[BatchKey]:
+        """Keys that should dispatch at ``now``: full or past max-wait.
+
+        Insertion-ordered and duplicate-free, so the event loop's
+        dispatch order is deterministic.
+        """
+        ripe = []
+        for key, queue in self._queues.items():
+            if not queue:
+                continue
+            full = len(queue) >= self.max_batch_pairs
+            due = queue[0].enqueue_time + self.max_wait_seconds <= now
+            if full or due:
+                ripe.append(key)
+        return ripe
+
+    def pop(self, key: BatchKey) -> list[QueuedRequest]:
+        """Release up to ``max_batch_pairs`` of a key's oldest requests.
+
+        Anything past the batch cap stays queued with its original
+        enqueue time (its max-wait deadline keeps running), so a
+        saturating key drains as a train of full batches.
+        """
+        queue = self._queues.get(key, [])
+        batch = queue[: self.max_batch_pairs]
+        self._queues[key] = queue[self.max_batch_pairs :]
+        return batch

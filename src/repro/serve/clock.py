@@ -1,0 +1,59 @@
+"""Deterministic simulated time for the online explanation service.
+
+The serving layer measures latency the same way the rest of the repo
+measures everything: in *simulated seconds*, never wall clock.  A
+:class:`SimulatedClock` is the service's single time authority -- it
+advances only on two kinds of events, both deterministic:
+
+* **arrivals**: the event loop jumps the clock to the next request's
+  arrival timestamp (drawn up front by the seeded arrival processes of
+  :mod:`repro.serve.workload`);
+* **device work**: after each dispatched wave batch the clock advances
+  by exactly the simulated seconds the device ledger accumulated for
+  that run.
+
+No ``time.sleep``, no wall-clock reads: the same seed and trace replay
+to the identical latency ledger, which the service tests assert --
+MLPerf's server-scenario measurement (arrival-driven latency under
+load) made reproducible in CI.
+"""
+
+from __future__ import annotations
+
+
+class SimulatedClock:
+    """A monotone simulated-seconds counter.
+
+    Time can be advanced by a duration (:meth:`advance`, device work) or
+    to an absolute timestamp (:meth:`advance_to`, arrivals); it never
+    moves backwards -- a request whose arrival timestamp is already in
+    the past (it arrived while the device was busy serving the previous
+    batch) leaves the clock untouched, which is exactly how queueing
+    delay enters its measured latency.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start before zero, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move forward by a non-negative duration; returns the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by negative time, got {seconds}")
+        self._now += float(seconds)
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move forward to ``timestamp`` (a past timestamp is a no-op)."""
+        if timestamp > self._now:
+            self._now = float(timestamp)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"<SimulatedClock t={self._now:.6f}s>"

@@ -1,0 +1,433 @@
+"""The online explanation service: an arrival-driven event loop.
+
+This is the request path the offline stack never had: where
+:class:`~repro.core.pipeline.ExplanationPipeline` takes a pre-collected
+list of pairs, :class:`ExplanationService` accepts single
+``(x, y, granularity, precision)`` **requests** arriving over simulated
+time and turns the accelerator's batch economics into serving
+throughput:
+
+1. arrivals are pulled from a seeded trace
+   (:mod:`repro.serve.workload`) in timestamp order, driving a
+   :class:`~repro.serve.clock.SimulatedClock` -- no wall-clock sleeps,
+   so every run is reproducible;
+2. each arrival passes **admission control**
+   (:mod:`repro.serve.admission`) -- queue-depth/byte backpressure
+   priced by :func:`repro.core.fleet.feed_bytes`; a rejected request
+   does no further work of any kind (not even the cache digest);
+3. admitted arrivals are checked against the **content-addressed
+   cache** (:mod:`repro.serve.cache`): a hit completes immediately,
+   bit-identical to the cold result, with zero device work; misses
+   join the **micro-batcher** (:mod:`repro.serve.batcher`), whose
+   max-wait/max-batch policy coalesces them per
+   ``(granularity, block_shape, precision)`` key;
+4. a full or due batch dispatches through
+   :meth:`FleetExecutor.run(pipelined=True) <repro.core.fleet
+   .FleetExecutor.run>` -- one wave-fused, double-buffered program
+   train -- with submit-time **plan reuse** (each plane shape's
+   :class:`~repro.core.masking.MaskSpec` is built once, ever) and
+   chunk-adaptive wave planning, and the clock advances by exactly the
+   device's simulated seconds;
+5. every lifecycle event lands on the **latency ledger**
+   (:mod:`repro.serve.metrics`), from which the report derives
+   p50/p95/p99 tail latency and goodput.
+
+The numbers contract of the whole repo carries over: a request's
+explanation is bit-identical whether it was served solo, coalesced into
+any wave, or answered from cache -- batching and caching change only
+*when* the answer arrives, never what it is.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.fleet import (
+    GRANULARITIES,
+    FleetExecutor,
+    check_precision_granularity,
+    feed_bytes,
+)
+from repro.core.masking import (
+    DEFAULT_STACK_BUDGET_BYTES,
+    REDUCTIONS,
+    MaskSpec,
+)
+from repro.core.transform import OutputEmbedding
+from repro.hw.device import Device
+from repro.hw.quantize import resolve_precision
+from repro.serve.admission import ADMITTED, AdmissionController
+from repro.serve.batcher import BatchKey, MicroBatcher, QueuedRequest
+from repro.serve.cache import (
+    DEFAULT_CACHE_BYTES,
+    ExplanationCache,
+    explanation_digest,
+)
+from repro.serve.clock import SimulatedClock
+from repro.serve.metrics import LatencyLedger, RequestRecord, ServiceReport
+from repro.serve.workload import Request
+
+
+class ExplanationService:
+    """Serve explanation requests by micro-batching them into fleet waves.
+
+    Parameters
+    ----------
+    device:
+        The backend every dispatch runs on.  The service owns the
+        device ledger for the duration of :meth:`process`.
+    granularity, block_shape, precision:
+        Defaults applied to requests that leave theirs unset; a request
+        naming its own values is routed to its own batch key.
+    eps, embedding, reduction, fill_value:
+        The per-pair solve and Eq. 5 scoring configuration, shared by
+        every dispatch (part of the cache digest).
+    max_stack_bytes, chunk_rows, max_pairs_per_wave, dense_budget:
+        Forwarded to each key's :class:`~repro.core.fleet.FleetExecutor`
+        (chunk-adaptive wave planning by default, so a big batch fuses
+        into few waves).
+    max_wait_seconds, max_batch_pairs:
+        The micro-batching policy: a batch dispatches when it holds
+        ``max_batch_pairs`` requests or its oldest has waited
+        ``max_wait_seconds`` -- the latency the service deliberately
+        spends buying batch width.  ``max_batch_pairs=1`` with
+        ``max_wait_seconds=0.0`` is the per-request serial baseline the
+        serving benchmark compares against.
+    cache, cache_max_bytes:
+        Pass an :class:`~repro.serve.cache.ExplanationCache` to share
+        one across services, let the default build one of
+        ``cache_max_bytes``, or set ``cache_max_bytes=None`` to disable
+        caching.  The cache persists across :meth:`process` calls.
+    admission:
+        Optional :class:`~repro.serve.admission.AdmissionController`;
+        ``None`` admits everything.
+    """
+
+    def __init__(
+        self,
+        device: Device,
+        granularity: str = "blocks",
+        block_shape: tuple[int, int] | None = None,
+        precision=None,
+        eps: float = 1e-6,
+        embedding: OutputEmbedding | None = None,
+        reduction: str = "l2",
+        fill_value: float = 0.0,
+        max_stack_bytes: int | None = DEFAULT_STACK_BUDGET_BYTES,
+        chunk_rows: int | None = None,
+        max_pairs_per_wave: int | None = None,
+        dense_budget: bool = False,
+        max_wait_seconds: float = 0.05,
+        max_batch_pairs: int = 32,
+        cache: ExplanationCache | None = None,
+        cache_max_bytes: int | None = DEFAULT_CACHE_BYTES,
+        admission: AdmissionController | None = None,
+    ) -> None:
+        if granularity not in GRANULARITIES:
+            raise ValueError(
+                f"unknown granularity {granularity!r}; expected one of {GRANULARITIES}"
+            )
+        if granularity == "blocks" and block_shape is None:
+            raise ValueError("blocks granularity requires a block_shape")
+        if reduction not in REDUCTIONS:
+            raise ValueError(
+                f"unknown reduction {reduction!r}; expected one of {REDUCTIONS}"
+            )
+        self.precision = resolve_precision(precision)
+        check_precision_granularity(self.precision, granularity)
+        self.device = device
+        self.granularity = granularity
+        self.block_shape = block_shape
+        self.eps = eps
+        self.embedding = embedding or OutputEmbedding("identity")
+        self.reduction = reduction
+        self.fill_value = fill_value
+        self.max_stack_bytes = max_stack_bytes
+        self.chunk_rows = chunk_rows
+        self.max_pairs_per_wave = max_pairs_per_wave
+        self.dense_budget = dense_budget
+        self.max_wait_seconds = max_wait_seconds
+        self.max_batch_pairs = max_batch_pairs
+        if cache is not None:
+            self.cache: ExplanationCache | None = cache
+        elif cache_max_bytes is None:
+            self.cache = None
+        else:
+            self.cache = ExplanationCache(max_bytes=cache_max_bytes)
+        self.admission = admission
+        # One executor per batch key and one lazy mask plan per
+        # (granularity, block_shape, plane shape): built on first use,
+        # reused for every later request and every later process() call.
+        self._executors: dict[BatchKey, FleetExecutor] = {}
+        self._plans: dict[tuple, MaskSpec | None] = {}
+
+    # ------------------------------------------------------------------
+    # Request resolution
+    # ------------------------------------------------------------------
+    def batch_key(self, request: Request) -> BatchKey:
+        """The compatibility key this request batches under."""
+        granularity = request.granularity or self.granularity
+        if granularity not in GRANULARITIES:
+            raise ValueError(
+                f"request {request.request_id}: unknown granularity "
+                f"{granularity!r}; expected one of {GRANULARITIES}"
+            )
+        if granularity == "blocks":
+            block_shape = (
+                request.block_shape
+                if request.block_shape is not None
+                else self.block_shape
+            )
+            if block_shape is None:
+                raise ValueError(
+                    f"request {request.request_id}: blocks granularity "
+                    "requires a block_shape"
+                )
+            block_shape = tuple(int(v) for v in block_shape)
+        else:
+            block_shape = None  # irrelevant to (and rejected by) the plan
+        spec = resolve_precision(
+            request.precision if request.precision is not None else self.precision
+        )
+        check_precision_granularity(spec, granularity)
+        return BatchKey(
+            granularity=granularity,
+            block_shape=block_shape,
+            precision=None if spec is None else spec.name,
+        )
+
+    def _executor(self, key: BatchKey) -> FleetExecutor:
+        executor = self._executors.get(key)
+        if executor is None:
+            executor = FleetExecutor(
+                self.device,
+                granularity=key.granularity,
+                block_shape=key.block_shape,
+                eps=self.eps,
+                embedding=self.embedding,
+                reduction=self.reduction,
+                fill_value=self.fill_value,
+                max_stack_bytes=self.max_stack_bytes,
+                max_pairs_per_wave=self.max_pairs_per_wave,
+                chunk_rows=self.chunk_rows,
+                precision=key.precision,
+                dense_budget=self.dense_budget,
+            )
+            self._executors[key] = executor
+        return executor
+
+    def _plan(self, key: BatchKey, plane_shape: tuple[int, int]) -> MaskSpec | None:
+        """Submit-time plan reuse: one MaskSpec per (key, plane shape)."""
+        plan_key = (key.granularity, key.block_shape, tuple(plane_shape))
+        if plan_key not in self._plans:
+            if key.granularity == "elements":
+                self._plans[plan_key] = None
+            else:
+                self._plans[plan_key] = MaskSpec.for_granularity(
+                    key.granularity, plane_shape, block_shape=key.block_shape
+                )
+        return self._plans[plan_key]
+
+    def _digest(self, request: Request, key: BatchKey) -> str:
+        return explanation_digest(
+            request.x,
+            request.y,
+            granularity=key.granularity,
+            block_shape=key.block_shape,
+            precision_name=key.precision,
+            eps=self.eps,
+            reduction=self.reduction,
+            fill_value=self.fill_value,
+            embedding_strategy=self.embedding.strategy,
+        )
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+    def process(self, requests, clock: SimulatedClock | None = None) -> ServiceReport:
+        """Serve a trace of requests to completion; returns the report.
+
+        Deterministic discrete-event execution: requests are taken in
+        ``(arrival_time, request_id)`` order; between arrivals the only
+        events are batch deadlines, and the clock advances by device
+        simulated seconds whenever a batch dispatches.  The loop ends
+        with an idle drain that flushes every known batch key --
+        including empty ones, the path that exercises the empty-fleet
+        guards.  The device ledger is reset on entry and harvested into
+        the report.
+        """
+        requests = sorted(
+            requests, key=lambda r: (r.arrival_time, r.request_id)
+        )
+        clock = clock if clock is not None else SimulatedClock()
+        batcher = MicroBatcher(
+            max_wait_seconds=self.max_wait_seconds,
+            max_batch_pairs=self.max_batch_pairs,
+        )
+        ledger = LatencyLedger()
+        self.device.reset_stats()
+        cache_before = (
+            (self.cache.hits, self.cache.misses, self.cache.evictions)
+            if self.cache is not None
+            else (0, 0, 0)
+        )
+        counters = {"dispatches": 0, "waves": 0}
+
+        index = 0
+        while index < len(requests) or batcher.pending_count:
+            # Release everything already full or past its max-wait.
+            for key in batcher.ripe_keys(clock.now):
+                self._dispatch(key, batcher, ledger, clock, counters)
+            next_arrival = (
+                requests[index].arrival_time
+                if index < len(requests)
+                else math.inf
+            )
+            deadline = batcher.next_deadline()
+            if next_arrival <= deadline:
+                if index >= len(requests):
+                    break  # nothing pending, nothing arriving
+                clock.advance_to(next_arrival)
+                self._accept(requests[index], batcher, ledger, clock)
+                index += 1
+            else:
+                # The oldest pending request's window expires first:
+                # jump there and let the next iteration dispatch it.
+                clock.advance_to(deadline)
+
+        # Idle drain: flush every key the service has ever built an
+        # executor for.  Drained-empty keys run FleetExecutor.run([]),
+        # which must cost nothing -- the empty-input guard the service
+        # hits constantly between traffic spells.
+        for key in list(self._executors):
+            self._dispatch(key, batcher, ledger, clock, counters)
+
+        cache_after = (
+            (self.cache.hits, self.cache.misses, self.cache.evictions)
+            if self.cache is not None
+            else (0, 0, 0)
+        )
+        return ServiceReport(
+            ledger=ledger,
+            elapsed_seconds=clock.now,
+            stats=self.device.take_stats(),
+            num_dispatches=counters["dispatches"],
+            num_waves=counters["waves"],
+            cache_hits=cache_after[0] - cache_before[0],
+            cache_misses=cache_after[1] - cache_before[1],
+            cache_evictions=cache_after[2] - cache_before[2],
+        )
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _accept(
+        self,
+        request: Request,
+        batcher: MicroBatcher,
+        ledger: LatencyLedger,
+        clock: SimulatedClock,
+    ) -> None:
+        """One arrival: admission first, then cache, then the batch queue.
+
+        Backpressure precedes everything else so a rejected request is
+        genuinely cheap -- no digest hashing, no cache traffic, no
+        skewed miss counters; only admitted arrivals get the cache
+        lookup (a hit then completes without queueing).
+        """
+        key = self.batch_key(request)
+        spec = resolve_precision(key.precision)
+
+        feed_nbytes = feed_bytes([request.x, request.y], spec)
+        decision = ADMITTED
+        if self.admission is not None:
+            decision = self.admission.admit(
+                feed_nbytes, batcher.pending_count, batcher.pending_bytes
+            )
+        if not decision.admitted:
+            ledger.add(
+                RequestRecord(
+                    request_id=request.request_id,
+                    arrival_time=request.arrival_time,
+                    status="rejected",
+                    batch_key=key.as_tuple(),
+                    reject_reason=decision.reason,
+                )
+            )
+            return
+
+        digest = None
+        if self.cache is not None:
+            digest = self._digest(request, key)
+            hit = self.cache.get(digest)
+            if hit is not None:
+                # Served from memory: bit-identical to the cold result,
+                # zero device work, completion at the current clock.
+                ledger.add(
+                    RequestRecord(
+                        request_id=request.request_id,
+                        arrival_time=request.arrival_time,
+                        status="completed",
+                        batch_key=key.as_tuple(),
+                        enqueue_time=clock.now,
+                        completion_time=clock.now,
+                        cache_hit=True,
+                        result=hit,
+                    )
+                )
+                return
+
+        plan = self._plan(key, request.x.shape)
+        self._executor(key)  # ensure the drain path knows this key
+        batcher.enqueue(
+            key,
+            QueuedRequest(
+                request=request,
+                enqueue_time=clock.now,
+                feed_nbytes=feed_nbytes,
+                plan=plan,
+                digest=digest,
+            ),
+        )
+
+    def _dispatch(
+        self,
+        key: BatchKey,
+        batcher: MicroBatcher,
+        ledger: LatencyLedger,
+        clock: SimulatedClock,
+        counters: dict,
+    ) -> None:
+        """Run one key's coalesced batch through the fleet executor."""
+        batch = batcher.pop(key)
+        executor = self._executor(key)
+        dispatch_time = clock.now
+        before = self.device.stats.seconds
+        fleet = executor.run(
+            [(q.request.x, q.request.y) for q in batch],
+            pipelined=True,
+            plans=[q.plan for q in batch],
+        )
+        # Device time is the only non-arrival source of simulated time.
+        clock.advance(self.device.stats.seconds - before)
+        if not batch:
+            return  # the idle drain of an empty key: free by contract
+        dispatch_index = counters["dispatches"]
+        counters["dispatches"] += 1
+        counters["waves"] += fleet.num_waves
+        for queued, result in zip(batch, fleet.results):
+            if self.cache is not None and queued.digest is not None:
+                self.cache.put(queued.digest, result)
+            ledger.add(
+                RequestRecord(
+                    request_id=queued.request.request_id,
+                    arrival_time=queued.request.arrival_time,
+                    status="completed",
+                    batch_key=key.as_tuple(),
+                    enqueue_time=queued.enqueue_time,
+                    dispatch_time=dispatch_time,
+                    completion_time=clock.now,
+                    dispatch_index=dispatch_index,
+                    result=result,
+                )
+            )

@@ -186,6 +186,15 @@ class TestExplanationPipeline:
             ExplanationPipeline(CpuDevice(), granularity="pixels")
         with pytest.raises(ValueError):
             ExplanationPipeline(CpuDevice(), granularity="blocks")  # no block_shape
-        pipeline = ExplanationPipeline(CpuDevice(), granularity="columns")
-        with pytest.raises(ValueError):
-            pipeline.run([])
+    def test_empty_batch_returns_empty_run(self):
+        """The serving layer's idle drain path: an empty batch is a
+        zero-cost run, not an error."""
+        for method in ("batched", "loop"):
+            pipeline = ExplanationPipeline(
+                CpuDevice(), granularity="columns", method=method
+            )
+            run = pipeline.run([])
+            assert run.explanations == []
+            assert run.simulated_seconds == 0.0
+            assert run.num_programs == 0
+            assert not run.stats.op_counts

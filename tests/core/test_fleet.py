@@ -75,11 +75,53 @@ class TestFleetSchedule:
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            FleetSchedule.plan([], [])
-        with pytest.raises(ValueError):
             FleetSchedule.plan([(4, 4)], [1, 2])
         with pytest.raises(ValueError):
             FleetSchedule.plan([(4, 4)], [1], max_pairs_per_wave=0)
+        with pytest.raises(ValueError):
+            FleetSchedule.plan([(4, 4)], [1], streaming=True, itemsize=0)
+
+    def test_empty_fleet_plans_empty_schedule(self):
+        """The service's idle drain path: nothing to plan is not an error."""
+        schedule = FleetSchedule.plan([], [])
+        assert schedule.num_waves == 0
+        assert schedule.num_pairs == 0
+
+    def test_streaming_chunk_budget_fuses_what_dense_budget_splits(self):
+        """Chunk-adaptive planning (the ROADMAP follow-on): under
+        streaming the budget bounds the chunk, which does not grow with
+        the fused pairs, so a budget that dense semantics split into
+        many waves fuses into one."""
+        shapes = [(4, 4)] * 8
+        counts = [2] * 8
+        budget = 800  # two (2+1)-row pairs of 4x4 float64 per dense wave
+        dense = FleetSchedule.plan(
+            shapes, counts, max_stack_bytes=budget, streaming=True,
+            dense_budget=True,
+        )
+        adaptive = FleetSchedule.plan(
+            shapes, counts, max_stack_bytes=budget, streaming=True
+        )
+        assert dense.num_waves == 4
+        assert adaptive.num_waves == 1
+        assert adaptive.waves[0].pair_indices == tuple(range(8))
+
+    def test_streamed_chunk_nbytes_formula_and_clamp(self):
+        from repro.core import streamed_chunk_nbytes
+
+        # Unclamped: chunk_rows * M * N * itemsize.
+        assert streamed_chunk_nbytes((4, 4), chunk_rows=10) == 10 * 16 * 8
+        # Quantized storage width shrinks the streamed footprint 8x.
+        assert streamed_chunk_nbytes((4, 4), chunk_rows=10, itemsize=1) == 160
+        # Clamped so the chunk fits the budget, never below one plane.
+        assert streamed_chunk_nbytes(
+            (4, 4), chunk_rows=10, max_stack_bytes=300
+        ) == 2 * 16 * 8
+        assert streamed_chunk_nbytes(
+            (4, 4), chunk_rows=10, max_stack_bytes=10
+        ) == 16 * 8
+        with pytest.raises(ValueError):
+            streamed_chunk_nbytes((4, 4), chunk_rows=0)
 
     def test_num_pairs(self):
         schedule = FleetSchedule.plan([(4, 4), (8, 8)], [1, 1])
@@ -187,6 +229,7 @@ class TestFleetExecutorEquivalence:
         executor = FleetExecutor(
             CpuDevice(), granularity="columns",
             max_stack_bytes=2 * per_pair_bytes,
+            dense_budget=True,  # historical dense-stack wave budgeting
         )
         fleet = executor.run(pairs)
         assert fleet.num_waves == 2
@@ -205,9 +248,43 @@ class TestFleetExecutorEquivalence:
 
 
 class TestFleetExecutorValidation:
-    def test_empty_fleet(self):
-        with pytest.raises(ValueError):
-            FleetExecutor(CpuDevice(), granularity="columns").run([])
+    def test_empty_fleet_returns_empty_run(self):
+        """The service's idle drain calls run([]) constantly: it must
+        cost zero waves and zero simulated seconds, not raise."""
+        device = CpuDevice()
+        fleet = FleetExecutor(device, granularity="columns").run([])
+        assert fleet.results == ()
+        assert fleet.num_waves == 0
+        assert device.stats.seconds == 0.0
+        assert not device.stats.op_counts
+
+    def test_plan_reuse_matches_fresh_plans(self):
+        """Submit-time plan reuse: handing plan_for() specs back via
+        plans= is bit-identical to letting run() rebuild them."""
+        pairs = planted_pairs(3)
+        executor = FleetExecutor(CpuDevice(), granularity="columns")
+        plans = [executor.plan_for(x) for x, _ in pairs]
+        reused = executor.run(pairs, plans=plans)
+        fresh = FleetExecutor(CpuDevice(), granularity="columns").run(pairs)
+        for a, b in zip(reused.results, fresh.results):
+            np.testing.assert_array_equal(a.scores, b.scores)
+            np.testing.assert_array_equal(a.kernel, b.kernel)
+            assert a.residual == b.residual
+
+    def test_plans_validation(self):
+        pairs = planted_pairs(2)
+        executor = FleetExecutor(CpuDevice(), granularity="columns")
+        with pytest.raises(ValueError, match="plans"):
+            executor.run(pairs, plans=[executor.plan_for(pairs[0][0])])
+        with pytest.raises(ValueError, match="does not match"):
+            executor.run(
+                pairs, plans=[executor.plan_for(np.ones((4, 4)))] * 2
+            )
+        with pytest.raises(ValueError, match="needs a mask plan"):
+            executor.run(pairs, plans=[None, None])
+        elements = FleetExecutor(CpuDevice(), granularity="elements")
+        with pytest.raises(ValueError, match="no mask plan"):
+            elements.run(pairs, plans=[executor.plan_for(pairs[0][0])] * 2)
 
     def test_non_matrix_pair(self):
         with pytest.raises(ValueError):

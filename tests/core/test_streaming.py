@@ -398,19 +398,53 @@ class TestPipelinedExecution:
 
 class TestStreamingFleet:
     def test_over_budget_pair_gets_its_own_wave_and_streams(self):
-        """PR-2 raised MaskStackBudgetError here; streaming runs it."""
+        """PR-2 raised MaskStackBudgetError here; streaming runs it.
+        Under the historical dense budgeting every pair takes a wave of
+        its own; the chunk-adaptive default fuses all three into one
+        wave -- both bit-identical to per-pair execution."""
         pairs = planted_pairs(3)
         plan_bytes = MaskPlan.columns((8, 8)).nbytes + 8 * 8 * 8  # + residual
-        executor = FleetExecutor(
+        dense = FleetExecutor(
+            CpuDevice(), granularity="columns",
+            max_stack_bytes=plan_bytes - 1, dense_budget=True,
+        ).run(pairs)
+        assert dense.num_waves == 3  # every pair alone exceeds the budget
+        adaptive = FleetExecutor(
             CpuDevice(), granularity="columns", max_stack_bytes=plan_bytes - 1
-        )
-        fleet = executor.run(pairs)
-        assert fleet.num_waves == 3  # every pair alone exceeds the budget
+        ).run(pairs)
+        assert adaptive.num_waves == 1  # the budget bounds the chunk only
         reference = ExplanationPipeline(
             CpuDevice(), granularity="columns", eps=1e-6, fusion="pair",
             max_stack_bytes=None,
         ).run(pairs)
-        for a, b in zip(reference.explanations, fleet.results):
+        for fleet in (dense, adaptive):
+            for a, b in zip(reference.explanations, fleet.results):
+                np.testing.assert_array_equal(a.scores, b.scores)
+                assert a.residual == b.residual
+
+    def test_chunk_adaptive_planning_shrinks_dispatch_count_at_100_pairs(self):
+        """The chunk-adaptive acceptance contract: at 100 pairs under a
+        budget that dense semantics fragment into many waves, the
+        adaptive default executes strictly fewer dispatches (fewer
+        program scopes) with bit-identical scores."""
+        pairs = planted_pairs(100)
+        plan_bytes = (MaskPlan.columns((8, 8)).num_masks + 1) * 8 * 8 * 8
+        runs = {}
+        for dense_budget in (True, False):
+            backend = small_backend()
+            run = ExplanationPipeline(
+                backend, granularity="columns", eps=1e-8,
+                max_stack_bytes=4 * plan_bytes, dense_budget=dense_budget,
+            ).run(pairs)
+            runs[dense_budget] = run
+        assert runs[True].stats.op_counts["dispatch"] == 25  # 4-pair waves
+        assert runs[False].stats.op_counts["dispatch"] == 1  # one fused wave
+        assert (
+            runs[False].stats.op_counts["dispatch"]
+            < runs[True].stats.op_counts["dispatch"]
+        )
+        assert runs[False].simulated_seconds < runs[True].simulated_seconds
+        for a, b in zip(runs[True].explanations, runs[False].explanations):
             np.testing.assert_array_equal(a.scores, b.scores)
             assert a.residual == b.residual
 

@@ -1,0 +1,263 @@
+"""Unit tests for the serving-layer components (clock, workload, cache,
+admission, batcher) -- the pieces the event loop composes."""
+
+import numpy as np
+import pytest
+
+from repro.core.fleet import PairResult
+from repro.serve import (
+    AdmissionController,
+    BatchKey,
+    ExplanationCache,
+    MicroBatcher,
+    QueuedRequest,
+    Request,
+    SimulatedClock,
+    bursty_requests,
+    explanation_digest,
+    poisson_requests,
+    result_nbytes,
+)
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = SimulatedClock()
+        assert clock.now == 0.0
+        assert clock.advance(1.5) == 1.5
+        assert clock.advance_to(3.0) == 3.0
+
+    def test_never_moves_backwards(self):
+        clock = SimulatedClock(start=2.0)
+        assert clock.advance_to(1.0) == 2.0  # the past is a no-op
+        assert clock.now == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedClock(start=-1.0)
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-0.1)
+
+
+class TestWorkloads:
+    def test_poisson_trace_is_deterministic(self):
+        a = poisson_requests(20, rate=100.0, seed=7)
+        b = poisson_requests(20, rate=100.0, seed=7)
+        assert [r.arrival_time for r in a] == [r.arrival_time for r in b]
+        for ra, rb in zip(a, b):
+            np.testing.assert_array_equal(ra.x, rb.x)
+            np.testing.assert_array_equal(ra.y, rb.y)
+
+    def test_different_seeds_differ(self):
+        a = poisson_requests(20, rate=100.0, seed=7)
+        b = poisson_requests(20, rate=100.0, seed=8)
+        assert [r.arrival_time for r in a] != [r.arrival_time for r in b]
+
+    def test_arrivals_are_sorted_and_positive(self):
+        trace = poisson_requests(50, rate=500.0, seed=1)
+        arrivals = [r.arrival_time for r in trace]
+        assert arrivals == sorted(arrivals)
+        assert all(t > 0 for t in arrivals)
+
+    def test_repeat_fraction_repeats_exact_arrays(self):
+        trace = poisson_requests(40, rate=100.0, seed=3, repeat_fraction=0.5)
+        digests = [
+            explanation_digest(
+                r.x, r.y, granularity="blocks", block_shape=(4, 4),
+                precision_name=None, eps=1e-8, reduction="l2", fill_value=0.0,
+            )
+            for r in trace
+        ]
+        assert len(set(digests)) < len(digests)  # genuine byte-level repeats
+
+    def test_bursty_arrival_times(self):
+        trace = bursty_requests(6, burst_size=3, burst_gap=2.0, seed=0)
+        assert [r.arrival_time for r in trace] == [0.0, 0.0, 0.0, 2.0, 2.0, 2.0]
+
+    def test_precisions_draw_from_the_given_modes(self):
+        trace = poisson_requests(
+            30, rate=100.0, seed=5, precisions=("fp64", "int8")
+        )
+        names = {r.precision for r in trace}
+        assert names == {"fp64", "int8"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_requests(10, rate=0.0)
+        with pytest.raises(ValueError):
+            poisson_requests(-1, rate=1.0)
+        with pytest.raises(ValueError):
+            bursty_requests(10, burst_size=0, burst_gap=1.0)
+        with pytest.raises(ValueError):
+            poisson_requests(10, rate=1.0, precisions=())
+        with pytest.raises(ValueError):
+            Request(request_id=0, arrival_time=-1.0, x=np.ones((2, 2)), y=np.ones((2, 2)))
+        assert poisson_requests(0, rate=1.0) == []
+
+
+def _result(seed=0, shape=(4, 4)):
+    rng = np.random.default_rng(seed)
+    return PairResult(
+        kernel=rng.standard_normal(shape),
+        scores=rng.standard_normal(shape),
+        residual=float(rng.standard_normal()),
+    )
+
+
+class TestExplanationCache:
+    def test_roundtrip_returns_the_exact_stored_result(self):
+        cache = ExplanationCache(max_bytes=1 << 20)
+        result = _result()
+        assert cache.put("k", result)
+        hit = cache.get("k")
+        assert hit is result  # the very arrays: bit-identity by construction
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_miss_counts(self):
+        cache = ExplanationCache()
+        assert cache.get("absent") is None
+        assert cache.misses == 1
+
+    def test_digest_sensitivity(self):
+        x = np.ones((4, 4))
+        y = np.ones((4, 4))
+        base = dict(
+            granularity="blocks", block_shape=(2, 2), precision_name=None,
+            eps=1e-6, reduction="l2", fill_value=0.0,
+        )
+        reference = explanation_digest(x, y, **base)
+        # Byte-equal inputs under the same config collide.
+        assert explanation_digest(x.copy(), y.copy(), **base) == reference
+        # One flipped bit, or any config change, lands elsewhere.
+        flipped = x.copy()
+        flipped[0, 0] += 1e-12
+        assert explanation_digest(flipped, y, **base) != reference
+        assert (
+            explanation_digest(x, y, **{**base, "precision_name": "int8"})
+            != reference
+        )
+        assert (
+            explanation_digest(x, y, **{**base, "fill_value": 1.0})
+            != reference
+        )
+        # The embedding strategy lifts vector outputs differently, so
+        # services sharing one cache with different embeddings must not
+        # collide on the same planes.
+        assert (
+            explanation_digest(x, y, **base, embedding_strategy="tile")
+            != explanation_digest(x, y, **base, embedding_strategy="spatial")
+        )
+
+    def test_cached_arrays_are_frozen_read_only(self):
+        """A client mutating its response must fail loudly instead of
+        silently poisoning every later hit for that digest."""
+        cache = ExplanationCache()
+        result = _result()
+        cache.put("k", result)
+        hit = cache.get("k")
+        with pytest.raises(ValueError):
+            hit.scores[0, 0] = 0.0
+        with pytest.raises(ValueError):
+            hit.kernel[0, 0] = 0.0
+
+    def test_lru_eviction_under_byte_budget(self):
+        entry = _result()
+        budget = 3 * result_nbytes(entry)
+        cache = ExplanationCache(max_bytes=budget)
+        for name in ("a", "b", "c"):
+            cache.put(name, _result())
+        cache.get("a")  # refresh: "b" becomes the least recently used
+        cache.put("d", _result())
+        assert "b" not in cache
+        assert all(name in cache for name in ("a", "c", "d"))
+        assert cache.evictions == 1
+        assert cache.current_bytes <= budget
+
+    def test_oversize_entry_is_not_cached(self):
+        entry = _result()
+        cache = ExplanationCache(max_bytes=result_nbytes(entry) - 1)
+        assert not cache.put("big", entry)
+        assert "big" not in cache
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExplanationCache(max_bytes=0)
+
+
+class TestAdmissionController:
+    def test_default_admits_everything(self):
+        decision = AdmissionController().admit(10**9, 10**6, 10**12)
+        assert decision.admitted
+
+    def test_queue_depth_limit(self):
+        controller = AdmissionController(max_queue_depth=4)
+        assert controller.admit(100, queue_depth=3, queued_bytes=0).admitted
+        rejected = controller.admit(100, queue_depth=4, queued_bytes=0)
+        assert not rejected.admitted
+        assert "depth" in rejected.reason
+
+    def test_byte_budget_limit(self):
+        controller = AdmissionController(max_queued_bytes=1000)
+        assert controller.admit(400, queue_depth=0, queued_bytes=600).admitted
+        rejected = controller.admit(401, queue_depth=0, queued_bytes=600)
+        assert not rejected.admitted
+        assert "byte" in rejected.reason
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue_depth=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queued_bytes=0)
+
+
+def _queued(request_id, enqueue_time, nbytes=100):
+    request = Request(
+        request_id=request_id, arrival_time=enqueue_time,
+        x=np.ones((4, 4)), y=np.ones((4, 4)),
+    )
+    return QueuedRequest(
+        request=request, enqueue_time=enqueue_time,
+        feed_nbytes=nbytes, plan=None, digest=None,
+    )
+
+
+KEY = BatchKey(granularity="columns", block_shape=None, precision=None)
+
+
+class TestMicroBatcher:
+    def test_deadline_tracks_the_oldest_request(self):
+        batcher = MicroBatcher(max_wait_seconds=0.5, max_batch_pairs=8)
+        assert batcher.next_deadline() == float("inf")
+        batcher.enqueue(KEY, _queued(0, enqueue_time=1.0))
+        batcher.enqueue(KEY, _queued(1, enqueue_time=2.0))
+        assert batcher.next_deadline() == 1.5
+
+    def test_ripe_on_full_or_due(self):
+        batcher = MicroBatcher(max_wait_seconds=0.5, max_batch_pairs=2)
+        batcher.enqueue(KEY, _queued(0, enqueue_time=0.0))
+        assert batcher.ripe_keys(0.4) == []
+        assert batcher.ripe_keys(0.5) == [KEY]  # due
+        batcher.enqueue(KEY, _queued(1, enqueue_time=0.1))
+        assert batcher.ripe_keys(0.2) == [KEY]  # full
+
+    def test_pop_caps_the_batch_and_keeps_the_remainder(self):
+        batcher = MicroBatcher(max_wait_seconds=0.5, max_batch_pairs=2)
+        for i in range(5):
+            batcher.enqueue(KEY, _queued(i, enqueue_time=float(i)))
+        batch = batcher.pop(KEY)
+        assert [q.request.request_id for q in batch] == [0, 1]
+        assert batcher.pending_count == 3
+        assert batcher.next_deadline() == 2.5  # the remainder's oldest
+
+    def test_pending_bytes(self):
+        batcher = MicroBatcher()
+        batcher.enqueue(KEY, _queued(0, 0.0, nbytes=300))
+        batcher.enqueue(KEY, _queued(1, 0.0, nbytes=200))
+        assert batcher.pending_bytes == 500
+        assert batcher.pending_count == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_wait_seconds=-1.0)
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch_pairs=0)
