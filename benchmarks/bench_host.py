@@ -1,0 +1,346 @@
+"""Host wall-clock hot path: real-input rFFT + kernel-spectrum cache.
+
+Every other benchmark in this directory reports *simulated* device
+seconds from the cost model.  This one times the host itself: real
+``time.perf_counter`` wall-clock for the numpy hot path that every
+simulated backend ultimately runs.  Two configurations are compared:
+
+* **real**    -- the shipped path: real-input convolutions route
+  through half-spectrum ``rfft2``/``irfft2`` transforms and kernel
+  spectra come from the process-level content-addressed cache;
+* **complex** -- the pre-change path, kept reachable via
+  ``set_real_convolution_path(False)`` plus
+  ``set_kernel_spectrum_cache_enabled(False)``: full complex
+  transforms everywhere, kernel re-transformed per call.
+
+Three workloads cover the stack: a single-pair ``score_plan`` (one
+mask plan, one kernel), a 100-pair :class:`FleetExecutor` fleet on
+64x64 planes (blocks granularity, so the chunked batched convolution
+dominates), and a serve replay driving Poisson traffic through
+:class:`ExplanationService` cold then warm.
+
+Contracts asserted (pytest, and by the ``--quick`` CI smoke):
+
+* the real path's fleet wall-clock beats the complex path -- by the
+  1.5x acceptance floor in the full run, strictly (>1x) in ``--quick``
+  (a loaded CI machine cannot flake the direction);
+* a warm kernel-spectrum cache records **zero** kernel re-transforms
+  when the same fleet runs again (repeated-shape waves hit the cache);
+* dense, streamed and looped scoring stay **bit-identical** on the
+  real path -- dispatch parity is unchanged by how the answer is
+  computed.
+
+The full run writes ``BENCH_host.json`` next to the repo root: the
+first entry of the host perf trajectory, uploaded by CI.
+
+Runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_host.py [--quick] [--json PATH]
+"""
+
+import argparse
+import json
+import sys
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.workloads import planted_interpretation_pairs
+from repro.core.fleet import FleetExecutor
+from repro.core.masking import MaskPlan, score_plan
+from repro.fft import (
+    clear_kernel_spectrum_cache,
+    kernel_spectrum_cache_info,
+    set_kernel_spectrum_cache_enabled,
+)
+from repro.fft.convolution import set_real_convolution_path
+from repro.hw.cpu import CpuDevice
+
+SHAPE = (64, 64)  # plane size: big enough that transforms dominate
+BLOCK = (4, 4)  # 256 masks per pair: the batched convolution dominates
+FLEET_PAIRS = 100  # the acceptance workload
+QUICK_PAIRS = 24  # CI smoke: same shape, smaller fleet
+CONTRACT_PAIRS = 12  # pytest contracts: direction only, keep them snappy
+SERVE_REQUESTS = 48
+REPEATS = 2  # best-of-N wall-clock (min filters scheduler noise)
+SPEEDUP_FLOOR = 1.5  # full-run acceptance: real >= 1.5x complex on the fleet
+
+
+# ----------------------------------------------------------------------
+# Workload + configuration helpers
+# ----------------------------------------------------------------------
+
+
+def fleet_pairs(count=FLEET_PAIRS, shape=SHAPE, seed=0):
+    return planted_interpretation_pairs(count, shape=shape, seed=seed)
+
+
+def fleet_executor(device=None):
+    return FleetExecutor(
+        device or CpuDevice(), granularity="blocks", block_shape=BLOCK, eps=1e-8
+    )
+
+
+def single_pair(shape=SHAPE, seed=1):
+    (x, y), = planted_interpretation_pairs(1, shape=shape, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    kernel = rng.standard_normal(shape)
+    return x, kernel, y
+
+
+def serve_trace(count=SERVE_REQUESTS):
+    from repro.serve import poisson_requests
+
+    return poisson_requests(count, rate=400.0, seed=3, shape=(16, 16))
+
+
+def serve_service():
+    from repro.core.backend import TpuBackend, make_tpu_chip
+    from repro.serve import ExplanationService
+
+    backend = TpuBackend(
+        make_tpu_chip(num_cores=8, precision="fp32", mxu_rows=8, mxu_cols=8)
+    )
+    return ExplanationService(
+        backend, granularity="blocks", block_shape=(4, 4), eps=1e-8,
+        max_wait_seconds=0.05, max_batch_pairs=32,
+    )
+
+
+@contextmanager
+def complex_path():
+    """The pre-change configuration: full complex FFTs, no spectrum cache."""
+    previous_path = set_real_convolution_path(False)
+    previous_cache = set_kernel_spectrum_cache_enabled(False)
+    try:
+        yield
+    finally:
+        set_kernel_spectrum_cache_enabled(previous_cache)
+        set_real_convolution_path(previous_path)
+
+
+def _best_of(fn, repeats=REPEATS):
+    """Min-of-N wall-clock; the first (untimed) call warms plan caches."""
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _time_workloads(pairs, serve=True, repeats=REPEATS):
+    """Wall-clock each workload under the shipped and pre-change paths."""
+    x, kernel, y = single_pair()
+    plan = MaskPlan.blocks(SHAPE, BLOCK)
+    timings = {}
+
+    def run_single():
+        score_plan(x, kernel, y, plan)
+
+    def run_fleet():
+        fleet_executor().run(pairs)
+
+    def run_serve():
+        serve_service().process(serve_trace())
+
+    workloads = [("single_pair", run_single), ("fleet", run_fleet)]
+    if serve:
+        workloads.append(("serve_replay", run_serve))
+    for name, fn in workloads:
+        clear_kernel_spectrum_cache()
+        real = _best_of(fn, repeats)
+        with complex_path():
+            legacy = _best_of(fn, repeats)
+        timings[name] = {
+            "real_seconds": real,
+            "complex_seconds": legacy,
+            "speedup": legacy / real,
+        }
+    return timings
+
+
+# ----------------------------------------------------------------------
+# Contracts (collected by pytest; CI runs this file with the benches)
+# ----------------------------------------------------------------------
+
+
+def test_fleet_real_path_beats_complex_path_wall_clock():
+    """The tentpole direction contract: on the fleet workload the
+    shipped real path must be faster than the pre-change complex path
+    in actual host time.  The 1.5x acceptance floor is asserted by the
+    full (non-quick) run that generates BENCH_host.json; here only the
+    direction is asserted so a loaded CI box cannot flake it."""
+    pairs = fleet_pairs(CONTRACT_PAIRS)
+    clear_kernel_spectrum_cache()
+    real = _best_of(lambda: fleet_executor().run(pairs), repeats=1)
+    with complex_path():
+        legacy = _best_of(lambda: fleet_executor().run(pairs), repeats=1)
+    assert real < legacy
+
+
+def test_warm_cache_records_zero_kernel_retransforms():
+    """Repeated-shape waves: re-running the same fleet against a warm
+    kernel-spectrum cache must not transform a single kernel again."""
+    pairs = fleet_pairs(CONTRACT_PAIRS)
+    clear_kernel_spectrum_cache()
+    fleet_executor().run(pairs)
+    warm_start = kernel_spectrum_cache_info()["kernel_transforms"]
+    run = fleet_executor().run(pairs)
+    warm_delta = kernel_spectrum_cache_info()["kernel_transforms"] - warm_start
+    assert warm_delta == 0
+    assert len(run.results) == CONTRACT_PAIRS
+
+
+def test_real_path_scores_match_complex_path():
+    """Switching the host algorithm must not change the answers beyond
+    float rounding: same fleet, both paths, scores element-close."""
+    pairs = fleet_pairs(CONTRACT_PAIRS)
+    clear_kernel_spectrum_cache()
+    real_run = fleet_executor().run(pairs)
+    with complex_path():
+        legacy_run = fleet_executor().run(pairs)
+    for ours, theirs in zip(real_run.results, legacy_run.results):
+        np.testing.assert_allclose(ours.scores, theirs.scores, atol=1e-9)
+        np.testing.assert_array_equal(ours.kernel, theirs.kernel)
+
+
+def test_dense_streamed_loop_parity_on_real_path():
+    """Dispatch parity: dense, streamed (any chunk size) and looped
+    scoring produce bit-identical scores on the shipped real path."""
+    x, kernel, y = single_pair(shape=(16, 16), seed=9)
+    plan = MaskPlan.blocks((16, 16), (4, 4))
+    clear_kernel_spectrum_cache()
+    dense = score_plan(x, kernel, y, plan, method="batched")
+    looped = score_plan(x, kernel, y, plan, method="loop")
+    np.testing.assert_array_equal(dense, looped)
+    for chunk_rows in (1, 3, 7):
+        streamed = score_plan(
+            x, kernel, y, plan, method="batched", chunk_rows=chunk_rows
+        )
+        np.testing.assert_array_equal(streamed, dense)
+
+
+# ----------------------------------------------------------------------
+# Report + CLI smoke mode
+# ----------------------------------------------------------------------
+
+
+def _report(timings, cache_info, warm_delta) -> str:
+    lines = [
+        "HOST WALL-CLOCK HOT PATH (time.perf_counter seconds; "
+        "real = shipped rFFT + spectrum cache, complex = pre-change path)",
+        f"{'workload':>12s} {'real(s)':>9s} {'complex(s)':>11s} {'speedup':>8s}",
+    ]
+    for name, row in timings.items():
+        lines.append(
+            f"{name:>12s} {row['real_seconds']:9.4f} "
+            f"{row['complex_seconds']:11.4f} {row['speedup']:7.2f}x"
+        )
+    lines.append(
+        f"kernel-spectrum cache: {cache_info['entries']} entries, "
+        f"{cache_info['hits']} hits / {cache_info['misses']} misses, "
+        f"{cache_info['kernel_transforms']} transforms, "
+        f"{warm_delta} re-transforms on the warm repeat"
+    )
+    return "\n".join(lines)
+
+
+def _measure(quick: bool):
+    """Run the full measurement matrix; returns (timings, cache facts)."""
+    count = QUICK_PAIRS if quick else FLEET_PAIRS
+    repeats = 1 if quick else REPEATS
+    pairs = fleet_pairs(count)
+    timings = _time_workloads(pairs, serve=not quick, repeats=repeats)
+    timings["fleet"]["pairs"] = count
+
+    # Warm-cache contract: prime the cache with one fleet pass (later
+    # workloads cleared it), then count kernel transforms a repeated
+    # identical fleet adds -- repeated-shape waves must add none.
+    fleet_executor().run(pairs)
+    warm_start = kernel_spectrum_cache_info()["kernel_transforms"]
+    fleet_executor().run(pairs)
+    warm_delta = (
+        kernel_spectrum_cache_info()["kernel_transforms"] - warm_start
+    )
+    return timings, kernel_spectrum_cache_info(), warm_delta
+
+
+def _smoke(quick: bool, json_path: Path | None) -> int:
+    floor = 1.0 if quick else SPEEDUP_FLOOR
+    timings, cache_info, warm_delta = _measure(quick)
+    print(_report(timings, cache_info, warm_delta))
+
+    failures = 0
+    fleet_speedup = timings["fleet"]["speedup"]
+    if not fleet_speedup > floor:
+        print(
+            f"FAIL: fleet real-path wall-clock speedup {fleet_speedup:.2f}x "
+            f"must clear {floor}x over the pre-change complex path",
+            file=sys.stderr,
+        )
+        failures += 1
+    if warm_delta != 0:
+        print(
+            f"FAIL: warm kernel-spectrum cache re-transformed {warm_delta} "
+            "kernels on a repeated-shape fleet (expected 0)",
+            file=sys.stderr,
+        )
+        failures += 1
+    try:
+        test_dense_streamed_loop_parity_on_real_path()
+    except AssertionError:
+        print(
+            "FAIL: dense/streamed/loop scores diverged on the real path",
+            file=sys.stderr,
+        )
+        failures += 1
+
+    if json_path is not None and not failures:
+        payload = {
+            "benchmark": "bench_host",
+            "mode": "quick" if quick else "full",
+            "clock": "time.perf_counter",
+            "plane_shape": list(SHAPE),
+            "workloads": timings,
+            "kernel_spectrum_cache": cache_info,
+            "warm_repeat_kernel_retransforms": warm_delta,
+            "contracts": {
+                "fleet_speedup_floor": floor,
+                "fleet_speedup_measured": fleet_speedup,
+                "warm_retransforms_expected": 0,
+                "dispatch_parity": "dense == streamed == loop (bit-identical)",
+            },
+        }
+        json_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {json_path}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: smaller fleet, direction-only speedup floor, "
+        "no JSON artifact unless --json is given",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="where to write the BENCH_host.json artifact "
+        "(default: repo-root BENCH_host.json in full mode, skipped in --quick)",
+    )
+    args = parser.parse_args(argv)
+    json_path = args.json
+    if json_path is None and not args.quick:
+        json_path = Path(__file__).resolve().parent.parent / "BENCH_host.json"
+    return 1 if _smoke(args.quick, json_path) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,18 @@ transforms each plane independently, and the per-row Hadamard products
 and reductions are plane-local, so streamed, dense-batched and
 one-plane-at-a-time execution agree exactly.
 
+When input and kernel are both real -- the dominant case, since every
+occlusion mask and distilled kernel is real -- all three forms route
+through the **half-spectrum real path** (:func:`repro.fft.fft2d.rfft2_batch`
+/ :func:`~repro.fft.fft2d.irfft2_batch`): Hermitian symmetry means only
+``N//2 + 1`` of the ``N`` spectrum columns are computed, stored and
+multiplied, roughly halving host transform work and memory.  The full
+complex path remains for complex operands and stays reachable for real
+ones via :func:`set_real_convolution_path` so the host benchmark can
+measure the difference.  Kernel spectra come from the process-level
+content-addressed cache (:mod:`repro.fft.spectra`), so byte-equal
+kernels are transformed once per process, not once per call.
+
 Every FFT-convolution entry point additionally accepts an optional
 ``precision`` -- a :class:`repro.hw.quantize.PrecisionSpec` (duck-typed
 here so the FFT layer stays independent of the hardware layer) whose
@@ -41,8 +53,17 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.fft import spectra
 from repro.fft.fft import fft, ifft
-from repro.fft.fft2d import fft2, fft2_batch, ifft2, ifft2_batch
+from repro.fft.fft2d import (
+    fft2,
+    fft2_batch,
+    ifft2,
+    ifft2_batch,
+    irfft2_batch,
+    rfft2_batch,
+)
+from repro.fft.spectra import KernelSpectrum
 
 
 def _as_1d(x: np.ndarray, name: str) -> np.ndarray:
@@ -121,10 +142,36 @@ def fft_circular_convolve(x: np.ndarray, k: np.ndarray) -> np.ndarray:
     return result
 
 
+# Real operands route through the rFFT half-spectrum path by default;
+# the pre-change full-complex path stays reachable so the host benchmark
+# can measure exactly what the real path buys.
+_REAL_PATH_ENABLED = True
+
+
+def set_real_convolution_path(enabled: bool) -> bool:
+    """Toggle the real-input half-spectrum fast path; returns the previous setting."""
+    global _REAL_PATH_ENABLED
+    previous = _REAL_PATH_ENABLED
+    _REAL_PATH_ENABLED = bool(enabled)
+    return previous
+
+
+def real_convolution_path_enabled() -> bool:
+    """Whether real-operand convolutions use the half-spectrum fast path."""
+    return _REAL_PATH_ENABLED
+
+
 def fft_circular_convolve2d(
     x: np.ndarray, k: np.ndarray, precision=None
 ) -> np.ndarray:
     """2-D circular convolution via the convolution theorem (Eq. 3).
+
+    Real ``x`` and ``k`` (the occlusion hot path) take the half-spectrum
+    real path -- input and cached kernel spectra hold only the
+    ``N//2 + 1`` non-redundant columns -- unless disabled via
+    :func:`set_real_convolution_path`; complex operands take the full
+    complex path.  Real-kernel spectra are fetched from the
+    process-level cache either way.
 
     ``precision`` (an optional :class:`~repro.hw.quantize.PrecisionSpec`)
     rounds the input plane spatially and the kernel spectrum per complex
@@ -137,9 +184,17 @@ def fft_circular_convolve2d(
             f"2-D circular convolution needs equal shapes, got {x.shape} and {k.shape}"
         )
     x_in = x if precision is None else precision.apply(x)
-    kernel_spectrum = fft2(k)
-    if precision is not None:
-        kernel_spectrum = precision.apply(kernel_spectrum)
+    if np.isrealobj(k):
+        if _REAL_PATH_ENABLED and np.isrealobj(x_in):
+            half = spectra.kernel_spectrum(k, real=True, precision=precision)
+            return irfft2_batch(rfft2_batch(x_in) * half.array, n=k.shape[-1])
+        kernel_spectrum = spectra.kernel_spectrum(
+            k, real=False, precision=precision
+        ).array
+    else:
+        kernel_spectrum = fft2(k)
+        if precision is not None:
+            kernel_spectrum = precision.apply(kernel_spectrum)
     spectrum = fft2(x_in) * kernel_spectrum
     result = ifft2(spectrum)
     if np.isrealobj(x) and np.isrealobj(k):
@@ -164,9 +219,12 @@ def _validate_batch_kernel(
 
     Returns ``(k, multi_kernel, row_kernel, kernel_spectrum)`` with the
     row map cast to ``intp`` and the spectrum shape-checked (``None``
-    when the caller must compute it).  ``num_rows`` is the batch length
-    the row map must cover; ``None`` skips that check (streamed callers
-    of unknown length validate per chunk instead).
+    when the caller must compute it).  ``kernel_spectrum`` may be a raw
+    full-spectrum ndarray (legacy form, shape must equal ``k.shape``) or
+    a :class:`~repro.fft.spectra.KernelSpectrum` of either kind covering
+    the same planes.  ``num_rows`` is the batch length the row map must
+    cover; ``None`` skips that check (streamed callers of unknown length
+    validate per chunk instead).
     """
     multi_kernel = k.ndim == 3
     if not multi_kernel:
@@ -195,7 +253,18 @@ def _validate_batch_kernel(
             )
     elif row_kernel is not None:
         raise ValueError("row_kernel requires a (P, M, N) kernel stack")
-    if kernel_spectrum is not None:
+    if isinstance(kernel_spectrum, KernelSpectrum):
+        if kernel_spectrum.plane_shape != k.shape[-2:]:
+            raise ValueError(
+                f"kernel spectrum covers {kernel_spectrum.plane_shape} planes, "
+                f"kernel planes have shape {k.shape[-2:]}"
+            )
+        if kernel_spectrum.array.shape[:-2] != k.shape[:-2]:
+            raise ValueError(
+                f"kernel spectrum stack shape {kernel_spectrum.array.shape[:-2]} "
+                f"does not match kernel stack shape {k.shape[:-2]}"
+            )
+    elif kernel_spectrum is not None:
         kernel_spectrum = np.asarray(kernel_spectrum)
         if kernel_spectrum.shape != k.shape:
             raise ValueError(
@@ -264,23 +333,69 @@ def fft_circular_convolve2d_chunks(
     dense batch form and to :func:`fft_circular_convolve2d` on the
     corresponding planes.
 
+    Real kernels with the real path enabled use cached half spectra and
+    the rFFT chunk transform; a complex chunk arriving under a half
+    spectrum falls back to the cached *full* spectrum for that chunk, so
+    its planes stay bit-identical to the complex loop path.
+
     ``precision`` (an optional :class:`~repro.hw.quantize.PrecisionSpec`)
     rounds every incoming data chunk plane-by-plane in the spatial
     domain and the kernel spectra per plane/component up front; since
     both roundings are per-plane, chunk boundaries still never change
     bits and the quantized stream matches quantized dense and loop
-    execution exactly.  A supplied ``kernel_spectrum`` must be the *raw*
-    (unquantized) spectrum -- the spec is applied here, exactly once.
+    execution exactly.  A supplied ``kernel_spectrum`` ndarray must be
+    the *raw* (unquantized) full spectrum -- the spec is applied here,
+    exactly once; a supplied :class:`~repro.fft.spectra.KernelSpectrum`
+    may be raw (quantized here the same way) or already quantized, in
+    which case its ``precision_name`` must match ``precision``.
     """
     k = np.asarray(k)
     k, multi_kernel, row_kernel, kernel_spectrum = _validate_batch_kernel(
         k, row_kernel, kernel_spectrum, num_rows, "fft_circular_convolve2d_chunks"
     )
-    if kernel_spectrum is None:
-        kernel_spectrum = fft2_batch(k) if multi_kernel else fft2(k)
-    if precision is not None:
-        kernel_spectrum = precision.apply(kernel_spectrum)
     real_kernel = np.isrealobj(k)
+    if isinstance(kernel_spectrum, KernelSpectrum):
+        spec_kind = kernel_spectrum.kind
+        spec_array = kernel_spectrum.array
+        if kernel_spectrum.precision_name is not None:
+            wanted = None if precision is None else str(precision.name)
+            if kernel_spectrum.precision_name != wanted:
+                raise ValueError(
+                    f"kernel spectrum quantized as "
+                    f"{kernel_spectrum.precision_name!r} cannot serve a "
+                    f"{wanted!r}-precision convolution"
+                )
+        elif precision is not None:
+            spec_array = precision.apply(spec_array)
+    elif kernel_spectrum is not None:
+        spec_kind = "full"
+        spec_array = kernel_spectrum
+        if precision is not None:
+            spec_array = precision.apply(spec_array)
+    elif real_kernel:
+        use_half = _REAL_PATH_ENABLED
+        spec_kind = "half" if use_half else "full"
+        spec_array = spectra.kernel_spectrum(
+            k, real=use_half, precision=precision
+        ).array
+    else:
+        spec_kind = "full"
+        spec_array = fft2_batch(k) if multi_kernel else fft2(k)
+        if precision is not None:
+            spec_array = precision.apply(spec_array)
+    full_spec = spec_array if spec_kind == "full" else None
+
+    def _full_spectrum() -> np.ndarray:
+        # Complex chunks under a half kernel spectrum need the full one;
+        # fetched lazily from the cache so the pure-real stream (every
+        # occlusion plan) never pays for it.
+        nonlocal full_spec
+        if full_spec is None:
+            full_spec = spectra.kernel_spectrum(
+                k, real=False, precision=precision
+            ).array
+        return full_spec
+
     plane_shape = k.shape[-2:]
     next_row = 0
     for chunk, rows in chunks:
@@ -299,6 +414,14 @@ def fft_circular_convolve2d_chunks(
         next_row = rows.stop
         if precision is not None:
             chunk = precision.apply(chunk)
+        real_chunk = real_kernel and np.isrealobj(chunk)
+        half_path = spec_kind == "half" and real_chunk
+        if half_path:
+            chunk_spectrum = rfft2_batch(chunk)
+            spec = spec_array
+        else:
+            chunk_spectrum = fft2_batch(chunk)
+            spec = _full_spectrum()
         if multi_kernel:
             if rows.stop > row_kernel.shape[0]:
                 raise ValueError(
@@ -306,13 +429,16 @@ def fft_circular_convolve2d_chunks(
                     "row_kernel map"
                 )
             product = _hadamard_by_kernel_runs(
-                fft2_batch(chunk), kernel_spectrum, row_kernel[rows.start : rows.stop]
+                chunk_spectrum, spec, row_kernel[rows.start : rows.stop]
             )
         else:
-            product = fft2_batch(chunk) * kernel_spectrum
-        convolved = ifft2_batch(product)
-        if real_kernel and np.isrealobj(chunk):
-            convolved = convolved.real
+            product = chunk_spectrum * spec
+        if half_path:
+            convolved = irfft2_batch(product, n=plane_shape[1])
+        else:
+            convolved = ifft2_batch(product)
+            if real_chunk:
+                convolved = convolved.real
         yield convolved, rows
     if num_rows is not None and next_row != num_rows:
         raise ValueError(

@@ -9,6 +9,13 @@ Two algorithms cover all input lengths:
   re-expresses an arbitrary-length DFT as a circular convolution of
   power-of-two length and therefore reuses the radix-2 kernel.
 
+Real input additionally gets :func:`rfft` / :func:`irfft`: the DFT of a
+real signal is Hermitian (``X[n-k] == conj(X[k])``), so only the
+``n//2 + 1`` leading bins are stored and -- for power-of-two lengths --
+computed, by packing even/odd samples into one complex signal of half
+the length and untangling the two interleaved spectra afterwards.  The
+half-spectrum path is the host hot path of every real occlusion plane.
+
 The inverse transform uses the conjugation identity
 ``ifft(x) = conj(fft(conj(x))) / n`` so a single forward kernel serves
 both directions.
@@ -26,12 +33,26 @@ import numpy as np
 
 _VALID_NORMS = ("backward", "ortho", "forward")
 
-# Twiddle-factor plans, keyed by transform length.  Computing the
-# twiddles is O(n) per stage, and sweeps re-run the same lengths, so a
-# tiny plan cache is a large constant-factor win.
+# Transform plans, keyed by length.  Computing twiddles is O(n) per
+# stage, and sweeps re-run the same lengths, so a tiny plan cache is a
+# large constant-factor win.  Every lookup is a single critical section
+# (compute-inside-lock); the payloads are small and plans for one
+# length are only ever built once per process.
 _TWIDDLE_CACHE: dict[int, list[np.ndarray]] = {}
 _BITREV_CACHE: dict[int, np.ndarray] = {}
+_RFFT_CACHE: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = {}
 _PLAN_LOCK = threading.Lock()
+
+# Sibling caches (e.g. the kernel-spectrum cache in repro.fft.spectra)
+# register (info_fn, clear_fn) hooks here so fft_plan_cache_info() /
+# clear_fft_plan_cache() stay the single cache-management entry points
+# without this low-level module importing the higher layers.
+_AUX_CACHES: list[tuple] = []
+
+
+def register_aux_plan_cache(info_fn, clear_fn) -> None:
+    """Register a sibling cache with the plan-cache info/clear entry points."""
+    _AUX_CACHES.append((info_fn, clear_fn))
 
 
 def is_power_of_two(n: int) -> bool:
@@ -56,55 +77,87 @@ def bit_reversal_permutation(n: int) -> np.ndarray:
         raise ValueError(f"bit reversal requires a power-of-two length, got {n}")
     with _PLAN_LOCK:
         cached = _BITREV_CACHE.get(n)
-        if cached is not None:
-            return cached
-    bits = n.bit_length() - 1
-    indices = np.arange(n, dtype=np.int64)
-    reversed_indices = np.zeros(n, dtype=np.int64)
-    work = indices.copy()
-    for _ in range(bits):
-        reversed_indices = (reversed_indices << 1) | (work & 1)
-        work >>= 1
-    reversed_indices.setflags(write=False)
-    with _PLAN_LOCK:
-        _BITREV_CACHE[n] = reversed_indices
-    return reversed_indices
+        if cached is None:
+            bits = n.bit_length() - 1
+            reversed_indices = np.zeros(n, dtype=np.int64)
+            work = np.arange(n, dtype=np.int64)
+            for _ in range(bits):
+                reversed_indices = (reversed_indices << 1) | (work & 1)
+                work >>= 1
+            reversed_indices.setflags(write=False)
+            _BITREV_CACHE[n] = cached = reversed_indices
+    return cached
 
 
 def _twiddle_plan(n: int) -> list[np.ndarray]:
     """Per-stage twiddle factors ``exp(-2j*pi*k/size)`` for radix-2."""
     with _PLAN_LOCK:
         cached = _TWIDDLE_CACHE.get(n)
-        if cached is not None:
-            return cached
-    plan = []
-    size = 2
-    while size <= n:
-        half = size // 2
-        stage = np.exp(-2j * np.pi * np.arange(half) / size)
-        stage.setflags(write=False)
-        plan.append(stage)
-        size *= 2
+        if cached is None:
+            cached = []
+            size = 2
+            while size <= n:
+                half = size // 2
+                stage = np.exp(-2j * np.pi * np.arange(half) / size)
+                stage.setflags(write=False)
+                cached.append(stage)
+                size *= 2
+            _TWIDDLE_CACHE[n] = cached
+    return cached
+
+
+def _rfft_plan(n: int) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Index and twiddle tables for the packed real transform of length ``n``.
+
+    ``wrap[k] = k mod half`` and ``mirror[k] = -k mod half`` address the
+    half-length spectrum and its conjugate partner for ``k = 0..half``;
+    ``forward``/``inverse`` are ``exp(-+2j*pi*k/n)`` untangling twiddles.
+    """
     with _PLAN_LOCK:
-        _TWIDDLE_CACHE[n] = plan
-    return plan
+        cached = _RFFT_CACHE.get(n)
+        if cached is None:
+            half = n // 2
+            wrap = np.arange(half + 1) % half
+            mirror = (-np.arange(half + 1)) % half
+            forward = np.exp(-2j * np.pi * np.arange(half + 1) / n)
+            inverse = np.exp(2j * np.pi * np.arange(half) / n)
+            for table in (wrap, mirror, forward, inverse):
+                table.setflags(write=False)
+            _RFFT_CACHE[n] = cached = (wrap, mirror, forward, inverse)
+    return cached
 
 
 def _fft_radix2(x: np.ndarray) -> np.ndarray:
-    """Forward unnormalized FFT along the last axis; length must be 2^k."""
+    """Forward unnormalized FFT along the last axis; length must be 2^k.
+
+    Allocation-lean: two ping-pong buffers are allocated once and every
+    butterfly stage writes through ``out=`` ufunc calls -- no per-stage
+    concatenation or temporaries.  The arithmetic (multiply by the stage
+    twiddles, then one add and one subtract) is element-for-element the
+    same as the textbook form, so results are bit-identical to it.
+    """
     n = x.shape[-1]
     if n == 1:
-        return x.astype(np.complex128, copy=True)
-    data = x[..., bit_reversal_permutation(n)].astype(np.complex128)
+        return x.astype(np.complex128, order="C", copy=True)
+    # C-ordered buffers regardless of input strides: downstream consumers
+    # (and numpy's layout-sensitive pairwise summation) see the same
+    # contiguous planes whatever axis order the caller transformed in.
+    src = x[..., bit_reversal_permutation(n)].astype(np.complex128, order="C")
+    dst = np.empty(src.shape, dtype=np.complex128)
     for stage_twiddles in _twiddle_plan(n):
         half = stage_twiddles.shape[0]
         size = half * 2
-        shaped = data.reshape(data.shape[:-1] + (n // size, size))
-        even = shaped[..., :half]
-        odd = shaped[..., half:] * stage_twiddles
-        data = np.concatenate((even + odd, even - odd), axis=-1)
-        data = data.reshape(data.shape[:-2] + (n,))
-    return data
+        shaped_src = src.reshape(src.shape[:-1] + (n // size, size))
+        shaped_dst = dst.reshape(dst.shape[:-1] + (n // size, size))
+        src_even = shaped_src[..., :half]
+        src_odd = shaped_src[..., half:]
+        dst_even = shaped_dst[..., :half]
+        dst_odd = shaped_dst[..., half:]
+        np.multiply(src_odd, stage_twiddles, out=dst_odd)
+        np.add(src_even, dst_odd, out=dst_even)
+        np.subtract(src_even, dst_odd, out=dst_odd)
+        src, dst = dst, src
+    return src
 
 
 def _fft_bluestein(x: np.ndarray) -> np.ndarray:
@@ -185,17 +238,152 @@ def ifft(x: np.ndarray, axis: int = -1, norm: str = "backward") -> np.ndarray:
     return unnormalized
 
 
+def _rfft_packed(x: np.ndarray) -> np.ndarray:
+    """Unnormalized half spectrum of real input; length must be 2^k, >= 2.
+
+    Packs even samples into the real and odd samples into the imaginary
+    lane of one half-length complex signal, transforms once, and
+    untangles: with ``Z = fft(x[0::2] + 1j*x[1::2])``,
+
+        E_k = (Z_k + conj(Z_{-k})) / 2,   O_k = -j (Z_k - conj(Z_{-k})) / 2,
+        X_k = E_k + exp(-2j*pi*k/n) O_k          for k = 0..n/2
+
+    -- one complex FFT of length ``n/2`` instead of length ``n``.
+    """
+    n = x.shape[-1]
+    wrap, mirror, forward, _ = _rfft_plan(n)
+    packed = x[..., 0::2] + 1j * x[..., 1::2]
+    spectrum = _fft_radix2(packed)
+    wrapped = spectrum[..., wrap]
+    mirrored = np.conj(spectrum[..., mirror])
+    even = 0.5 * (wrapped + mirrored)
+    odd = -0.5j * (wrapped - mirrored)
+    return even + forward * odd
+
+
+def _irfft_packed(spectrum: np.ndarray, n: int) -> np.ndarray:
+    """Real signal from an unnormalized half spectrum; ``n`` must be 2^k, >= 2.
+
+    Inverts :func:`_rfft_packed`: recovers the even/odd half-length
+    spectra from the Hermitian half spectrum (using
+    ``conj(W^{n/2-k}) == -W^k``), rebuilds the packed complex signal
+    with one half-length inverse transform, and de-interleaves.
+    """
+    half = n // 2
+    _, _, _, inverse = _rfft_plan(n)
+    head = spectrum[..., :half]
+    mirrored = np.conj(spectrum[..., half:0:-1])
+    even = 0.5 * (head + mirrored)
+    odd = 0.5 * (head - mirrored) * inverse
+    packed = even + 1j * odd
+    signal = np.conj(_fft_radix2(np.conj(packed))) / half
+    out = np.empty(spectrum.shape[:-1] + (n,), dtype=np.float64)
+    out[..., 0::2] = signal.real
+    out[..., 1::2] = signal.imag
+    return out
+
+
+def rfft(x: np.ndarray, axis: int = -1, norm: str = "backward") -> np.ndarray:
+    """1-D DFT of **real** input: the ``n//2 + 1`` non-redundant bins.
+
+    For real signals the full spectrum is Hermitian
+    (``X[n-k] == conj(X[k])``), so this returns only bins ``0..n//2``
+    along ``axis`` -- half the storage, and for power-of-two lengths
+    half the transform work via the even/odd packing trick.  Other
+    lengths fall back to slicing the Bluestein full transform.  Complex
+    input is rejected (use :func:`fft`).
+    """
+    if norm not in _VALID_NORMS:
+        raise ValueError(f"norm must be one of {_VALID_NORMS}, got {norm!r}")
+    array = np.asarray(x)
+    if np.iscomplexobj(array):
+        raise ValueError("rfft requires real input; use fft for complex signals")
+    if array.ndim == 0:
+        raise ValueError("rfft requires at least a 1-D input")
+    if array.shape[axis] == 0:
+        raise ValueError("rfft of an empty axis is undefined")
+    moved = np.moveaxis(array, axis, -1)
+    n = moved.shape[-1]
+    if n == 1:
+        result = moved.astype(np.complex128)
+    elif is_power_of_two(n):
+        result = _rfft_packed(moved)
+    else:
+        result = _fft_bluestein(moved)[..., : n // 2 + 1]
+    scale = _forward_scale(n, norm)
+    if scale != 1.0:
+        result = result * scale
+    return np.moveaxis(result, -1, axis)
+
+
+def irfft(
+    x: np.ndarray, n: int | None = None, axis: int = -1, norm: str = "backward"
+) -> np.ndarray:
+    """Real signal of length ``n`` from its ``n//2 + 1`` half-spectrum bins.
+
+    The exact inverse of :func:`rfft` for every norm.  ``n`` defaults to
+    ``2 * (bins - 1)`` (an even length); pass it explicitly to recover
+    odd lengths, and it must satisfy ``n//2 + 1 == bins``.  Power-of-two
+    lengths take the packed inverse; everything else reconstructs the
+    full Hermitian spectrum and runs the complex inverse transform.
+    """
+    if norm not in _VALID_NORMS:
+        raise ValueError(f"norm must be one of {_VALID_NORMS}, got {norm!r}")
+    array = np.asarray(x)
+    if array.ndim == 0:
+        raise ValueError("irfft requires at least a 1-D input")
+    bins = array.shape[axis]
+    if bins == 0:
+        raise ValueError("irfft of an empty axis is undefined")
+    if n is None:
+        n = 2 * (bins - 1) if bins > 1 else 1
+    n = int(n)
+    if n <= 0 or n // 2 + 1 != bins:
+        raise ValueError(
+            f"irfft output length {n} is inconsistent with {bins} spectral "
+            f"bins (need n // 2 + 1 == {bins})"
+        )
+    moved = np.moveaxis(array, axis, -1)
+    if n == 1:
+        result = np.real(moved).astype(np.float64)
+    elif is_power_of_two(n):
+        # Undo the forward norm first; the packed inverse is exact for
+        # unnormalized (backward-convention) spectra.
+        scale = _forward_scale(n, norm)
+        if scale != 1.0:
+            moved = moved / scale
+        result = _irfft_packed(moved, n)
+    else:
+        half = n // 2
+        tail = np.conj(moved[..., 1 : n - half])[..., ::-1]
+        full = np.concatenate([moved, tail], axis=-1)
+        result = ifft(full, axis=-1, norm=norm).real
+    return np.moveaxis(result, -1, axis)
+
+
 def fft_plan_cache_info() -> dict[str, int]:
-    """Return the number of cached twiddle plans and bit-reversal tables."""
+    """Entry counts of every FFT-layer plan cache.
+
+    Covers the radix-2 twiddle plans, bit-reversal tables and rFFT
+    untangling plans held here, plus any registered sibling cache (the
+    kernel-spectrum cache of :mod:`repro.fft.spectra`).
+    """
     with _PLAN_LOCK:
-        return {
+        info = {
             "twiddle_plans": len(_TWIDDLE_CACHE),
             "bit_reversal_tables": len(_BITREV_CACHE),
+            "rfft_plans": len(_RFFT_CACHE),
         }
+    for aux_info, _ in _AUX_CACHES:
+        info.update(aux_info())
+    return info
 
 
 def clear_fft_plan_cache() -> None:
-    """Drop all cached FFT plans."""
+    """Drop all cached FFT plans (and registered sibling caches)."""
     with _PLAN_LOCK:
         _TWIDDLE_CACHE.clear()
         _BITREV_CACHE.clear()
+        _RFFT_CACHE.clear()
+    for _, aux_clear in _AUX_CACHES:
+        aux_clear()

@@ -17,7 +17,13 @@ Both evaluations are provided:
 * :func:`fft2_batch` / :func:`ifft2_batch` vectorize the row-column
   path over leading batch axes -- the substrate of the batched
   occlusion engine (:mod:`repro.core.masking`), which transforms every
-  masked input variant in one call instead of one call per mask.
+  masked input variant in one call instead of one call per mask;
+* :func:`rfft2` / :func:`irfft2` and their batch forms transform
+  **real** planes through the half-spectrum real path: rows through
+  :func:`repro.fft.fft.rfft` (Hermitian symmetry halves the bins),
+  then only the ``N//2 + 1`` surviving columns through the complex
+  kernels -- about half the transform work and memory of the full
+  complex path, the host hot path for real occlusion planes.
 
 Tests assert the two paths agree to floating-point tolerance for every
 shape, including non-square and non-power-of-two, and that the batch
@@ -29,7 +35,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fft.dft_matrix import dft_matrix, idft_matrix
-from repro.fft.fft import fft, ifft
+from repro.fft.fft import fft, ifft, irfft, rfft
 
 
 def _check_2d(x: np.ndarray, name: str) -> np.ndarray:
@@ -91,6 +97,46 @@ def ifft2_batch(x: np.ndarray, norm: str = "backward") -> np.ndarray:
     array = _check_batch_2d(x, "ifft2_batch")
     cols_done = ifft(array, axis=-2, norm=norm)
     return ifft(cols_done, axis=-1, norm=norm)
+
+
+def rfft2_batch(x: np.ndarray, norm: str = "backward") -> np.ndarray:
+    """Half-spectrum 2-D DFT of real planes over the two trailing axes.
+
+    ``(..., M, N)`` real input maps to ``(..., M, N//2 + 1)`` complex
+    output: rows go through the real transform (only the non-redundant
+    bins survive), then the remaining columns through the complex
+    kernel.  Each plane is bit-identical to transforming it alone, and
+    complex input is rejected (use :func:`fft2_batch`).
+    """
+    array = _check_batch_2d(x, "rfft2_batch")
+    rows_done = rfft(array, axis=-1, norm=norm)
+    return fft(rows_done, axis=-2, norm=norm)
+
+
+def irfft2_batch(
+    x: np.ndarray, n: int | None = None, norm: str = "backward"
+) -> np.ndarray:
+    """Real planes from trailing-axes half spectra; inverse of :func:`rfft2_batch`.
+
+    ``n`` is the spatial column count ``N`` (defaults to
+    ``2 * (bins - 1)``; pass it explicitly to recover odd widths).
+    Output is real float64 of shape ``(..., M, n)``.
+    """
+    array = _check_batch_2d(x, "irfft2_batch")
+    cols_done = ifft(array, axis=-2, norm=norm)
+    return irfft(cols_done, n=n, axis=-1, norm=norm)
+
+
+def rfft2(x: np.ndarray, norm: str = "backward") -> np.ndarray:
+    """Half-spectrum 2-D DFT of one real ``M x N`` plane."""
+    array = _check_2d(x, "rfft2")
+    return rfft2_batch(array, norm=norm)
+
+
+def irfft2(x: np.ndarray, n: int | None = None, norm: str = "backward") -> np.ndarray:
+    """One real plane from its ``M x (N//2 + 1)`` half spectrum."""
+    array = _check_2d(x, "irfft2")
+    return irfft2_batch(array, n=n, norm=norm)
 
 
 def fft2_matmul(x: np.ndarray, norm: str = "backward") -> np.ndarray:

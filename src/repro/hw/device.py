@@ -39,10 +39,11 @@ import numpy as np
 
 from repro.fft.convolution import (
     _validate_batch_kernel,
+    fft_circular_convolve2d,
     fft_circular_convolve2d_batch,
     fft_circular_convolve2d_chunks,
 )
-from repro.fft.fft2d import fft2, fft2_batch, ifft2
+from repro.fft.fft2d import fft2, ifft2
 from repro.hw.quantize import resolve_precision
 
 #: Real flops one complex point-wise op costs per element: a complex
@@ -424,6 +425,18 @@ class Device(abc.ABC):
         self.stats.record("fft2", seconds, macs=factor * (m * m * n + m * n * n))
         return result
 
+    def _record_fft2_op(self, m: int, n: int, name: str = "fft2") -> None:
+        """Ledger row for one 2-D transform the simulated device executes.
+
+        Same seconds/macs as :meth:`fft2`/:meth:`ifft2` would record --
+        used when the functional result comes from the shared host hot
+        path instead of composing the device ops directly.
+        """
+        factor = self.complex_matmul_real_products
+        self.stats.record(
+            name, self.fft2_seconds(m, n), macs=factor * (m * m * n + m * n * n)
+        )
+
     def ifft2(self, x: np.ndarray) -> np.ndarray:
         """Inverse 2-D DFT; same cost structure as :meth:`fft2`."""
         x = np.asarray(x)
@@ -449,20 +462,30 @@ class Device(abc.ABC):
         precision axis plane for plane.  The op ledger is unchanged
         (rounding is infeed-side staging, not an accounted kernel);
         ``None`` preserves exact execution.
+
+        The functional result is delegated to the host hot path
+        (:func:`repro.fft.convolution.fft_circular_convolve2d`: real
+        half-spectrum transforms and the process-level kernel-spectrum
+        cache), which is value-identical to composing the individual
+        device ops; the *simulated* ledger still records the full
+        fft2(k), fft2(x), Hadamard, ifft2 chain this device would
+        execute -- host-side shortcuts never change simulated cost.
         """
         x = np.asarray(x)
         k = np.asarray(k)
         if x.shape != k.shape:
             raise ValueError(f"operands must share a shape, got {x.shape} and {k.shape}")
+        if x.ndim != 2:
+            raise ValueError(f"fft2 expects a matrix, got shape {x.shape}")
         spec = resolve_precision(precision)
-        x_in = x if spec is None else spec.apply(x)
-        kernel_spectrum = self.fft2(k)
-        if spec is not None:
-            kernel_spectrum = spec.apply(kernel_spectrum)
-        spectrum = self.hadamard(self.fft2(x_in), kernel_spectrum, op="mul")
-        result = self.ifft2(spectrum)
-        if np.isrealobj(x) and np.isrealobj(k):
-            return result.real
+        result = fft_circular_convolve2d(x, k, precision=spec)
+        m, n = x.shape
+        self._record_fft2_op(m, n)
+        self._record_fft2_op(m, n)
+        self.stats.record(
+            "hadamard_mul", self.elementwise_seconds(m * n, flops_per_element=4.0)
+        )
+        self._record_fft2_op(m, n, name="ifft2")
         return result
 
     # ------------------------------------------------------------------
@@ -566,15 +589,17 @@ class Device(abc.ABC):
                 )
         elif row_kernel is not None:
             raise ValueError("row_kernel requires a (P, M, N) kernel stack")
+        # The simulated ledger prices the kernel transforms here exactly
+        # as before (one spectrum batch per wave, or one "fft2" per
+        # plan); the *functional* spectra come from the process-level
+        # kernel-spectrum cache inside the batched convolution, so the
+        # host skips re-transforms the simulated device still accounts.
         if kernel.ndim == 3:
-            # One spectrum batch for the wave's P kernels.
-            kernel_spectrum = fft2_batch(kernel)
             self._record_kernel_spectra(kernel.shape[0], m, n, spec=spec)
         else:
-            kernel_spectrum = self.fft2(kernel)  # once per plan, recorded as "fft2"
+            self._record_fft2_op(m, n)  # once per plan, recorded as "fft2"
         result = fft_circular_convolve2d_batch(
-            x_batch, kernel, kernel_spectrum=kernel_spectrum, row_kernel=row_kernel,
-            precision=spec,
+            x_batch, kernel, row_kernel=row_kernel, precision=spec,
         )
         self._record_batch_conv(x_batch.shape[0], m, n, spec=spec)
         return result
@@ -620,10 +645,9 @@ class Device(abc.ABC):
         )
         m, n = kernel.shape[-2], kernel.shape[-1]
         if kernel.ndim == 3:
-            kernel_spectrum = fft2_batch(kernel)
             self._record_kernel_spectra(kernel.shape[0], m, n, spec=spec)
         else:
-            kernel_spectrum = self.fft2(kernel)  # once per stream, as "fft2"
+            self._record_fft2_op(m, n)  # once per stream, as "fft2"
         # The cost of the full batch is committed now, like a dispatched
         # program: the simulated device performs all num_rows
         # convolutions whether or not the host finishes reading the
@@ -633,7 +657,6 @@ class Device(abc.ABC):
         return fft_circular_convolve2d_chunks(
             chunks,
             kernel,
-            kernel_spectrum=kernel_spectrum,
             row_kernel=row_kernel,
             num_rows=num_rows,
             precision=spec,

@@ -190,16 +190,35 @@ class TestBatchedCircular2D:
             np.testing.assert_array_equal(result, fft_circular_convolve2d(plane, kernel))
 
     def test_precomputed_kernel_spectrum_reused(self):
-        from repro.fft import fft_circular_convolve2d_batch
+        from repro.fft import fft_circular_convolve2d_batch, kernel_spectrum
 
         rng = np.random.default_rng(3)
         stack = rng.standard_normal((4, 8, 8))
         kernel = rng.standard_normal((8, 8))
-        spectrum = fft2(kernel)
+        spectrum = kernel_spectrum(kernel, real=True)
         np.testing.assert_array_equal(
             fft_circular_convolve2d_batch(stack, kernel, kernel_spectrum=spectrum),
             fft_circular_convolve2d_batch(stack, kernel),
         )
+
+    def test_precomputed_raw_full_spectrum_matches_complex_path(self):
+        """The legacy raw-ndarray spectrum form still runs the full
+        complex path and matches it bit for bit."""
+        from repro.fft import fft_circular_convolve2d_batch
+        from repro.fft.convolution import set_real_convolution_path
+
+        rng = np.random.default_rng(3)
+        stack = rng.standard_normal((4, 8, 8))
+        kernel = rng.standard_normal((8, 8))
+        with_raw = fft_circular_convolve2d_batch(
+            stack, kernel, kernel_spectrum=fft2(kernel)
+        )
+        previous = set_real_convolution_path(False)
+        try:
+            complex_path = fft_circular_convolve2d_batch(stack, kernel)
+        finally:
+            set_real_convolution_path(previous)
+        np.testing.assert_array_equal(with_raw, complex_path)
 
     def test_complex_inputs_stay_complex(self):
         from repro.fft import fft_circular_convolve2d_batch
@@ -283,3 +302,109 @@ class TestMultiKernelBatch:
             fft_circular_convolve2d_batch(stack, kernels, row_kernel=[0, 1, 2])
         with pytest.raises(ValueError):  # empty kernel stack
             fft_circular_convolve2d_batch(stack, np.ones((0, 4, 4)), row_kernel=[0, 0, 0])
+
+
+class TestRealPathRouting:
+    """The half-spectrum real path vs the full complex path."""
+
+    @pytest.mark.parametrize("shape", [(8, 8), (7, 5), (6, 9), (16, 16), (9, 9)])
+    def test_real_path_agrees_with_complex_path(self, shape):
+        from repro.fft import set_real_convolution_path
+
+        rng = np.random.default_rng(shape[0] * 17 + shape[1])
+        x = rng.standard_normal(shape)
+        k = rng.standard_normal(shape)
+        real_path = fft_circular_convolve2d(x, k)
+        previous = set_real_convolution_path(False)
+        try:
+            complex_path = fft_circular_convolve2d(x, k)
+        finally:
+            set_real_convolution_path(previous)
+        assert real_path.dtype == complex_path.dtype == np.float64
+        np.testing.assert_allclose(real_path, complex_path, atol=1e-10)
+
+    def test_flag_round_trips(self):
+        from repro.fft import real_convolution_path_enabled, set_real_convolution_path
+
+        assert real_convolution_path_enabled() is True
+        previous = set_real_convolution_path(False)
+        assert previous is True
+        assert real_convolution_path_enabled() is False
+        set_real_convolution_path(True)
+        assert real_convolution_path_enabled() is True
+
+    def test_flag_off_reproduces_legacy_complex_bits(self):
+        """With the real path disabled, results are bit-identical to the
+        pre-change full-complex implementation."""
+        from repro.fft import ifft2, set_real_convolution_path
+
+        rng = np.random.default_rng(11)
+        x = rng.standard_normal((16, 16))
+        k = rng.standard_normal((16, 16))
+        previous = set_real_convolution_path(False)
+        try:
+            legacy = fft_circular_convolve2d(x, k)
+        finally:
+            set_real_convolution_path(previous)
+        np.testing.assert_array_equal(legacy, np.real(ifft2(fft2(x) * fft2(k))))
+
+    def test_complex_operands_always_use_complex_path(self):
+        rng = np.random.default_rng(12)
+        x = rng.standard_normal((8, 8)) + 1j * rng.standard_normal((8, 8))
+        k = rng.standard_normal((8, 8)) + 1j * rng.standard_normal((8, 8))
+        from repro.fft import ifft2
+
+        result = fft_circular_convolve2d(x, k)
+        assert np.iscomplexobj(result)
+        np.testing.assert_array_equal(result, ifft2(fft2(x) * fft2(k)))
+
+    def test_loop_dense_streamed_bit_identical_on_real_path(self):
+        from repro.fft import (
+            fft_circular_convolve2d_batch,
+            fft_circular_convolve2d_chunks,
+        )
+
+        rng = np.random.default_rng(13)
+        batch = rng.standard_normal((10, 12, 12))
+        k = rng.standard_normal((12, 12))
+        dense = fft_circular_convolve2d_batch(batch, k)
+        looped = np.stack([fft_circular_convolve2d(p, k) for p in batch])
+        np.testing.assert_array_equal(dense, looped)
+        for chunk_rows in (1, 3, 10):
+            streamed = np.empty_like(dense)
+            chunks = (
+                (batch[i : i + chunk_rows], range(i, min(i + chunk_rows, 10)))
+                for i in range(0, 10, chunk_rows)
+            )
+            for convolved, rows in fft_circular_convolve2d_chunks(
+                chunks, k, num_rows=10
+            ):
+                streamed[rows.start : rows.stop] = convolved
+            np.testing.assert_array_equal(streamed, dense)
+
+    def test_quantized_spectrum_precision_mismatch_raises(self):
+        from repro.fft import fft_circular_convolve2d_batch, kernel_spectrum
+        from repro.hw.quantize import resolve_precision
+
+        rng = np.random.default_rng(14)
+        stack = rng.standard_normal((2, 8, 8))
+        k = rng.standard_normal((8, 8))
+        quantized = kernel_spectrum(k, real=True, precision=resolve_precision("int8"))
+        with pytest.raises(ValueError, match="quantized as"):
+            fft_circular_convolve2d_batch(stack, k, kernel_spectrum=quantized)
+
+    def test_quantized_spectrum_matching_precision_reused(self):
+        from repro.fft import fft_circular_convolve2d_batch, kernel_spectrum
+        from repro.hw.quantize import resolve_precision
+
+        rng = np.random.default_rng(15)
+        stack = rng.standard_normal((2, 8, 8))
+        k = rng.standard_normal((8, 8))
+        spec = resolve_precision("int8")
+        quantized = kernel_spectrum(k, real=True, precision=spec)
+        np.testing.assert_array_equal(
+            fft_circular_convolve2d_batch(
+                stack, k, kernel_spectrum=quantized, precision=spec
+            ),
+            fft_circular_convolve2d_batch(stack, k, precision=spec),
+        )

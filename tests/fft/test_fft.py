@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.fft import bit_reversal_permutation, fft, ifft, is_power_of_two
+from repro.fft import bit_reversal_permutation, fft, ifft, is_power_of_two, rfft
 from repro.fft.fft import (
     clear_fft_plan_cache,
     fft_plan_cache_info,
@@ -142,12 +142,19 @@ class TestHelpers:
     def test_plan_cache_populates_and_clears(self):
         clear_fft_plan_cache()
         fft(np.ones(32))
+        rfft(np.ones(32))
         info = fft_plan_cache_info()
         assert info["twiddle_plans"] >= 1
         assert info["bit_reversal_tables"] >= 1
+        assert info["rfft_plans"] >= 1
         clear_fft_plan_cache()
         info = fft_plan_cache_info()
-        assert info == {"twiddle_plans": 0, "bit_reversal_tables": 0}
+        assert info["twiddle_plans"] == 0
+        assert info["bit_reversal_tables"] == 0
+        assert info["rfft_plans"] == 0
+        # Registered sibling caches (the kernel-spectrum cache) are
+        # covered by the same entry points.
+        assert info["kernel_spectra"] == 0
 
 
 class TestProperties:

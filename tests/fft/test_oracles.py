@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.fft import fft, fft2, fft_circular_convolve2d, ifft
+from repro.fft import fft, fft2, fft_circular_convolve2d, ifft, irfft, rfft, rfft2
 
 scipy_fft = pytest.importorskip("scipy.fft")
 
@@ -40,6 +40,37 @@ class TestScipyOracle:
         k = rng.standard_normal((32, 32))
         expected = np.real(scipy_fft.ifft2(scipy_fft.fft2(x) * scipy_fft.fft2(k)))
         np.testing.assert_allclose(fft_circular_convolve2d(x, k), expected, atol=1e-8)
+
+
+class TestRealTransformOracles:
+    """The half-spectrum hot path against numpy *and* scipy."""
+
+    @pytest.mark.parametrize("n", [64, 100, 127, 128, 243, 251, 256, 1000])
+    def test_rfft_matches_numpy_and_scipy(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.standard_normal(n)
+        ours = rfft(x)
+        np.testing.assert_allclose(ours, np.fft.rfft(x), atol=1e-7)
+        np.testing.assert_allclose(ours, scipy_fft.rfft(x), atol=1e-7)
+
+    @pytest.mark.parametrize("shape", [(64, 64), (100, 50), (127, 128), (31, 37)])
+    def test_rfft2_matches_numpy(self, shape):
+        rng = np.random.default_rng(shape[0])
+        x = rng.standard_normal(shape)
+        np.testing.assert_allclose(rfft2(x), np.fft.rfft2(x), atol=1e-7)
+
+    @pytest.mark.parametrize("n", [128, 251, 500, 501])
+    def test_irfft_matches_numpy(self, n):
+        rng = np.random.default_rng(n)
+        spectrum = np.fft.rfft(rng.standard_normal(n))
+        np.testing.assert_allclose(
+            irfft(spectrum, n=n), np.fft.irfft(spectrum, n=n), atol=1e-9
+        )
+
+    def test_large_power_of_two_rfft(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(4096)
+        np.testing.assert_allclose(rfft(x), np.fft.rfft(x), atol=1e-6)
 
 
 class TestNumericalStability:
