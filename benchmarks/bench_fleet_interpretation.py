@@ -33,13 +33,27 @@ executed pipeline, and -- in the quantized smoke, part of ``--quick``
 -- int8 batched error within the documented bound with dispatch counts
 matching the exact run.
 
+A third mode, ``--scaling``, exercises the **pod axis**
+(``ExplanationPipeline(num_chips=K)``): the same fleet sharded across
+K simulated chips over an interconnect that prices the scatter /
+broadcast / gather collectives.  It emits strong-scaling (fixed
+100-pair fleet, 1/2/4/8 chips) and weak-scaling (25 pairs per chip)
+curves with per-wave collective seconds itemized from the pod's
+collective log, asserts pod scores bit-identical to the single-chip
+run at every chip count and precision (fp64/bf16/int8), requires the
+4-chip strong-scaling simulated speedup to clear ``2.5x``, and writes
+the curves to ``BENCH_fleet_scaling.json``.  ``--scaling --quick`` is
+the CI variant: a 20-pair fleet, direction-only speedup contract, and
+a ``BENCH_fleet_scaling_quick.json`` artifact.
+
 Runnable standalone::
 
     PYTHONPATH=src python benchmarks/bench_fleet_interpretation.py \
-        [--quick] [--pipelined]
+        [--quick] [--pipelined] [--scaling] [--json PATH]
 """
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -57,12 +71,27 @@ from repro.core.backend import TpuBackend, make_tpu_chip
 from repro.core.pipeline import ExplanationPipeline
 from repro.hw.cpu import CpuDevice
 from repro.hw.gpu import GpuDevice
+from repro.hw.pod import TpuPod
 
 FLEET_SIZES = (1, 10, 100)
 SHAPE = (16, 16)
 BLOCK = (4, 4)
 PAIRS_PER_WAVE = 10  # wave width for the pipelined columns/contracts
 PRECISIONS = ("fp64", "bf16", "int8")  # the quantized-batch ladder
+
+# --- pod scaling mode -------------------------------------------------
+# Per-element masks on a 32x32 plane give each pair 1025 mask rows, so
+# the 100-pair fleet's wave compute dwarfs the serial program overhead
+# (dispatch + host infeed/outfeed on chip 0) that strong scaling cannot
+# shard.  Plane stays a power of two: the host rFFT path prices (and
+# runs) those sizes fastest.
+SCALING_SHAPE = (32, 32)
+SCALING_BLOCK = (1, 1)
+SCALING_PAIRS = 100  # the strong-scaling fleet
+SCALING_CHIPS = (1, 2, 4, 8)
+WEAK_PAIRS_PER_CHIP = 25
+IDENTITY_PAIRS = 20  # fleet size for the precision/chip-count identity matrix
+SCALING_SPEEDUP_FLOOR = 2.5  # 4-chip strong-scaling acceptance bar
 
 
 def small_backend(num_cores=8):
@@ -250,6 +279,256 @@ def _quantized_error(pairs, precision):
     exact = _run("wave", pairs)
     quantized = _run("wave", pairs, precision=precision)
     return _max_score_error(quantized, exact), quantized, exact
+
+
+# ----------------------------------------------------------------------
+# Pod scaling mode (--scaling)
+# ----------------------------------------------------------------------
+
+
+def _scaling_run(pairs, num_chips, placement="data", precision=None):
+    """Run the scaling fleet on K chips; returns (run, pod-or-None)."""
+    pipeline = ExplanationPipeline(
+        TpuBackend(make_tpu_chip()),
+        granularity="blocks",
+        block_shape=SCALING_BLOCK,
+        eps=1e-8,
+        precision=precision,
+        num_chips=num_chips if num_chips > 1 else None,
+        placement=placement,
+    )
+    run = pipeline.run(pairs)
+    pod = pipeline.device if isinstance(pipeline.device, TpuPod) else None
+    return run, pod
+
+
+def _runs_identical(reference, run):
+    return all(
+        np.array_equal(a.scores, b.scores) and a.residual == b.residual
+        for a, b in zip(reference.explanations, run.explanations)
+    )
+
+
+def _wave_records(pod):
+    """Itemize the pod's collective log: one record per committed wave."""
+    return [
+        {
+            "wave_index": w.wave_index,
+            "placement": w.placement,
+            "num_pairs": w.num_pairs,
+            "num_rows": w.num_rows,
+            "active_chips": w.active_chips,
+            "chip_seconds": list(w.chip_seconds),
+            "scatter_seconds": w.scatter_seconds,
+            "scatter_bytes": w.scatter_bytes,
+            "broadcast_seconds": w.broadcast_seconds,
+            "broadcast_bytes": w.broadcast_bytes,
+            "gather_seconds": w.gather_seconds,
+            "gather_bytes": w.gather_bytes,
+        }
+        for w in pod.collective_log
+    ]
+
+
+def _scaling_entry(run, pod, baseline_seconds=None):
+    entry = {
+        "simulated_seconds": run.simulated_seconds,
+        "num_waves": run.num_programs,
+    }
+    if pod is not None:
+        waves = _wave_records(pod)
+        entry["waves"] = waves
+        entry["collective_seconds"] = sum(
+            w["scatter_seconds"] + w["broadcast_seconds"] + w["gather_seconds"]
+            for w in waves
+        )
+    if baseline_seconds is not None:
+        entry["speedup_vs_1chip"] = baseline_seconds / run.simulated_seconds
+    return entry
+
+
+def _scaling_mode(quick=False, json_path=None) -> int:
+    """Strong/weak pod-scaling curves plus the bit-identity matrix.
+
+    Exits non-zero unless every pod run's scores equal the single-chip
+    run bit for bit (at every chip count and, in full mode, at every
+    precision) and the strong-scaling speedup clears the bar: 4-chip
+    >= 2.5x in full mode, > 1x in the quick CI smoke.
+    """
+    chip_counts = (1, 4) if quick else SCALING_CHIPS
+    strong_fleet = IDENTITY_PAIRS if quick else SCALING_PAIRS
+    placement = "data"
+    failures = []
+
+    # Strong scaling: fixed fleet, growing chip count.
+    pairs = planted_pairs(strong_fleet, shape=SCALING_SHAPE, seed=0)
+    print(
+        f"POD STRONG SCALING ({strong_fleet} pairs, {SCALING_SHAPE[0]}x"
+        f"{SCALING_SHAPE[1]} planes, per-element masks, {placement} placement)"
+    )
+    strong = {}
+    reference = None
+    last_pod = None
+    for k in chip_counts:
+        run, pod = _scaling_run(pairs, k)
+        if reference is None:
+            reference = run
+        entry = _scaling_entry(run, pod, reference.simulated_seconds)
+        entry["bit_identical_to_1chip"] = _runs_identical(reference, run)
+        if not entry["bit_identical_to_1chip"]:
+            failures.append(f"strong scaling K={k}: scores diverge from 1 chip")
+        strong[str(k)] = entry
+        if pod is not None:
+            last_pod = pod
+        collective = entry.get("collective_seconds", 0.0)
+        print(
+            f"  chips={k}: seconds={run.simulated_seconds:.4f} "
+            f"speedup={entry['speedup_vs_1chip']:.2f}x "
+            f"collectives={collective:.6f}s "
+            f"identical={entry['bit_identical_to_1chip']}"
+        )
+    strong_speedup = strong[str(chip_counts[-1] if quick else 4)][
+        "speedup_vs_1chip"
+    ]
+    floor = 1.0 if quick else SCALING_SPEEDUP_FLOOR
+    if strong_speedup < floor:
+        failures.append(
+            f"strong scaling: 4-chip speedup {strong_speedup:.2f}x "
+            f"below the {floor}x floor"
+        )
+
+    # Chunk placement: same fleet, rows sharded instead of pairs.
+    chunk = None
+    if not quick:
+        run, pod = _scaling_run(pairs, 4, placement="chunk")
+        chunk = _scaling_entry(run, pod, reference.simulated_seconds)
+        chunk["bit_identical_to_1chip"] = _runs_identical(reference, run)
+        if not chunk["bit_identical_to_1chip"]:
+            failures.append("chunk placement K=4: scores diverge from 1 chip")
+        print(
+            f"  chips=4 (chunk placement): seconds={run.simulated_seconds:.4f} "
+            f"speedup={chunk['speedup_vs_1chip']:.2f}x "
+            f"collectives={chunk['collective_seconds']:.6f}s "
+            f"identical={chunk['bit_identical_to_1chip']}"
+        )
+
+    # Weak scaling: fleet grows with the chip count.
+    weak = None
+    if not quick:
+        print(f"POD WEAK SCALING ({WEAK_PAIRS_PER_CHIP} pairs per chip)")
+        weak = {"pairs_per_chip": WEAK_PAIRS_PER_CHIP, "runs": {}}
+        weak_baseline = None
+        for k in SCALING_CHIPS:
+            weak_pairs = planted_pairs(
+                WEAK_PAIRS_PER_CHIP * k, shape=SCALING_SHAPE, seed=1
+            )
+            run, pod = _scaling_run(weak_pairs, k)
+            if weak_baseline is None:
+                weak_baseline = run.simulated_seconds
+            entry = _scaling_entry(run, pod)
+            entry["pairs"] = len(weak_pairs)
+            entry["efficiency"] = weak_baseline / run.simulated_seconds
+            weak["runs"][str(k)] = entry
+            print(
+                f"  chips={k}: pairs={len(weak_pairs)} "
+                f"seconds={run.simulated_seconds:.4f} "
+                f"efficiency={entry['efficiency']:.2f}"
+            )
+
+    # Bit-identity matrix across the precision ladder.
+    precisions = ("int8",) if quick else PRECISIONS
+    identity_chips = [k for k in chip_counts if k > 1]
+    identity = {
+        "pairs": IDENTITY_PAIRS,
+        "precisions": list(precisions),
+        "chip_counts": identity_chips,
+        "placement": placement,
+        "all_identical": True,
+    }
+    identity_pairs = planted_pairs(IDENTITY_PAIRS, shape=SCALING_SHAPE, seed=2)
+    print(
+        f"POD BIT-IDENTITY MATRIX ({IDENTITY_PAIRS} pairs; "
+        f"precisions {'/'.join(precisions)} x chips "
+        f"{'/'.join(str(k) for k in identity_chips)})"
+    )
+    for precision in precisions:
+        single, _ = _scaling_run(identity_pairs, 1, precision=precision)
+        for k in identity_chips:
+            sharded, _ = _scaling_run(identity_pairs, k, precision=precision)
+            identical = _runs_identical(single, sharded)
+            print(f"  {precision} chips={k}: identical={identical}")
+            if not identical:
+                identity["all_identical"] = False
+                failures.append(
+                    f"identity: {precision} at {k} chips diverges from 1 chip"
+                )
+
+    interconnect = last_pod.interconnect.config if last_pod else None
+    payload = {
+        "benchmark": "bench_fleet_scaling",
+        "mode": "quick" if quick else "full",
+        "clock": "simulated",
+        "plane_shape": list(SCALING_SHAPE),
+        "block_shape": list(SCALING_BLOCK),
+        "rows_per_pair": SCALING_SHAPE[0] * SCALING_SHAPE[1] + 1,
+        "placement": placement,
+        "interconnect": {
+            "topology": interconnect.topology,
+            "link_bandwidth_bytes_per_sec": (
+                interconnect.link_bandwidth_bytes_per_sec
+            ),
+            "link_latency_sec": interconnect.link_latency_sec,
+        }
+        if interconnect
+        else None,
+        "strong": {"pairs": strong_fleet, "runs": strong},
+        "chunk_placement_4_chips": chunk,
+        "weak": weak,
+        "identity": identity,
+        "contracts": {
+            "strong_speedup_floor_4_chips": floor,
+            "strong_speedup_measured_4_chips": strong_speedup,
+            "bit_identity": "pod scores == single-chip scores at every "
+            "chip count, placement and precision",
+            "bit_identity_holds": identity["all_identical"]
+            and not any("diverge" in f for f in failures),
+        },
+    }
+    if json_path is None:
+        json_path = (
+            "BENCH_fleet_scaling_quick.json"
+            if quick
+            else "BENCH_fleet_scaling.json"
+        )
+    with open(json_path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {json_path}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def test_pod_strong_scaling_direction_and_identity():
+    """A 4-chip pod must beat one chip on a fleet whose wave compute
+    exceeds the unshardable program overhead, without moving a bit."""
+    pairs = planted_pairs(10, shape=SCALING_SHAPE, seed=0)
+    single, no_pod = _scaling_run(pairs, 1)
+    sharded, pod = _scaling_run(pairs, 4)
+    assert no_pod is None and pod is not None
+    assert sharded.simulated_seconds < single.simulated_seconds
+    assert len(pod.collective_log) == 1
+    assert pod.collective_log[0].gather_seconds > 0.0
+    assert _runs_identical(single, sharded)
+
+
+def test_pod_chunk_placement_matches_data_placement():
+    pairs = planted_pairs(6, shape=SCALING_SHAPE, seed=4)
+    data_run, _ = _scaling_run(pairs, 4, placement="data")
+    chunk_run, chunk_pod = _scaling_run(pairs, 4, placement="chunk")
+    assert _runs_identical(data_run, chunk_run)
+    assert chunk_pod.collective_log[0].broadcast_seconds > 0.0
 
 
 # ----------------------------------------------------------------------
@@ -464,7 +743,24 @@ def main(argv=None) -> int:
         help="also run the executed 100-pair pipelined-vs-serial contract "
         "(pipelined elapsed < serial, unchanged dispatch count)",
     )
+    parser.add_argument(
+        "--scaling",
+        action="store_true",
+        help="pod-scaling mode: strong/weak curves across 1/2/4/8 chips "
+        "with interconnect-priced collectives, bit-identity matrix, JSON "
+        "artifact (combine with --quick for the CI direction-only smoke)",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="output path for the --scaling JSON artifact "
+        "(default: BENCH_fleet_scaling.json, or the _quick variant)",
+    )
     args = parser.parse_args(argv)
+
+    if args.scaling:
+        return _scaling_mode(quick=args.quick, json_path=args.json)
 
     fleet = 10 if args.quick else 100
     pairs = planted_pairs(fleet)

@@ -24,7 +24,7 @@ Layout mirrors Section III of the paper:
   workload that Table II times end to end.
 """
 
-from repro.core.backend import TpuBackend, make_tpu_chip
+from repro.core.backend import TpuBackend, make_tpu_chip, make_tpu_pod
 from repro.core.decomposition import (
     DecomposedFourier,
     DecompositionReport,
@@ -36,6 +36,7 @@ from repro.core.fleet import (
     FleetExecutor,
     FleetRun,
     FleetSchedule,
+    PLACEMENTS,
     PairResult,
     WavePlan,
     feed_bytes,
@@ -98,6 +99,8 @@ from repro.core.transform import (
 __all__ = [
     "TpuBackend",
     "make_tpu_chip",
+    "make_tpu_pod",
+    "PLACEMENTS",
     "DecomposedFourier",
     "DecompositionReport",
     "StageTiming",

@@ -25,7 +25,9 @@ import numpy as np
 
 from repro.core.decomposition import shard_slices
 from repro.hw.device import Device
+from repro.hw.interconnect import Interconnect, InterconnectConfig
 from repro.hw.mxu import MxuConfig
+from repro.hw.pod import TpuPod
 from repro.hw.quantize import infeed_bytes_per_element, resolve_precision
 from repro.hw.tpu import TpuChip, TpuChipConfig, TpuCoreConfig
 
@@ -51,12 +53,43 @@ def make_tpu_chip(
     return TpuChip(TpuChipConfig(num_cores=num_cores, core=core, **chip_kwargs))
 
 
+def make_tpu_pod(
+    num_chips: int,
+    interconnect: Interconnect | InterconnectConfig | None = None,
+    **chip_kwargs,
+) -> TpuPod:
+    """A :class:`~repro.hw.pod.TpuPod` of ``num_chips`` paper-config chips.
+
+    Each member is an independent :class:`TpuBackend` built with
+    :func:`make_tpu_chip` (``chip_kwargs`` forward there);
+    ``interconnect`` prices the pod-level collectives and defaults to
+    the same link model the intra-chip cores use.
+    """
+    num_chips = int(num_chips)
+    if num_chips < 1:
+        raise ValueError(f"a pod needs at least one chip, got {num_chips}")
+    return TpuPod(
+        [TpuBackend(make_tpu_chip(**chip_kwargs)) for _ in range(num_chips)],
+        interconnect=interconnect,
+    )
+
+
 class TpuBackend(Device):
     """Multi-core TPU chip behind the common device interface."""
 
     def __init__(self, chip: TpuChip | None = None) -> None:
         self.chip = chip or make_tpu_chip()
         super().__init__(name=f"tpu-chip-{self.chip.num_cores}c")
+
+    def clone(self) -> "TpuBackend":
+        """A fresh backend around an identically configured chip.
+
+        Pod replication (:func:`repro.hw.pod.clone_device`) calls this:
+        the clone shares the immutable chip config but nothing mutable
+        -- its ledger, cores and event counters start clean.
+        """
+        trace = self.chip.cores[0].trace_enabled
+        return TpuBackend(TpuChip(self.chip.config, trace=trace))
 
     # ------------------------------------------------------------------
     # Cost hooks

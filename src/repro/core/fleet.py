@@ -60,6 +60,36 @@ additionally streams its infeed at the spec's storage width (1
 byte/element for int8) and is priced by the MXU cycle hooks at the
 spec's rate -- the accuracy-vs-speed trade-off
 ``benchmarks/bench_fleet_interpretation.py`` reports per precision.
+
+**Pod sharding.**  ``num_chips=K`` (or handing a
+:class:`~repro.hw.pod.TpuPod` in as the device) scales a fleet past one
+chip: each wave is sharded across the pod's chips and the data movement
+between them is priced on the pod's
+:class:`~repro.hw.interconnect.Interconnect`.  ``placement`` picks the
+axis:
+
+* ``"data"`` (default) -- the wave's *pairs* split contiguously across
+  chips; each chip runs its sub-wave exactly like a single-chip wave
+  (own kernel solves, own spectra batch), chip 0 holds the host link
+  (full wave infeed/outfeed) and scatters peer shards point-to-point;
+* ``"chunk"`` -- the wave's cross-pair *row space* (every mask row plus
+  every residual row) splits contiguously across chips: chip 0 solves
+  all kernels and the wave's one spectrum batch, the planes and kernel
+  spectra broadcast to the peers, and each chip convolves + reduces
+  only its row window (windowed
+  :meth:`~repro.core.masking.MaskSpec.iter_chunks`) -- the placement
+  for a single over-wide plan that no pair split can balance.
+
+Per wave the pod prices a scatter (plane bytes), a broadcast (kernel
+spectra, chunk placement) and a gather (score rows), and
+``pipelined=True`` overlaps wave ``i+1``'s pre-compute collectives with
+wave ``i``'s compute exactly the way :meth:`~repro.hw.device
+.Device.pipeline` overlaps infeed -- the hidden time comes back as the
+pod's negative ``collective_overlap`` ledger row, concurrency across
+chips as ``pod_compute_overlap`` (see :meth:`~repro.hw.pod
+.TpuPod.commit_run`).  Convolution, scoring and reduction are per-row
+operations, so sharded scores stay **bit-identical** to single-chip
+execution at every chip count, placement and precision.
 """
 
 from __future__ import annotations
@@ -68,6 +98,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.decomposition import shard_slices
 from repro.core.distillation import ConvolutionDistiller
 from repro.core.interpretation import element_scores_from_base
 from repro.core.masking import (
@@ -81,12 +112,18 @@ from repro.core.masking import (
     reduce_batch,
 )
 from repro.core.transform import OutputEmbedding
+from repro.fft.convolution import fft_circular_convolve2d_chunks
 from repro.hw.device import Device, DeviceStats
+from repro.hw.pod import PodWaveStats, TpuPod
 from repro.hw.quantize import resolve_precision
 
 GRANULARITIES = ("blocks", "columns", "rows", "elements")
 
+PLACEMENTS = ("data", "chunk")
+
 FLOAT_BYTES = 8  # the fused stack is materialized in float64
+
+COMPLEX_BYTES = 16  # kernel spectra broadcast as complex128 planes
 
 
 def feed_bytes(arrays, spec) -> int:
@@ -409,6 +446,9 @@ class FleetExecutor:
         chunk_rows: int | None = None,
         precision=None,
         dense_budget: bool = False,
+        num_chips: int | None = None,
+        placement: str = "data",
+        interconnect=None,
     ) -> None:
         if granularity not in GRANULARITIES:
             raise ValueError(
@@ -420,9 +460,29 @@ class FleetExecutor:
             raise ValueError(
                 f"unknown reduction {reduction!r}; expected one of {REDUCTIONS}"
             )
+        if placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement {placement!r}; expected one of {PLACEMENTS}"
+            )
         self.precision = resolve_precision(precision)
         check_precision_granularity(self.precision, granularity)
-        self.device = device
+        # Pod resolution: an explicit TpuPod device wins; otherwise
+        # num_chips > 1 replicates the given device into a fresh pod
+        # (num_chips=1/None keeps the plain single-device path, which
+        # retains chip-level infeed pipelining).
+        if isinstance(device, TpuPod):
+            if num_chips is not None and int(num_chips) != device.num_chips:
+                raise ValueError(
+                    f"num_chips={num_chips} disagrees with the supplied "
+                    f"{device.num_chips}-chip pod"
+                )
+            self.pod: TpuPod | None = device
+        elif num_chips is not None and int(num_chips) > 1:
+            self.pod = TpuPod.like(device, int(num_chips), interconnect=interconnect)
+        else:
+            self.pod = None
+        self.placement = placement
+        self.device = self.pod if self.pod is not None else device
         self.granularity = granularity
         self.block_shape = block_shape
         self.eps = eps
@@ -547,7 +607,13 @@ class FleetExecutor:
         plans = self._check_plans(xs, plans)
         schedule = self._schedule(xs, ys, plans)
         results: list[PairResult | None] = [None] * len(pairs)
-        if pipelined:
+        if self.pod is not None:
+            # Pod execution: the pod's stage model owns all cross-wave
+            # overlap (pipelined=True overlaps wave i+1's collectives
+            # with wave i's compute); chip-level pipeline scopes are not
+            # opened, so overlap is never double-counted.
+            self._run_pod(schedule, xs, ys, plans, results, pipelined)
+        elif pipelined:
             with self.device.pipeline():
                 for wave in schedule.waves:
                     self._run_wave(wave, xs, ys, plans, results)
@@ -578,30 +644,77 @@ class FleetExecutor:
             yield np.asarray(xs[i])[np.newaxis], range(row, row + 1)
             row += 1
 
-    def _run_wave(self, wave: WavePlan, xs, ys, plans, results) -> None:
+    def _solve_kernels(self, device: Device, indices, xs, ys):
+        """Per-pair Eq. 4 solves on ``device`` (inside a program scope)."""
+        kernels: list[np.ndarray] = []
+        y_planes: list[np.ndarray] = []
+        for i in indices:
+            distiller = ConvolutionDistiller(
+                device=device, eps=self.eps, embedding=self.embedding
+            )
+            distiller.fit(xs[i], ys[i])
+            kernels.append(distiller.kernel_)
+            y_planes.append(distiller.lift_outputs(ys[i])[0])
+        return kernels, y_planes
+
+    def _assemble_results(
+        self, device, indices, xs, plans, kernels, y_planes,
+        mask_scores, residual_pred, results,
+    ) -> None:
+        """Reassembly: fold each pair's streamed scores and residual."""
+        for local, i in enumerate(indices):
+            pred = residual_pred[local]
+            delta = pred - y_planes[local]
+            residual = float(np.sqrt(np.mean(np.abs(delta) ** 2)))
+            if plans[i] is None:
+                scores = self._element_scores(
+                    xs[i], kernels[local], y_planes[local], pred, device
+                )
+            else:
+                scores = plans[i].reshape_scores(mask_scores[local])
+            results[i] = PairResult(
+                kernel=kernels[local], scores=scores, residual=residual
+            )
+
+    def _run_wave(
+        self,
+        wave: WavePlan,
+        xs,
+        ys,
+        plans,
+        results,
+        device: Device | None = None,
+        infeed_bytes: int | None = None,
+        outfeed_bytes: int | None = None,
+    ) -> None:
+        """Execute one (sub-)wave as a single program on ``device``.
+
+        The single-chip hot path, also reused verbatim by the pod's
+        ``data`` placement for each chip's pair shard -- ``device``
+        overrides the executor's own device, and ``infeed_bytes`` /
+        ``outfeed_bytes`` override the program's host-link charges (a
+        pod peer chip receives its shard over the interconnect, so its
+        program opens with zero host bytes while chip 0 carries the
+        whole wave's).
+        """
+        device = self.device if device is None else device
         indices = wave.pair_indices
         # Quantized waves stream their pairs at the spec's storage width
         # (fp64 reproduces the legacy float64 feed); scores stream back
         # dequantized, at full width.
-        infeed = feed_bytes(
-            [a for i in indices for a in (xs[i], ys[i])], self.precision
-        )
-        outfeed = sum(xs[i].nbytes for i in indices)
+        if infeed_bytes is None:
+            infeed_bytes = feed_bytes(
+                [a for i in indices for a in (xs[i], ys[i])], self.precision
+            )
+        if outfeed_bytes is None:
+            outfeed_bytes = sum(xs[i].nbytes for i in indices)
         rows_per_chunk = effective_chunk_rows(
             wave.plane_shape, self.chunk_rows, self.max_stack_bytes,
             what="streamed wave chunk",
         )
-        with self.device.program(infeed_bytes=infeed, outfeed_bytes=outfeed):
+        with device.program(infeed_bytes=infeed_bytes, outfeed_bytes=outfeed_bytes):
             # Per-pair Eq. 4 solves (device ops inside the wave program).
-            kernels: list[np.ndarray] = []
-            y_planes: list[np.ndarray] = []
-            for i in indices:
-                distiller = ConvolutionDistiller(
-                    device=self.device, eps=self.eps, embedding=self.embedding
-                )
-                distiller.fit(xs[i], ys[i])
-                kernels.append(distiller.kernel_)
-                y_planes.append(distiller.lift_outputs(ys[i])[0])
+            kernels, y_planes = self._solve_kernels(device, indices, xs, ys)
 
             # Stream the fused cross-pair stack: masked chunks and
             # residual planes flow through one chunked batched
@@ -610,14 +723,13 @@ class FleetExecutor:
             table = SliceTable.for_plans([plans[i] for i in indices])
             row_pair = table.row_pair_indices()
             row_is_mask = np.asarray([r.kind == "mask" for r in table.rows])
-            convolved_chunks = self.device.conv2d_circular_batch_chunks(
+            convolved_chunks = device.conv2d_circular_batch_chunks(
                 self._wave_chunks(wave, xs, plans, rows_per_chunk),
                 np.stack(kernels),
                 num_rows=len(table),
                 row_kernel=row_pair,
                 precision=self.precision,
             )
-            local_of = {i: local for local, i in enumerate(indices)}
             mask_scores = {
                 local: np.empty(plans[i].num_masks)
                 for local, i in enumerate(indices)
@@ -650,21 +762,262 @@ class FleetExecutor:
                     cursors[local] = cursor + stop - offset
                     offset = stop
 
-            # Reassembly: fold each pair's streamed scores and residual.
-            for i in indices:
-                local = local_of[i]
-                pred = residual_pred[local]
-                delta = pred - y_planes[local]
-                residual = float(np.sqrt(np.mean(np.abs(delta) ** 2)))
-                if plans[i] is None:
-                    scores = self._element_scores(
-                        xs[i], kernels[local], y_planes[local], pred
-                    )
-                else:
-                    scores = plans[i].reshape_scores(mask_scores[local])
-                results[i] = PairResult(
-                    kernel=kernels[local], scores=scores, residual=residual
+            self._assemble_results(
+                device, indices, xs, plans, kernels, y_planes,
+                mask_scores, residual_pred, results,
+            )
+
+    # ------------------------------------------------------------------
+    # Pod execution: one wave sharded across K chips
+    # ------------------------------------------------------------------
+    def _run_pod(self, schedule, xs, ys, plans, results, pipelined: bool) -> None:
+        """Drive every wave across the pod's chips and commit the ledger."""
+        pod = self.pod
+        wave_stats: list[PodWaveStats] = []
+        for wave_index, wave in enumerate(schedule.waves):
+            before = [d.stats.seconds for d in pod.devices]
+            if self.placement == "chunk":
+                collectives = self._run_wave_chunked(pod, wave, xs, ys, plans, results)
+            else:
+                collectives = self._run_wave_data(pod, wave, xs, ys, plans, results)
+            chip_seconds = tuple(
+                device.stats.seconds - start
+                for device, start in zip(pod.devices, before)
+            )
+            wave_stats.append(
+                PodWaveStats(
+                    wave_index=wave_index,
+                    placement=self.placement,
+                    num_pairs=wave.num_pairs,
+                    num_rows=wave.num_rows,
+                    chip_seconds=chip_seconds,
+                    **collectives,
                 )
+            )
+        pod.commit_run(wave_stats, pipelined=pipelined)
+
+    def _run_wave_data(self, pod, wave, xs, ys, plans, results) -> dict:
+        """Data placement: the wave's pairs split contiguously across chips.
+
+        Chip ``c`` runs an ordinary sub-wave over its pair shard
+        (:meth:`_run_wave`); per-pair kernels, scores and residuals are
+        plane-local, so the shard is bit-identical to the same pairs of
+        a single-chip wave.  Chip 0 owns the host link -- it infeeds and
+        outfeeds the *whole* wave -- and the peer shards' plane bytes
+        are priced as point-to-point scatters on the pod interconnect
+        (serialized on the root's links, a conservative model); peer
+        score rows come back through one all-gather.  Chips beyond the
+        wave's pair count launch nothing.
+        """
+        indices = wave.pair_indices
+        active = min(pod.num_chips, wave.num_pairs)
+        full_infeed = feed_bytes(
+            [a for i in indices for a in (xs[i], ys[i])], self.precision
+        )
+        full_outfeed = sum(xs[i].nbytes for i in indices)
+        scatter_seconds = 0.0
+        scatter_bytes = 0
+        shard_out_bytes: list[int] = []
+        for chip, pair_slice in enumerate(shard_slices(wave.num_pairs, active)):
+            sub_indices = indices[pair_slice]
+            sub_rows = sum(
+                (plans[i].num_masks if plans[i] is not None else 0) + 1
+                for i in sub_indices
+            )
+            shard = WavePlan(tuple(sub_indices), wave.plane_shape, sub_rows)
+            if chip > 0:
+                shard_feed = feed_bytes(
+                    [a for i in sub_indices for a in (xs[i], ys[i])], self.precision
+                )
+                scatter_seconds += pod.interconnect.point_to_point_seconds(shard_feed)
+                scatter_bytes += shard_feed
+            self._run_wave(
+                shard, xs, ys, plans, results,
+                device=pod.devices[chip],
+                infeed_bytes=full_infeed if chip == 0 else 0,
+                outfeed_bytes=full_outfeed if chip == 0 else 0,
+            )
+            shard_out_bytes.append(sum(xs[i].nbytes for i in sub_indices))
+        gather_seconds = pod.interconnect.all_gather_seconds(
+            max(shard_out_bytes, default=0), active
+        )
+        return dict(
+            active_chips=active,
+            scatter_seconds=scatter_seconds,
+            scatter_bytes=scatter_bytes,
+            gather_seconds=gather_seconds,
+            gather_bytes=sum(shard_out_bytes[1:]),
+        )
+
+    def _window_chunks(self, wave, xs, plans, pair_base, lo, hi, rows_per_chunk):
+        """Chunks of the wave stack restricted to global rows ``[lo, hi)``.
+
+        The windowed sibling of :meth:`_wave_chunks`: for every fused
+        pair whose rows intersect the window it yields the pair's masked
+        variants (via the windowed
+        :meth:`~repro.core.masking.MaskSpec.apply_chunks`) and -- when
+        the window covers it -- the pair's unmasked residual plane, with
+        *global* row ranges.
+        """
+        for local, i in enumerate(wave.pair_indices):
+            base = pair_base[local]
+            plan = plans[i]
+            num_masks = plan.num_masks if plan is not None else 0
+            mask_lo = max(lo, base)
+            mask_hi = min(hi, base + num_masks)
+            if mask_lo < mask_hi:
+                for masked, rows in plan.apply_chunks(
+                    xs[i],
+                    fill_value=self.fill_value,
+                    chunk_rows=rows_per_chunk,
+                    start=mask_lo - base,
+                    stop=mask_hi - base,
+                ):
+                    yield masked, range(base + rows.start, base + rows.stop)
+            residual_row = base + num_masks
+            if lo <= residual_row < hi:
+                yield np.asarray(xs[i])[np.newaxis], range(residual_row, residual_row + 1)
+
+    def _stream_rows(
+        self, device, wave, xs, plans, kernel_stack, row_pair, row_is_mask,
+        pair_base, y_planes, mask_scores, residual_pred, lo, hi, rows_per_chunk,
+    ) -> None:
+        """Convolve + reduce global rows ``[lo, hi)`` of a wave on one chip.
+
+        The chunk-placement worker: kernels were solved (and their one
+        spectrum batch recorded) on chip 0 and broadcast, so this chip
+        records only its window's share of the batched convolution
+        (:meth:`~repro.hw.device.Device._record_batch_conv`) and runs
+        the functional stream directly.  Scores land at their absolute
+        positions in the per-pair score vectors, so any partition of the
+        row space reassembles the same arrays.
+        """
+        m, n = wave.plane_shape
+        local_chunks = (
+            (chunk, range(rows.start - lo, rows.stop - lo))
+            for chunk, rows in self._window_chunks(
+                wave, xs, plans, pair_base, lo, hi, rows_per_chunk
+            )
+        )
+        convolved_chunks = fft_circular_convolve2d_chunks(
+            local_chunks,
+            kernel_stack,
+            row_kernel=row_pair[lo:hi],
+            num_rows=hi - lo,
+            precision=self.precision,
+        )
+        device._record_batch_conv(hi - lo, m, n, spec=self.precision)
+        for convolved, local_rows in convolved_chunks:
+            offset = 0
+            while offset < len(convolved):
+                row = lo + local_rows.start + offset
+                if not row_is_mask[row]:
+                    residual_pred[int(row_pair[row])] = convolved[offset]
+                    offset += 1
+                    continue
+                # Contiguous run of mask rows sharing one pair.
+                stop = offset + 1
+                while (
+                    local_rows.start + stop < local_rows.stop
+                    and row_is_mask[lo + local_rows.start + stop]
+                    and row_pair[lo + local_rows.start + stop] == row_pair[row]
+                ):
+                    stop += 1
+                local = int(row_pair[row])
+                deltas = y_planes[local][np.newaxis] - convolved[offset:stop]
+                position = row - pair_base[local]
+                mask_scores[local][position : position + stop - offset] = reduce_batch(
+                    deltas, self.reduction
+                )
+                offset = stop
+
+    def _run_wave_chunked(self, pod, wave, xs, ys, plans, results) -> dict:
+        """Chunk placement: the wave's row space splits across chips.
+
+        For a single over-wide plan (or any wave whose rows dwarf its
+        pair count) the pairs cannot balance the chips, but the rows
+        can: chip 0 solves every pair's kernel and records the wave's
+        one kernel-spectrum batch, the input planes and the spectra
+        broadcast to all active chips, and each chip convolves and
+        reduces only its contiguous row window.  Row operations are
+        per-plane, so the concatenated score segments are bit-identical
+        to the single-chip wave.  Chip 0 keeps the host link (full wave
+        infeed/outfeed); score rows return through one all-gather.
+        """
+        indices = wave.pair_indices
+        table = SliceTable.for_plans([plans[i] for i in indices])
+        row_pair = table.row_pair_indices()
+        row_is_mask = np.asarray([r.kind == "mask" for r in table.rows])
+        num_rows = len(table)
+        active = min(pod.num_chips, num_rows)
+        row_shards = shard_slices(num_rows, active)
+        m, n = wave.plane_shape
+        full_infeed = feed_bytes(
+            [a for i in indices for a in (xs[i], ys[i])], self.precision
+        )
+        full_outfeed = sum(xs[i].nbytes for i in indices)
+        rows_per_chunk = effective_chunk_rows(
+            wave.plane_shape, self.chunk_rows, self.max_stack_bytes,
+            what="streamed wave chunk",
+        )
+        pair_base: list[int] = []
+        row = 0
+        for i in indices:
+            pair_base.append(row)
+            row += (plans[i].num_masks if plans[i] is not None else 0) + 1
+
+        kernels: list[np.ndarray] = []
+        y_planes: list[np.ndarray] = []
+        kernel_stack: np.ndarray | None = None
+        mask_scores: dict[int, np.ndarray] = {}
+        residual_pred: dict[int, np.ndarray] = {}
+        for chip, row_slice in enumerate(row_shards):
+            device = pod.devices[chip]
+            with device.program(
+                infeed_bytes=full_infeed if chip == 0 else 0,
+                outfeed_bytes=full_outfeed if chip == 0 else 0,
+            ):
+                if chip == 0:
+                    kernels, y_planes = self._solve_kernels(device, indices, xs, ys)
+                    kernel_stack = np.stack(kernels)
+                    # The wave's single spectrum batch: solved and
+                    # transformed once, on the root, then broadcast --
+                    # peers do not re-record it.
+                    device._record_kernel_spectra(
+                        len(kernels), m, n, spec=self.precision
+                    )
+                    mask_scores = {
+                        local: np.empty(plans[i].num_masks)
+                        for local, i in enumerate(indices)
+                        if plans[i] is not None
+                    }
+                self._stream_rows(
+                    device, wave, xs, plans, kernel_stack, row_pair, row_is_mask,
+                    pair_base, y_planes, mask_scores, residual_pred,
+                    row_slice.start, row_slice.stop, rows_per_chunk,
+                )
+        # Host-side reassembly on the root (complex elements pairs may
+        # re-convolve eagerly there, as in single-chip execution).
+        self._assemble_results(
+            pod.devices[0], indices, xs, plans, kernels, y_planes,
+            mask_scores, residual_pred, results,
+        )
+        spectra_bytes = len(indices) * m * n * COMPLEX_BYTES
+        per_chip_out = [
+            int(round(full_outfeed * (s.stop - s.start) / num_rows))
+            for s in row_shards
+        ]
+        return dict(
+            active_chips=active,
+            scatter_seconds=pod.interconnect.broadcast_seconds(full_infeed, active),
+            scatter_bytes=full_infeed if active > 1 else 0,
+            broadcast_seconds=pod.interconnect.broadcast_seconds(spectra_bytes, active),
+            broadcast_bytes=spectra_bytes if active > 1 else 0,
+            gather_seconds=pod.interconnect.all_gather_seconds(
+                max(per_chip_out, default=0), active
+            ),
+            gather_bytes=sum(per_chip_out[1:]),
+        )
 
     def _element_scores(
         self,
@@ -672,6 +1025,7 @@ class FleetExecutor:
         kernel: np.ndarray,
         y_plane: np.ndarray,
         pred: np.ndarray,
+        device: Device | None = None,
     ) -> np.ndarray:
         """Elements granularity: the linearity fast path's base residual.
 
@@ -686,6 +1040,7 @@ class FleetExecutor:
         cast operands are re-convolved eagerly instead, exactly the
         per-pair execution and cost.
         """
+        device = self.device if device is None else device
         if (
             np.iscomplexobj(x)
             or np.iscomplexobj(kernel)
@@ -693,11 +1048,11 @@ class FleetExecutor:
         ):
             x64 = np.asarray(x, dtype=np.float64)
             kernel64 = np.asarray(kernel, dtype=np.float64)
-            pred = self.device.conv2d_circular(x64, kernel64)
+            pred = device.conv2d_circular(x64, kernel64)
         else:
             x64 = np.asarray(x, dtype=np.float64)
             kernel64 = np.asarray(kernel, dtype=np.float64)
         base = np.asarray(y_plane, dtype=np.float64) - pred
         return element_scores_from_base(
-            x64, kernel64, base, reduction=self.reduction, device=self.device
+            x64, kernel64, base, reduction=self.reduction, device=device
         )

@@ -112,20 +112,44 @@ def check_stack_budget(
     )
 
 
-def _apply_chunks(plan, x: np.ndarray, fill_value: float, chunk_rows: int):
+def _check_window(start: int, stop: int | None, num_masks: int) -> tuple[int, int]:
+    """Validate a ``[start, stop)`` mask-row window against a plan."""
+    start = int(start)
+    stop = num_masks if stop is None else int(stop)
+    if not 0 <= start <= stop <= num_masks:
+        raise ValueError(
+            f"mask window [{start}, {stop}) does not fit a plan of "
+            f"{num_masks} masks"
+        )
+    return start, stop
+
+
+def _apply_chunks(
+    plan,
+    x: np.ndarray,
+    fill_value: float,
+    chunk_rows: int,
+    start: int = 0,
+    stop: int | None = None,
+):
     """Shared ``apply_chunks`` body of :class:`MaskPlan` / :class:`MaskSpec`.
 
     Validates eagerly (a bad input shape raises at the call, not at
-    first iteration), then yields masked chunks lazily.
+    first iteration), then yields masked chunks lazily.  ``start`` /
+    ``stop`` restrict generation to a window of the plan's mask rows
+    (global row indices are preserved in the yielded ranges) -- the
+    chunk-parallel pod placement shards one plan's rows across chips
+    this way.
     """
     x = np.asarray(x)
     if x.shape != plan.plane_shape:
         raise ValueError(
             f"input shape {x.shape} does not match plan plane {plan.plane_shape}"
         )
+    start, stop = _check_window(start, stop, plan.num_masks)
 
     def _generate():
-        for chunk, rows in plan.iter_chunks(chunk_rows):
+        for chunk, rows in plan.iter_chunks(chunk_rows, start=start, stop=stop):
             yield np.where(chunk, fill_value, x[np.newaxis]), rows
 
     return _generate()
@@ -384,24 +408,33 @@ class MaskPlan:
             )
         return np.where(self.masks, fill_value, x[np.newaxis])
 
-    def iter_chunks(self, chunk_rows: int = DEFAULT_CHUNK_ROWS):
+    def iter_chunks(
+        self,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        start: int = 0,
+        stop: int | None = None,
+    ):
         """Yield ``(bool_chunk, row_range)`` slices of the mask stack.
 
         Chunks are *views* of the dense stack (no copies); the protocol
         matches :meth:`MaskSpec.iter_chunks` so streaming consumers
         (:func:`score_plan`, the fleet executor) treat dense and lazy
-        plans uniformly.
+        plans uniformly.  ``start``/``stop`` restrict iteration to a
+        window of mask rows; yielded ranges stay global.
         """
         chunk_rows = _check_chunk_rows(chunk_rows)
-        for start in range(0, self.num_masks, chunk_rows):
-            stop = min(start + chunk_rows, self.num_masks)
-            yield self.masks[start:stop], range(start, stop)
+        start, stop = _check_window(start, stop, self.num_masks)
+        for lo in range(start, stop, chunk_rows):
+            hi = min(lo + chunk_rows, stop)
+            yield self.masks[lo:hi], range(lo, hi)
 
     def apply_chunks(
         self,
         x: np.ndarray,
         fill_value: float = 0.0,
         chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        start: int = 0,
+        stop: int | None = None,
     ):
         """Yield ``(masked_chunk, row_range)`` without the full float stack.
 
@@ -409,9 +442,11 @@ class MaskPlan:
         ``chunk_rows`` masked input variants, so peak float memory is
         ``O(chunk_rows * M * N)`` instead of ``O(num_masks * M * N)``.
         Values are bit-identical to the corresponding :meth:`apply`
-        rows.
+        rows -- including under a ``[start, stop)`` row window, which
+        yields exactly the same chunks the full iteration produces for
+        those rows (chunk boundaries realign to the window).
         """
-        return _apply_chunks(self, x, fill_value, chunk_rows)
+        return _apply_chunks(self, x, fill_value, chunk_rows, start=start, stop=stop)
 
     def reshape_scores(self, flat_scores: np.ndarray) -> np.ndarray:
         """Fold the flat per-mask score vector into the output grid."""
@@ -577,7 +612,12 @@ class MaskSpec:
     # ------------------------------------------------------------------
     # Generation
     # ------------------------------------------------------------------
-    def iter_chunks(self, chunk_rows: int = DEFAULT_CHUNK_ROWS):
+    def iter_chunks(
+        self,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        start: int = 0,
+        stop: int | None = None,
+    ):
         """Yield ``(bool_chunk, row_range)`` slices, generated on demand.
 
         Each chunk is a freshly built ``(rows, M, N)`` bool array
@@ -585,17 +625,19 @@ class MaskSpec:
         bit-identical to the same rows of the dense
         :class:`MaskPlan` constructor -- so peak mask memory is
         ``O(chunk_rows * M * N)`` however many masks the spec
-        describes.
+        describes.  ``start``/``stop`` generate only a window of rows
+        (mask ``i`` is a deterministic function of ``i``, so a window
+        costs only its own rows); yielded ranges stay global.
         """
         chunk_rows = _check_chunk_rows(chunk_rows)
         m, n = self.plane_shape
-        total = self.num_masks
-        for start in range(0, total, chunk_rows):
-            stop = min(start + chunk_rows, total)
-            count = stop - start
+        window_start, window_stop = _check_window(start, stop, self.num_masks)
+        for lo in range(window_start, window_stop, chunk_rows):
+            hi = min(lo + chunk_rows, window_stop)
+            count = hi - lo
             chunk = np.zeros((count, m, n), dtype=bool)
             local = np.arange(count)
-            index = np.arange(start, stop)
+            index = np.arange(lo, hi)
             if self.granularity == "elements":
                 chunk[local, index // n, index % n] = True
             elif self.granularity == "blocks":
@@ -610,16 +652,22 @@ class MaskSpec:
                 chunk[local, :, index] = True
             else:  # rows
                 chunk[local, index, :] = True
-            yield chunk, range(start, stop)
+            yield chunk, range(lo, hi)
 
     def apply_chunks(
         self,
         x: np.ndarray,
         fill_value: float = 0.0,
         chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        start: int = 0,
+        stop: int | None = None,
     ):
-        """Yield ``(masked_chunk, row_range)``: the streamed :meth:`MaskPlan.apply`."""
-        return _apply_chunks(self, x, fill_value, chunk_rows)
+        """Yield ``(masked_chunk, row_range)``: the streamed :meth:`MaskPlan.apply`.
+
+        ``start``/``stop`` window the generated mask rows exactly as in
+        :meth:`iter_chunks`.
+        """
+        return _apply_chunks(self, x, fill_value, chunk_rows, start=start, stop=stop)
 
     def reshape_scores(self, flat_scores: np.ndarray) -> np.ndarray:
         """Fold the flat per-mask score vector into the output grid."""

@@ -223,7 +223,11 @@ class MultiInputScheduler:
         Executor options pass through ``executor_kwargs`` -- notably
         ``precision="int8"|"bf16"|"fp32"|"fp64"`` runs every wave's
         batched convolution in that numeric mode (quantized infeed and
-        MXU-rate pricing, scores bit-identical to a quantized loop).
+        MXU-rate pricing, scores bit-identical to a quantized loop),
+        and ``num_chips=K`` / ``placement="data"|"chunk"`` shard every
+        wave across a :class:`~repro.hw.pod.TpuPod` of K clones of this
+        chip with interconnect-priced collectives (scores still
+        bit-identical; the run's ``stats`` are then the pod roll-up).
         The returned run carries the harvested device ledger in
         ``stats``.  An empty batch returns an empty run -- zero waves,
         zero simulated seconds, a zero ledger -- the serving layer's

@@ -66,10 +66,12 @@ import numpy as np
 from repro.core.distillation import ConvolutionDistiller
 from repro.core.fleet import (
     GRANULARITIES,
+    PLACEMENTS,
     FleetExecutor,
     check_precision_granularity,
     feed_bytes,
 )
+from repro.hw.pod import TpuPod
 from repro.core.interpretation import feature_contributions
 from repro.core.masking import (
     DEFAULT_STACK_BUDGET_BYTES,
@@ -183,6 +185,17 @@ class ExplanationPipeline:
         ``method="loop"`` at the same precision bit for bit, streamed
         and dense.  Quantizing precisions reject the ``elements``
         granularity (its linearity fast path assumes exact arithmetic).
+    num_chips, placement, interconnect:
+        Pod scaling (wave fusion only): ``num_chips=K > 1`` replicates
+        ``device`` into a :class:`~repro.hw.pod.TpuPod` of K clones
+        (handing a ``TpuPod`` in as ``device`` works too) and shards
+        every wave across the chips along the ``placement`` axis --
+        ``"data"`` splits a wave's pairs, ``"chunk"`` its row space
+        (see :mod:`repro.core.fleet`).  Collectives are priced on
+        ``interconnect`` (default ring) and scores stay bit-identical
+        to single-chip execution.  A pod requires ``method="batched"``
+        + ``fusion="wave"``; the per-pair paths have no sharded
+        execution and raise.
     """
 
     def __init__(
@@ -200,6 +213,9 @@ class ExplanationPipeline:
         max_pairs_per_wave: int | None = None,
         precision=None,
         dense_budget: bool = False,
+        num_chips: int | None = None,
+        placement: str = "data",
+        interconnect=None,
     ) -> None:
         if granularity not in GRANULARITIES:
             raise ValueError(
@@ -211,8 +227,30 @@ class ExplanationPipeline:
             raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
         if fusion not in FUSIONS:
             raise ValueError(f"unknown fusion {fusion!r}; expected one of {FUSIONS}")
+        if placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement {placement!r}; expected one of {PLACEMENTS}"
+            )
         self.precision = resolve_precision(precision)
         check_precision_granularity(self.precision, granularity)
+        # Pod resolution happens here (once) so self.device is the pod
+        # and its ledger is the run's ledger; the fleet executor then
+        # recognizes the pod and shards along self.placement.
+        if num_chips is not None and int(num_chips) > 1 and not isinstance(device, TpuPod):
+            device = TpuPod.like(device, int(num_chips), interconnect=interconnect)
+        if isinstance(device, TpuPod):
+            if num_chips is not None and int(num_chips) != device.num_chips:
+                raise ValueError(
+                    f"num_chips={num_chips} disagrees with the supplied "
+                    f"{device.num_chips}-chip pod"
+                )
+            if method != "batched" or fusion != "wave":
+                raise ValueError(
+                    "pod execution requires method='batched' and "
+                    "fusion='wave'; the per-pair paths have no sharded "
+                    f"execution (got method={method!r}, fusion={fusion!r})"
+                )
+        self.placement = placement
         self.device = device
         self.granularity = granularity
         self.block_shape = block_shape
@@ -318,6 +356,7 @@ class ExplanationPipeline:
             chunk_rows=self.chunk_rows,
             max_pairs_per_wave=self.max_pairs_per_wave,
             dense_budget=self.dense_budget,
+            placement=self.placement,
         )
         config.update(service_kwargs)
         return ExplanationService(self.device, **config)
@@ -334,6 +373,7 @@ class ExplanationPipeline:
             chunk_rows=self.chunk_rows,
             precision=self.precision,
             dense_budget=self.dense_budget,
+            placement=self.placement,
         )
         fleet = executor.run(pairs, pipelined=self.pipelined)
         stats = self.device.take_stats()

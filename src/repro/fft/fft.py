@@ -49,6 +49,35 @@ _PLAN_LOCK = threading.Lock()
 # without this low-level module importing the higher layers.
 _AUX_CACHES: list[tuple] = []
 
+# Radix-2 ping-pong workspaces, keyed by transform shape and kept
+# per-thread (no lock on the hot path, no cross-thread aliasing).
+# Repeated-shape waves -- every fleet wave streams equal-shape planes --
+# otherwise re-allocate two complex128 buffers per transform; the
+# internal rFFT/Bluestein call sites opt in via ``reuse=True`` at points
+# where the returned buffer is consumed before the next same-shape call.
+# Bounded: a small LRU of shapes, and buffers past the byte cap are not
+# cached (allocation cost is negligible relative to such transforms).
+_WORKSPACE_MAX_ENTRIES = 8
+_WORKSPACE_MAX_BYTES = 1 << 24  # complex128 bytes per buffer
+_WORKSPACES = threading.local()
+
+
+def _radix2_workspace(shape: tuple) -> tuple[np.ndarray, np.ndarray]:
+    """This thread's (src, dst) complex128 ping-pong pair for ``shape``."""
+    store = getattr(_WORKSPACES, "buffers", None)
+    if store is None:
+        store = _WORKSPACES.buffers = {}
+    pair = store.pop(shape, None)
+    if pair is None:
+        if len(store) >= _WORKSPACE_MAX_ENTRIES:
+            store.pop(next(iter(store)))  # evict least recently used
+        pair = (
+            np.empty(shape, dtype=np.complex128),
+            np.empty(shape, dtype=np.complex128),
+        )
+    store[shape] = pair  # (re-)insert last: most recently used
+    return pair
+
 
 def register_aux_plan_cache(info_fn, clear_fn) -> None:
     """Register a sibling cache with the plan-cache info/clear entry points."""
@@ -127,7 +156,7 @@ def _rfft_plan(n: int) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     return cached
 
 
-def _fft_radix2(x: np.ndarray) -> np.ndarray:
+def _fft_radix2(x: np.ndarray, reuse: bool = False) -> np.ndarray:
     """Forward unnormalized FFT along the last axis; length must be 2^k.
 
     Allocation-lean: two ping-pong buffers are allocated once and every
@@ -135,15 +164,39 @@ def _fft_radix2(x: np.ndarray) -> np.ndarray:
     concatenation or temporaries.  The arithmetic (multiply by the stage
     twiddles, then one add and one subtract) is element-for-element the
     same as the textbook form, so results are bit-identical to it.
+
+    ``reuse=True`` draws the ping-pong pair from the per-thread
+    workspace cache instead of allocating, so repeated same-shape
+    transforms (every chunk of a fleet wave) stop paying two fresh
+    complex128 buffers each.  The *returned array is one of the cached
+    buffers*: a later same-shape ``reuse=True`` call overwrites it, so
+    only internal call sites that consume the result into new storage
+    before the next transform may opt in -- anything returned to users
+    (the public :func:`fft`) must keep ``reuse=False``.
     """
     n = x.shape[-1]
     if n == 1:
         return x.astype(np.complex128, order="C", copy=True)
+    perm = bit_reversal_permutation(n)
     # C-ordered buffers regardless of input strides: downstream consumers
     # (and numpy's layout-sensitive pairwise summation) see the same
     # contiguous planes whatever axis order the caller transformed in.
-    src = x[..., bit_reversal_permutation(n)].astype(np.complex128, order="C")
-    dst = np.empty(src.shape, dtype=np.complex128)
+    if reuse and 16 * x.size <= _WORKSPACE_MAX_BYTES:
+        src, dst = _radix2_workspace(x.shape)
+        if x is src or x.base is src or x is dst or x.base is dst:
+            # Input aliases the workspace: the fancy-indexed RHS
+            # materializes a temporary first, so this stays correct.
+            src[...] = x[..., perm]
+        elif x.dtype == np.complex128:
+            np.take(x, perm, axis=-1, out=src)
+        elif x.dtype == np.float64:
+            np.take(x, perm, axis=-1, out=src.real)
+            src.imag[...] = 0.0
+        else:
+            src[...] = x[..., perm]
+    else:
+        src = x[..., perm].astype(np.complex128, order="C")
+        dst = np.empty(src.shape, dtype=np.complex128)
     for stage_twiddles in _twiddle_plan(n):
         half = stage_twiddles.shape[0]
         size = half * 2
@@ -181,9 +234,13 @@ def _fft_bluestein(x: np.ndarray) -> np.ndarray:
     b[:n] = np.conj(chirp)
     b[padded_len - (n - 1):] = np.conj(chirp[1:][::-1])
 
-    spectrum = _fft_radix2(a) * _fft_radix2(b)
+    # The ``a`` transform and the inverse may reuse the workspace (each
+    # result is consumed into fresh storage before the next same-shape
+    # transform); the ``b`` transform may NOT -- with 1-D input it would
+    # share ``a``'s shape and hand back the very same buffer.
+    spectrum = _fft_radix2(a, reuse=True) * _fft_radix2(b)
     # Inverse FFT of the product via conjugation (still power-of-two).
-    convolved = np.conj(_fft_radix2(np.conj(spectrum))) / padded_len
+    convolved = np.conj(_fft_radix2(np.conj(spectrum), reuse=True)) / padded_len
     return convolved[..., :n] * chirp
 
 
@@ -253,7 +310,10 @@ def _rfft_packed(x: np.ndarray) -> np.ndarray:
     n = x.shape[-1]
     wrap, mirror, forward, _ = _rfft_plan(n)
     packed = x[..., 0::2] + 1j * x[..., 1::2]
-    spectrum = _fft_radix2(packed)
+    # Workspace reuse is safe: the fancy-indexed wrap/mirror gathers
+    # below copy the spectrum into fresh arrays before any later
+    # transform can overwrite the buffer.
+    spectrum = _fft_radix2(packed, reuse=True)
     wrapped = spectrum[..., wrap]
     mirrored = np.conj(spectrum[..., mirror])
     even = 0.5 * (wrapped + mirrored)
@@ -276,7 +336,8 @@ def _irfft_packed(spectrum: np.ndarray, n: int) -> np.ndarray:
     even = 0.5 * (head + mirrored)
     odd = 0.5 * (head - mirrored) * inverse
     packed = even + 1j * odd
-    signal = np.conj(_fft_radix2(np.conj(packed))) / half
+    # np.conj allocates, so the workspace buffer is consumed immediately.
+    signal = np.conj(_fft_radix2(np.conj(packed), reuse=True)) / half
     out = np.empty(spectrum.shape[:-1] + (n,), dtype=np.float64)
     out[..., 0::2] = signal.real
     out[..., 1::2] = signal.imag
@@ -373,6 +434,8 @@ def fft_plan_cache_info() -> dict[str, int]:
             "twiddle_plans": len(_TWIDDLE_CACHE),
             "bit_reversal_tables": len(_BITREV_CACHE),
             "rfft_plans": len(_RFFT_CACHE),
+            # Per-thread: counts the calling thread's workspace shapes.
+            "radix2_workspaces": len(getattr(_WORKSPACES, "buffers", {})),
         }
     for aux_info, _ in _AUX_CACHES:
         info.update(aux_info())
@@ -385,5 +448,6 @@ def clear_fft_plan_cache() -> None:
         _TWIDDLE_CACHE.clear()
         _BITREV_CACHE.clear()
         _RFFT_CACHE.clear()
+    getattr(_WORKSPACES, "buffers", {}).clear()
     for _, aux_clear in _AUX_CACHES:
         aux_clear()

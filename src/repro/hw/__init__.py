@@ -47,6 +47,7 @@ from repro.hw.memory import (
     unified_buffer_spec,
 )
 from repro.hw.mxu import Mxu, MxuConfig, MxuStats, matmul_cycles
+from repro.hw.pod import PodWaveStats, TpuPod, clone_device
 from repro.hw.perf import (
     AmdahlBreakdown,
     format_stats,
@@ -91,6 +92,11 @@ __all__ = [
     "CpuDevice",
     "Device",
     "DeviceStats",
+    "PipelineStage",
+    "pipelined_elapsed_seconds",
+    "PodWaveStats",
+    "TpuPod",
+    "clone_device",
     "GpuConfig",
     "GpuDevice",
     "Op",

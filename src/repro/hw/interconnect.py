@@ -60,7 +60,14 @@ class Interconnect:
         runs as two concurrent-ring phases, one along each dimension of
         a near-square core grid.  Per-link traffic matches the ring's
         asymptotics but the latency term scales with ``2*sqrt(p)``
-        rather than ``2*p`` hops -- the reason large slices prefer it.
+        rather than ``2*p`` hops -- the reason large slices prefer it
+        (at ``p=16`` the latency term is ``12`` hops against the ring's
+        ``30``).  A *prime* core count has no 2-D grid at all
+        (``_near_square_side`` returns 1, which would degenerate to a
+        zero-cost phase plus one full single ring); that case falls
+        back to the ``ring`` formula explicitly -- same seconds the
+        degenerate grid would produce, but as a documented fallback
+        rather than a silent accident.
 
         ``all-to-all``: idealized two-step exchange (lower bound).
         """
@@ -70,10 +77,12 @@ class Interconnect:
         p = num_cores
         if self.config.topology == "torus2d":
             side_x = _near_square_side(p)
-            side_y = p // side_x
-            return self._ring_phase(nbytes, side_x) + self._ring_phase(
-                nbytes / max(1, side_x), side_y
-            )
+            if side_x > 1:
+                side_y = p // side_x
+                return self._ring_phase(nbytes, side_x) + self._ring_phase(
+                    nbytes / side_x, side_y
+                )
+            # Prime p: no non-trivial grid exists; use the single ring.
         steps = 2 * (p - 1)
         if self.config.topology == "all-to-all":
             steps = 2  # one scatter + one gather exchange, idealized

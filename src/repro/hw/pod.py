@@ -1,0 +1,263 @@
+"""A pod of simulated chips behind the common device interface.
+
+The fleet executor saturates one simulated chip; the paper's multi-core
+argument ("parallel computation of multiple inputs", Section III-D, and
+the cross-replica reassembly sums) extends one level up: a **pod** of K
+chips wired by an :class:`~repro.hw.interconnect.Interconnect` shards a
+wave's cross-pair stack, scatters plane bytes out, and gathers score
+rows back over the modeled links.
+
+:class:`TpuPod` is itself a :class:`~repro.hw.device.Device`, so every
+consumer that holds a device -- :class:`~repro.core.pipeline
+.ExplanationPipeline`, the online :class:`~repro.serve.loop
+.ExplanationService` clock, ``take_stats`` harvesting -- works unchanged
+with a pod in the socket.  The pod does not execute sharded work itself;
+the fleet executor drives the member chips and then calls
+:meth:`TpuPod.commit_run` with the per-wave accounting, and the pod
+reconciles its ledger:
+
+* every chip's op rows are merged in (**sum over chips = total work**,
+  the audit view);
+* each wave's collectives land as positive ``pod_scatter`` /
+  ``pod_broadcast`` / ``pod_gather`` rows;
+* two negative credit rows bring ``stats.seconds`` down to **elapsed**
+  time: ``pod_compute_overlap`` (work hidden because chips run
+  concurrently -- ``sum`` minus ``max`` per wave) and
+  ``collective_overlap`` (collectives hidden under the previous wave's
+  compute, the :func:`~repro.hw.device.pipelined_elapsed_seconds`
+  double-buffering model that :meth:`Device.pipeline` applies to
+  infeed).
+
+So ``pod.stats.seconds`` is pod elapsed time, per-chip ledgers stay
+auditable in :attr:`TpuPod.chip_stats`, and
+:attr:`TpuPod.collective_log` itemizes every wave's collective seconds.
+
+Single ops executed directly on the pod (outside the fleet path)
+delegate their cost and numerics to the root chip -- a pod prices like
+its root for unsharded work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.device import (
+    Device,
+    DeviceStats,
+    PipelineStage,
+    pipelined_elapsed_seconds,
+)
+from repro.hw.interconnect import Interconnect, InterconnectConfig
+
+
+def clone_device(device: Device) -> Device:
+    """A fresh device of the same configuration (for pod replication).
+
+    Prefers an explicit ``clone()`` method (``TpuBackend`` provides one
+    rebuilding a chip from its config); otherwise rebuilds from the
+    device's ``config`` dataclass (``CpuDevice``, ``GpuDevice``,
+    ``TpuCore``).  The clone starts with a clean ledger and shares no
+    mutable state with the original.
+    """
+    clone = getattr(device, "clone", None)
+    if callable(clone):
+        return clone()
+    config = getattr(device, "config", None)
+    if config is None:
+        raise TypeError(
+            f"cannot replicate {type(device).__name__}: it has neither a "
+            "clone() method nor a config to rebuild from; construct the "
+            "pod's member devices explicitly"
+        )
+    return type(device)(config)
+
+
+@dataclass(frozen=True)
+class PodWaveStats:
+    """Collective and compute accounting of one wave on a pod.
+
+    ``chip_seconds[c]`` is chip ``c``'s ledger delta for this wave
+    (zero for chips the placement left idle); the collective fields are
+    interconnect-priced seconds (and payload bytes) of distributing the
+    wave's planes (``scatter``), its kernel spectra (``broadcast``,
+    chunk placement only) and collecting the score rows (``gather``).
+    """
+
+    wave_index: int
+    placement: str
+    num_pairs: int
+    num_rows: int
+    active_chips: int
+    chip_seconds: tuple[float, ...]
+    scatter_seconds: float = 0.0
+    scatter_bytes: int = 0
+    broadcast_seconds: float = 0.0
+    broadcast_bytes: int = 0
+    gather_seconds: float = 0.0
+    gather_bytes: int = 0
+
+    @property
+    def collective_seconds(self) -> float:
+        return self.scatter_seconds + self.broadcast_seconds + self.gather_seconds
+
+    @property
+    def body_seconds(self) -> float:
+        """Wave elapsed on-chip time: the slowest chip (max, not sum)."""
+        return max(self.chip_seconds, default=0.0)
+
+    @property
+    def stage(self) -> PipelineStage:
+        """The wave as a double-buffering pipeline stage.
+
+        Pre-compute collectives (scatter + broadcast) are the prologue a
+        pipelined pod hides under the previous wave's compute; the
+        gather is the epilogue riding opposite the next wave's scatter.
+        """
+        return PipelineStage(
+            prologue=self.scatter_seconds + self.broadcast_seconds,
+            body=self.body_seconds,
+            epilogue=self.gather_seconds,
+        )
+
+
+class TpuPod(Device):
+    """K member chips plus a shared interconnect, presented as one device."""
+
+    def __init__(
+        self,
+        devices,
+        interconnect: Interconnect | InterconnectConfig | None = None,
+        name: str | None = None,
+    ) -> None:
+        devices = list(devices)
+        if not devices:
+            raise ValueError("a pod needs at least one chip device")
+        for device in devices:
+            if not isinstance(device, Device):
+                raise TypeError(
+                    f"pod members must be Device instances, got {type(device).__name__}"
+                )
+            if isinstance(device, TpuPod):
+                raise TypeError("pods do not nest")
+        if isinstance(interconnect, InterconnectConfig):
+            interconnect = Interconnect(interconnect)
+        self.devices = devices
+        self.interconnect = interconnect if interconnect is not None else Interconnect()
+        super().__init__(name=name or f"pod-{len(devices)}x[{devices[0].name}]")
+        self.chip_stats: list[DeviceStats] = [DeviceStats() for _ in devices]
+        self.collective_log: list[PodWaveStats] = []
+
+    @classmethod
+    def like(
+        cls,
+        device: Device,
+        num_chips: int,
+        interconnect: Interconnect | InterconnectConfig | None = None,
+    ) -> "TpuPod":
+        """A pod of ``num_chips`` fresh clones of ``device``.
+
+        Every member (including chip 0) is a clone, so the template
+        device's ledger is never aliased by the pod -- callers keep
+        reading their own device while the pod accounts separately.
+        """
+        if isinstance(device, TpuPod):
+            raise TypeError("cannot build a pod from a pod; pass the chip device")
+        num_chips = int(num_chips)
+        if num_chips < 1:
+            raise ValueError(f"a pod needs at least one chip, got {num_chips}")
+        return cls(
+            [clone_device(device) for _ in range(num_chips)],
+            interconnect=interconnect,
+        )
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def num_chips(self) -> int:
+        return len(self.devices)
+
+    @property
+    def root(self) -> Device:
+        """Chip 0: holds the host link, scatters inputs, gathers results."""
+        return self.devices[0]
+
+    # ------------------------------------------------------------------
+    # Stats plumbing: the pod ledger is the roll-up
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        for device in self.devices:
+            device.reset_stats()
+        self.chip_stats = [DeviceStats() for _ in self.devices]
+        self.collective_log.clear()
+
+    def commit_run(self, wave_stats, pipelined: bool = True) -> float:
+        """Fold one sharded fleet run into the pod ledger; returns elapsed.
+
+        Harvests every chip's ledger delta (merging the rows into both
+        the per-chip audit ledgers and the pod roll-up), records the
+        waves' collective rows, and reconciles ``stats.seconds`` from
+        *total work* down to *elapsed* with the two negative credits
+        described in the module docstring.  ``pipelined=False`` keeps
+        the serial stage sum (no ``collective_overlap`` credit).
+        """
+        wave_stats = list(wave_stats)
+        work = DeviceStats()
+        for index, device in enumerate(self.devices):
+            delta = device.take_stats()
+            self.chip_stats[index].merge(delta)
+            work.merge(delta)
+        self.stats.merge(work)
+        bodies = 0.0
+        for ws in wave_stats:
+            bodies += ws.body_seconds
+            if ws.scatter_seconds:
+                self.stats.record(
+                    "pod_scatter", ws.scatter_seconds, bytes_moved=ws.scatter_bytes
+                )
+            if ws.broadcast_seconds:
+                self.stats.record(
+                    "pod_broadcast", ws.broadcast_seconds, bytes_moved=ws.broadcast_bytes
+                )
+            if ws.gather_seconds:
+                self.stats.record(
+                    "pod_gather", ws.gather_seconds, bytes_moved=ws.gather_bytes
+                )
+        stages = [ws.stage for ws in wave_stats]
+        serial = sum(stage.total for stage in stages)
+        elapsed = pipelined_elapsed_seconds(stages) if pipelined else serial
+        compute_overlap = work.seconds - bodies
+        if compute_overlap > 0:
+            self.stats.credit("pod_compute_overlap", compute_overlap)
+        savings = serial - elapsed
+        if savings > 0:
+            self.stats.credit("collective_overlap", savings)
+        self.collective_log.extend(wave_stats)
+        return elapsed
+
+    # ------------------------------------------------------------------
+    # Cost and numeric hooks: unsharded work prices like the root chip
+    # ------------------------------------------------------------------
+    def matmul_seconds(self, m: int, k: int, n: int) -> float:
+        return self.root.matmul_seconds(m, k, n)
+
+    def elementwise_seconds(self, elements: int, flops_per_element: float = 1.0) -> float:
+        return self.root.elementwise_seconds(elements, flops_per_element)
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        return self.root.transfer_seconds(nbytes)
+
+    def fft2_seconds(self, m: int, n: int) -> float:
+        return self.root.fft2_seconds(m, n)
+
+    def batch_conv_seconds(self, batch: int, m: int, n: int, precision=None) -> float:
+        return self.root.batch_conv_seconds(batch, m, n, precision=precision)
+
+    def kernel_spectrum_batch_seconds(
+        self, batch: int, m: int, n: int, precision=None
+    ) -> float:
+        return self.root.kernel_spectrum_batch_seconds(batch, m, n, precision=precision)
+
+    def _matmul_compute(self, a, b):
+        return self.root._matmul_compute(a, b)

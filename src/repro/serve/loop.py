@@ -44,6 +44,7 @@ import math
 
 from repro.core.fleet import (
     GRANULARITIES,
+    PLACEMENTS,
     FleetExecutor,
     check_precision_granularity,
     feed_bytes,
@@ -55,6 +56,7 @@ from repro.core.masking import (
 )
 from repro.core.transform import OutputEmbedding
 from repro.hw.device import Device
+from repro.hw.pod import TpuPod
 from repro.hw.quantize import resolve_precision
 from repro.serve.admission import ADMITTED, AdmissionController
 from repro.serve.batcher import BatchKey, MicroBatcher, QueuedRequest
@@ -101,6 +103,14 @@ class ExplanationService:
     admission:
         Optional :class:`~repro.serve.admission.AdmissionController`;
         ``None`` admits everything.
+    num_chips, placement, interconnect:
+        Pod scaling: ``num_chips=K > 1`` replicates ``device`` into a
+        :class:`~repro.hw.pod.TpuPod` of K clones (handing a pod in as
+        ``device`` works too); every dispatch then shards its waves
+        across the chips along ``placement`` (``"data"`` over pairs,
+        ``"chunk"`` over the row space) with collectives priced on
+        ``interconnect``.  Served explanations stay bit-identical to
+        single-chip dispatches -- the pod moves only the clock.
     """
 
     def __init__(
@@ -122,6 +132,9 @@ class ExplanationService:
         cache: ExplanationCache | None = None,
         cache_max_bytes: int | None = DEFAULT_CACHE_BYTES,
         admission: AdmissionController | None = None,
+        num_chips: int | None = None,
+        placement: str = "data",
+        interconnect=None,
     ) -> None:
         if granularity not in GRANULARITIES:
             raise ValueError(
@@ -133,8 +146,27 @@ class ExplanationService:
             raise ValueError(
                 f"unknown reduction {reduction!r}; expected one of {REDUCTIONS}"
             )
+        if placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement {placement!r}; expected one of {PLACEMENTS}"
+            )
         self.precision = resolve_precision(precision)
         check_precision_granularity(self.precision, granularity)
+        # Pod resolution once, up front: self.device is the pod, its
+        # ledger is the service clock's time source, and every batch
+        # key's executor shards through it.
+        if num_chips is not None and int(num_chips) > 1 and not isinstance(device, TpuPod):
+            device = TpuPod.like(device, int(num_chips), interconnect=interconnect)
+        if (
+            isinstance(device, TpuPod)
+            and num_chips is not None
+            and int(num_chips) != device.num_chips
+        ):
+            raise ValueError(
+                f"num_chips={num_chips} disagrees with the supplied "
+                f"{device.num_chips}-chip pod"
+            )
+        self.placement = placement
         self.device = device
         self.granularity = granularity
         self.block_shape = block_shape
@@ -212,6 +244,7 @@ class ExplanationService:
                 chunk_rows=self.chunk_rows,
                 precision=key.precision,
                 dense_budget=self.dense_budget,
+                placement=self.placement,
             )
             self._executors[key] = executor
         return executor

@@ -1,0 +1,269 @@
+"""Pod-sharded fleet execution: bit-identity, ledger shape, knobs.
+
+The contract under test: sharding a fleet's waves across a pod of K
+chips -- along either placement axis, at any precision -- changes only
+the cost ledger, never a score, kernel or residual.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExplanationPipeline,
+    FleetExecutor,
+    MultiInputScheduler,
+    TpuBackend,
+    make_tpu_chip,
+    make_tpu_pod,
+)
+from repro.core.masking import MaskSpec
+from repro.hw.pod import TpuPod
+
+PLANE = (8, 8)
+
+
+def backend():
+    return TpuBackend(make_tpu_chip(num_cores=8))
+
+
+def fleet_pairs(count=7, shape=PLANE, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        (rng.standard_normal(shape), rng.standard_normal(shape))
+        for _ in range(count)
+    ]
+
+
+def assert_identical(run_a, run_b, context=""):
+    assert len(run_a.results) == len(run_b.results)
+    for a, b in zip(run_a.results, run_b.results):
+        assert np.array_equal(a.scores, b.scores), context
+        assert np.array_equal(a.kernel, b.kernel), context
+        assert a.residual == b.residual, context
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("placement", ["data", "chunk"])
+    @pytest.mark.parametrize("num_chips", [1, 2, 4, 8])
+    def test_scores_match_single_chip(self, placement, num_chips):
+        pairs = fleet_pairs()
+        reference = FleetExecutor(backend(), granularity="rows").run(pairs)
+        sharded = FleetExecutor(
+            backend(), granularity="rows",
+            num_chips=num_chips, placement=placement,
+        ).run(pairs)
+        assert_identical(reference, sharded, f"{placement} x{num_chips}")
+
+    @pytest.mark.parametrize("placement", ["data", "chunk"])
+    @pytest.mark.parametrize("precision", ["fp64", "bf16", "int8"])
+    def test_precisions_match_single_chip(self, placement, precision):
+        pairs = fleet_pairs(seed=1)
+        reference = FleetExecutor(
+            backend(), granularity="rows", precision=precision
+        ).run(pairs)
+        sharded = FleetExecutor(
+            backend(), granularity="rows", precision=precision,
+            num_chips=4, placement=placement,
+        ).run(pairs)
+        assert_identical(reference, sharded, f"{placement} {precision}")
+
+    @pytest.mark.parametrize("placement", ["data", "chunk"])
+    def test_multi_wave_and_serial(self, placement):
+        pairs = fleet_pairs(count=9, seed=2)
+        reference = FleetExecutor(
+            backend(), granularity="columns", max_pairs_per_wave=4
+        ).run(pairs)
+        for pipelined in (True, False):
+            sharded = FleetExecutor(
+                backend(), granularity="columns", max_pairs_per_wave=4,
+                num_chips=4, placement=placement,
+            ).run(pairs, pipelined=pipelined)
+            assert_identical(reference, sharded, f"{placement} {pipelined}")
+
+    @pytest.mark.parametrize("placement", ["data", "chunk"])
+    def test_elements_fast_path(self, placement):
+        pairs = fleet_pairs(count=5, seed=3)
+        reference = FleetExecutor(backend(), granularity="elements").run(pairs)
+        sharded = FleetExecutor(
+            backend(), granularity="elements",
+            num_chips=4, placement=placement,
+        ).run(pairs)
+        assert_identical(reference, sharded, placement)
+
+    def test_chips_exceeding_pairs(self):
+        """More chips than pairs (or rows): extras stay idle, scores hold."""
+        pairs = fleet_pairs(count=2, seed=4)
+        reference = FleetExecutor(backend(), granularity="rows").run(pairs)
+        sharded = FleetExecutor(
+            backend(), granularity="rows", num_chips=8, placement="data"
+        ).run(pairs)
+        assert_identical(reference, sharded)
+
+
+class TestPodLedger:
+    def test_row_sum_identity_and_collective_rows(self):
+        executor = FleetExecutor(
+            backend(), granularity="rows", num_chips=4, placement="data"
+        )
+        executor.run(fleet_pairs())
+        pod = executor.device
+        assert isinstance(pod, TpuPod)
+        assert pod.stats.seconds == pytest.approx(
+            sum(pod.stats.op_seconds.values())
+        )
+        assert pod.stats.op_seconds["pod_scatter"] > 0.0
+        assert pod.stats.op_seconds["pod_gather"] > 0.0
+        assert pod.stats.op_seconds["pod_compute_overlap"] < 0.0
+        assert len(pod.collective_log) == 1
+
+    def test_chunk_placement_broadcasts_spectra(self):
+        executor = FleetExecutor(
+            backend(), granularity="rows", num_chips=4, placement="chunk"
+        )
+        executor.run(fleet_pairs())
+        pod = executor.device
+        assert pod.stats.op_seconds["pod_broadcast"] > 0.0
+
+    def test_pod_faster_than_sum_of_chips(self):
+        """Pod elapsed must be below total work (chips run concurrently)."""
+        executor = FleetExecutor(
+            backend(), granularity="rows", num_chips=4, placement="data"
+        )
+        executor.run(fleet_pairs(count=8))
+        pod = executor.device
+        work = sum(s.seconds for s in pod.chip_stats)
+        assert pod.stats.seconds < work
+
+    def test_explicit_pod_device(self):
+        pod = make_tpu_pod(2, num_cores=8)
+        executor = FleetExecutor(pod, granularity="rows")
+        assert executor.pod is pod
+        executor.run(fleet_pairs(count=3))
+        assert len(pod.collective_log) == 1
+
+    def test_num_chips_mismatch_rejected(self):
+        pod = make_tpu_pod(2, num_cores=8)
+        with pytest.raises(ValueError):
+            FleetExecutor(pod, granularity="rows", num_chips=4)
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ValueError):
+            FleetExecutor(backend(), granularity="rows", placement="model")
+
+    def test_single_chip_pod_matches_serial_timing(self):
+        """num_chips=1 keeps the plain single-device path entirely."""
+        executor = FleetExecutor(backend(), granularity="rows", num_chips=1)
+        assert executor.pod is None
+
+
+class TestPipelineAndSchedulerKnobs:
+    def test_pipeline_pod_matches_single_chip(self):
+        pairs = fleet_pairs()
+        reference = ExplanationPipeline(backend(), granularity="rows").run(pairs)
+        pod_run = ExplanationPipeline(
+            backend(), granularity="rows", num_chips=4
+        ).run(pairs)
+        for a, b in zip(reference.explanations, pod_run.explanations):
+            assert np.array_equal(a.scores, b.scores)
+            assert a.residual == b.residual
+        assert pod_run.simulated_seconds > 0.0
+
+    def test_pipeline_rejects_pod_with_loop_method(self):
+        with pytest.raises(ValueError):
+            ExplanationPipeline(
+                backend(), granularity="rows", method="loop", num_chips=4
+            )
+        with pytest.raises(ValueError):
+            ExplanationPipeline(
+                backend(), granularity="rows", fusion="pair", num_chips=4
+            )
+
+    def test_scheduler_explain_batch_num_chips(self):
+        pairs = fleet_pairs(count=5, seed=5)
+        chip = make_tpu_chip(num_cores=8)
+        reference = MultiInputScheduler(chip).explain_batch(
+            pairs, granularity="rows"
+        )
+        sharded = MultiInputScheduler(chip).explain_batch(
+            pairs, granularity="rows", num_chips=4, placement="data"
+        )
+        assert_identical(reference, sharded)
+        assert sharded.stats is not None
+        assert sharded.stats.op_seconds["pod_scatter"] > 0.0
+
+
+class TestServicePod:
+    def test_service_pod_results_bit_identical(self):
+        from repro.serve.loop import ExplanationService
+        from repro.serve.workload import Request
+
+        def trace():
+            rng = np.random.default_rng(6)
+            return [
+                Request(
+                    request_id=i,
+                    arrival_time=0.001 * i,
+                    x=rng.standard_normal(PLANE),
+                    y=rng.standard_normal(PLANE),
+                )
+                for i in range(6)
+            ]
+
+        def results(report):
+            records = sorted(
+                (r for r in report.ledger.records if r.status == "completed"),
+                key=lambda r: r.request_id,
+            )
+            return [r.result for r in records]
+
+        single = ExplanationService(
+            backend(), granularity="rows", cache_max_bytes=None
+        ).process(trace())
+        pod = ExplanationService(
+            backend(), granularity="rows", cache_max_bytes=None, num_chips=4
+        ).process(trace())
+        for a, b in zip(results(single), results(pod)):
+            assert np.array_equal(a.scores, b.scores)
+            assert a.residual == b.residual
+
+    def test_pipeline_service_inherits_pod(self):
+        pipeline = ExplanationPipeline(
+            backend(), granularity="rows", num_chips=2, placement="chunk"
+        )
+        service = pipeline.service(cache_max_bytes=None)
+        assert isinstance(service.device, TpuPod)
+        assert service.device is pipeline.device
+        assert service.placement == "chunk"
+
+
+class TestWindowedChunks:
+    """The chunk placement's masking primitive: windowed iter_chunks."""
+
+    def test_window_identity(self):
+        spec = MaskSpec.for_granularity("rows", PLANE)
+        x = np.arange(64.0).reshape(PLANE)
+        full = list(spec.apply_chunks(x, fill_value=0.0, chunk_rows=3))
+        lo, hi = 2, 7
+        windowed = list(
+            spec.apply_chunks(x, fill_value=0.0, chunk_rows=3, start=lo, stop=hi)
+        )
+        dense_full = np.concatenate([chunk for chunk, _ in full])
+        dense_window = np.concatenate([chunk for chunk, _ in windowed])
+        assert np.array_equal(dense_window, dense_full[lo:hi])
+        covered = [r for _, rows in windowed for r in rows]
+        assert covered == list(range(lo, hi))
+
+    def test_window_validation(self):
+        spec = MaskSpec.for_granularity("rows", PLANE)
+        x = np.zeros(PLANE)
+        with pytest.raises(ValueError):
+            list(spec.apply_chunks(x, chunk_rows=3, start=-1))
+        with pytest.raises(ValueError):
+            list(spec.apply_chunks(x, chunk_rows=3, start=5, stop=4))
+        with pytest.raises(ValueError):
+            list(spec.apply_chunks(x, chunk_rows=3, stop=spec.num_masks + 1))
+
+    def test_empty_window(self):
+        spec = MaskSpec.for_granularity("rows", PLANE)
+        x = np.zeros(PLANE)
+        assert list(spec.apply_chunks(x, chunk_rows=3, start=4, stop=4)) == []

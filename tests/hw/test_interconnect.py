@@ -49,6 +49,43 @@ class TestAllReduce:
         with pytest.raises(ValueError):
             fabric().all_reduce_seconds(10, 0)
 
+    @pytest.mark.parametrize("topology", ["ring", "torus2d", "all-to-all"])
+    def test_monotone_in_bytes(self, topology):
+        f = fabric(latency=1e-4, topology=topology)
+        times = [f.all_reduce_seconds(nbytes, 16) for nbytes in (0, 100, 1000, 10_000)]
+        assert times == sorted(times)
+        assert times[0] == 0.0 and times[-1] > times[1]
+
+    def test_latency_ordering_at_p16(self):
+        """At fixed payload: all-to-all <= torus2d <= ring latency terms.
+
+        The bandwidth term is held at ~0 (huge links), isolating the hop
+        counts: 2 vs 2*(4-1)*2=12 vs 2*(16-1)=30 latency steps at p=16.
+        """
+        kwargs = dict(bandwidth=1e18, latency=1e-3)
+        direct = fabric(topology="all-to-all", **kwargs).all_reduce_seconds(1 << 20, 16)
+        torus = fabric(topology="torus2d", **kwargs).all_reduce_seconds(1 << 20, 16)
+        ring = fabric(topology="ring", **kwargs).all_reduce_seconds(1 << 20, 16)
+        assert direct == pytest.approx(2 * 1e-3)
+        assert torus == pytest.approx(12 * 1e-3)
+        assert ring == pytest.approx(30 * 1e-3)
+        assert direct < torus < ring
+
+    @pytest.mark.parametrize("p", [2, 3, 5, 7, 11, 13])
+    def test_torus2d_prime_cores_fall_back_to_ring(self, p):
+        """A prime core count has no 2-D grid; torus2d must price as ring
+        rather than degenerate through a 1-wide phase."""
+        torus = fabric(latency=1e-3, topology="torus2d").all_reduce_seconds(999, p)
+        ring = fabric(latency=1e-3, topology="ring").all_reduce_seconds(999, p)
+        assert torus == ring
+        assert torus > 0.0
+
+    @pytest.mark.parametrize("topology", ["ring", "torus2d", "all-to-all"])
+    def test_zero_and_one_core_edges(self, topology):
+        f = fabric(latency=1e-3, topology=topology)
+        assert f.all_reduce_seconds(0, 16) == 0.0
+        assert f.all_reduce_seconds(1 << 20, 1) == 0.0
+
 
 class TestOtherCollectives:
     def test_all_gather_zero_cases(self):
@@ -59,6 +96,18 @@ class TestOtherCollectives:
         t4 = fabric(bandwidth=10.0).all_gather_seconds(10, 4)
         t8 = fabric(bandwidth=10.0).all_gather_seconds(10, 8)
         assert t8 > t4
+
+    def test_all_gather_monotone_in_bytes(self):
+        f = fabric(bandwidth=10.0, latency=1e-4)
+        times = [f.all_gather_seconds(nbytes, 8) for nbytes in (0, 10, 100, 1000)]
+        assert times == sorted(times) and times[-1] > times[0]
+
+    def test_broadcast_monotone_in_bytes_and_cores(self):
+        f = fabric(bandwidth=10.0, latency=1e-4)
+        assert f.broadcast_seconds(100, 8) > f.broadcast_seconds(10, 8)
+        assert f.broadcast_seconds(100, 8) > f.broadcast_seconds(100, 4)
+        assert f.broadcast_seconds(100, 1) == 0.0
+        assert f.broadcast_seconds(0, 8) == 0.0
 
     def test_broadcast_pipeline(self):
         t = fabric(bandwidth=100.0, latency=0.01).broadcast_seconds(200, 4)
