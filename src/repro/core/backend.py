@@ -20,6 +20,7 @@ quantization or bf16 rounding) through the numeric hooks.
 from __future__ import annotations
 
 import math
+from dataclasses import replace
 
 import numpy as np
 
@@ -56,6 +57,7 @@ def make_tpu_chip(
 def make_tpu_pod(
     num_chips: int,
     interconnect: Interconnect | InterconnectConfig | None = None,
+    hbm_bytes: int | None = None,
     **chip_kwargs,
 ) -> TpuPod:
     """A :class:`~repro.hw.pod.TpuPod` of ``num_chips`` paper-config chips.
@@ -63,13 +65,21 @@ def make_tpu_pod(
     Each member is an independent :class:`TpuBackend` built with
     :func:`make_tpu_chip` (``chip_kwargs`` forward there);
     ``interconnect`` prices the pod-level collectives and defaults to
-    the same link model the intra-chip cores use.
+    the same link model the intra-chip cores use.  ``hbm_bytes``
+    overrides every member's aggregate HBM capacity -- the per-chip
+    budget :meth:`repro.core.fleet.FleetSchedule.plan` constrains
+    placement against.
     """
     num_chips = int(num_chips)
     if num_chips < 1:
         raise ValueError(f"a pod needs at least one chip, got {num_chips}")
     return TpuPod(
-        [TpuBackend(make_tpu_chip(**chip_kwargs)) for _ in range(num_chips)],
+        [
+            TpuBackend(make_tpu_chip(**chip_kwargs)).clone(hbm_bytes=hbm_bytes)
+            if hbm_bytes is not None
+            else TpuBackend(make_tpu_chip(**chip_kwargs))
+            for _ in range(num_chips)
+        ],
         interconnect=interconnect,
     )
 
@@ -81,15 +91,40 @@ class TpuBackend(Device):
         self.chip = chip or make_tpu_chip()
         super().__init__(name=f"tpu-chip-{self.chip.num_cores}c")
 
-    def clone(self) -> "TpuBackend":
+    def clone(self, hbm_bytes: int | None = None) -> "TpuBackend":
         """A fresh backend around an identically configured chip.
 
         Pod replication (:func:`repro.hw.pod.clone_device`) calls this:
         the clone shares the immutable chip config but nothing mutable
         -- its ledger, cores and event counters start clean.
+        ``hbm_bytes`` overrides the clone's aggregate HBM capacity
+        (split evenly across its cores), the per-chip capacity knob of
+        heterogeneous pod construction.
         """
         trace = self.chip.cores[0].trace_enabled
-        return TpuBackend(TpuChip(self.chip.config, trace=trace))
+        config = self.chip.config
+        if hbm_bytes is not None:
+            hbm_bytes = int(hbm_bytes)
+            if hbm_bytes <= 0:
+                raise ValueError(f"hbm_bytes must be positive, got {hbm_bytes}")
+            config = replace(
+                config,
+                core=replace(
+                    config.core,
+                    hbm_capacity_bytes=max(1, hbm_bytes // config.num_cores),
+                ),
+            )
+        return TpuBackend(TpuChip(config, trace=trace))
+
+    @property
+    def launch_latency_seconds(self) -> float:
+        """The chip's program-dispatch round trip (the Colab host link)."""
+        return self.chip.config.dispatch_latency_sec
+
+    @property
+    def hbm_capacity_bytes(self) -> int:
+        """Aggregate HBM across the chip's cores (placement budget)."""
+        return self.chip.num_cores * self.chip.config.core.hbm_capacity_bytes
 
     # ------------------------------------------------------------------
     # Cost hooks

@@ -63,33 +63,60 @@ spec's rate -- the accuracy-vs-speed trade-off
 
 **Pod sharding.**  ``num_chips=K`` (or handing a
 :class:`~repro.hw.pod.TpuPod` in as the device) scales a fleet past one
-chip: each wave is sharded across the pod's chips and the data movement
-between them is priced on the pod's
+chip.  Every chip owns a private :class:`~repro.hw.pod.HostLink`, so
+host infeed/outfeed is *sharded*: chips stream their own bytes
+concurrently and a wave's host cost is the slowest link, never the sum;
+program launches are queued asynchronously on the links, so a wave pays
+at most one launch round trip on the critical path however many chips
+it spans.  Data moved chip-to-chip is priced on the pod's
 :class:`~repro.hw.interconnect.Interconnect`.  ``placement`` picks the
-axis:
+sharding axis:
 
 * ``"data"`` (default) -- the wave's *pairs* split contiguously across
   chips; each chip runs its sub-wave exactly like a single-chip wave
-  (own kernel solves, own spectra batch), chip 0 holds the host link
-  (full wave infeed/outfeed) and scatters peer shards point-to-point;
+  (own kernel solves, own spectra batch) and feeds/drains its own pair
+  shard over its own host link -- there are no fabric collectives left
+  on this path;
 * ``"chunk"`` -- the wave's cross-pair *row space* (every mask row plus
-  every residual row) splits contiguously across chips: chip 0 solves
-  all kernels and the wave's one spectrum batch, the planes and kernel
-  spectra broadcast to the peers, and each chip convolves + reduces
-  only its row window (windowed
-  :meth:`~repro.core.masking.MaskSpec.iter_chunks`) -- the placement
-  for a single over-wide plan that no pair split can balance.
+  every residual row) splits across chips, **overlapping the root
+  solve**: chip 0 solves every pair's kernel and the wave's one
+  spectrum batch while the peers -- planes already infed over their own
+  links -- stream per-pair row windows (windowed
+  :meth:`~repro.core.masking.MaskSpec.apply_chunks`) as each pair's
+  spectrum arrives over a streamed ring broadcast
+  (:meth:`~repro.hw.interconnect.Interconnect
+  .broadcast_stream_seconds`); the root's own row share shrinks by
+  exactly the solve time it carries, and the wave's body is the
+  critical path of that solve/broadcast/stream timeline rather than a
+  serial solve-then-stream sum -- the placement for a single over-wide
+  plan that no pair split can balance;
+* ``"wave"`` -- *whole waves* round-robin across chips: wave ``w`` runs
+  on chip ``w % K`` exactly like a single-chip wave, and the chips'
+  wave sequences execute concurrently -- the placement for multi-wave
+  schedules (many shape groups, or ``max_pairs_per_wave`` caps) whose
+  waves would otherwise serialize even on an 8-chip pod.
 
-Per wave the pod prices a scatter (plane bytes), a broadcast (kernel
-spectra, chunk placement) and a gather (score rows), and
-``pipelined=True`` overlaps wave ``i+1``'s pre-compute collectives with
+Per wave the pod records the remaining true collectives (for ``chunk``,
+the streamed kernel-spectra broadcast) and the per-chip host-link
+columns, and ``pipelined=True`` overlaps wave ``i+1``'s prologue with
 wave ``i``'s compute exactly the way :meth:`~repro.hw.device
 .Device.pipeline` overlaps infeed -- the hidden time comes back as the
 pod's negative ``collective_overlap`` ledger row, concurrency across
-chips as ``pod_compute_overlap`` (see :meth:`~repro.hw.pod
-.TpuPod.commit_run`).  Convolution, scoring and reduction are per-row
-operations, so sharded scores stay **bit-identical** to single-chip
-execution at every chip count, placement and precision.
+chips as ``pod_compute_overlap``, and the launch round trips the
+asynchronous links absorb as ``host_link_overlap`` (see
+:meth:`~repro.hw.pod.TpuPod.commit_run`).  Convolution, scoring and
+reduction are per-row operations, so sharded scores stay
+**bit-identical** to single-chip execution at every chip count,
+placement and precision.
+
+**HBM capacity.**  Wave budgeting is capacity-constrained: the
+executor's effective stack budget is ``max_stack_bytes`` clamped to the
+device's modeled HBM (:attr:`~repro.hw.device
+.Device.hbm_capacity_bytes`; for a pod, the smallest member chip via
+:attr:`~repro.hw.pod.TpuPod.min_chip_hbm_bytes`), or to an explicit
+``hbm_bytes`` override.  A tight capacity shrinks the streamed chunk
+(graceful fallback); a plane too large for even one row still raises
+:class:`~repro.core.masking.MaskStackBudgetError` up front (rejection).
 """
 
 from __future__ import annotations
@@ -119,7 +146,7 @@ from repro.hw.quantize import resolve_precision
 
 GRANULARITIES = ("blocks", "columns", "rows", "elements")
 
-PLACEMENTS = ("data", "chunk")
+PLACEMENTS = ("data", "chunk", "wave")
 
 FLOAT_BYTES = 8  # the fused stack is materialized in float64
 
@@ -449,6 +476,7 @@ class FleetExecutor:
         num_chips: int | None = None,
         placement: str = "data",
         interconnect=None,
+        hbm_bytes: int | None = None,
     ) -> None:
         if granularity not in GRANULARITIES:
             raise ValueError(
@@ -478,11 +506,21 @@ class FleetExecutor:
                 )
             self.pod: TpuPod | None = device
         elif num_chips is not None and int(num_chips) > 1:
-            self.pod = TpuPod.like(device, int(num_chips), interconnect=interconnect)
+            self.pod = TpuPod.like(
+                device, int(num_chips), interconnect=interconnect,
+                hbm_bytes=hbm_bytes,
+            )
         else:
             self.pod = None
         self.placement = placement
         self.device = self.pod if self.pod is not None else device
+        if hbm_bytes is not None and int(hbm_bytes) <= 0:
+            raise ValueError(f"hbm_bytes must be positive, got {hbm_bytes}")
+        # The capacity knob: an explicit override, else whatever the
+        # device models (a pod reports its smallest member chip).  Kept
+        # separately from max_stack_bytes so schedule-time budgeting can
+        # clamp to it (see effective_stack_bytes).
+        self.hbm_bytes = None if hbm_bytes is None else int(hbm_bytes)
         self.granularity = granularity
         self.block_shape = block_shape
         self.eps = eps
@@ -497,6 +535,25 @@ class FleetExecutor:
     # ------------------------------------------------------------------
     # Planning
     # ------------------------------------------------------------------
+    @property
+    def effective_stack_bytes(self) -> int | None:
+        """The stack budget after the HBM capacity clamp.
+
+        ``max_stack_bytes`` bounded by the modeled on-device memory: an
+        explicit ``hbm_bytes`` override when given, else the device's
+        own :attr:`~repro.hw.device.Device.hbm_capacity_bytes` (a pod
+        reports its smallest member chip, the chip any placement
+        decision must fit).  ``None`` only when neither bound exists.
+        """
+        capacity = self.hbm_bytes
+        if capacity is None:
+            capacity = self.device.hbm_capacity_bytes
+        if capacity is None:
+            return self.max_stack_bytes
+        if self.max_stack_bytes is None:
+            return capacity
+        return min(self.max_stack_bytes, capacity)
+
     def plan_for(self, x: np.ndarray) -> MaskSpec | None:
         """The lazy mask plan this executor scores ``x`` with.
 
@@ -524,7 +581,7 @@ class FleetExecutor:
         return FleetSchedule.plan(
             [x.shape for x in xs],
             [0 if plan is None else plan.num_masks for plan in plans],
-            max_stack_bytes=self.max_stack_bytes,
+            max_stack_bytes=self.effective_stack_bytes,
             max_pairs_per_wave=self.max_pairs_per_wave,
             complex_flags=[
                 np.iscomplexobj(x) or np.iscomplexobj(y)
@@ -690,12 +747,12 @@ class FleetExecutor:
         """Execute one (sub-)wave as a single program on ``device``.
 
         The single-chip hot path, also reused verbatim by the pod's
-        ``data`` placement for each chip's pair shard -- ``device``
-        overrides the executor's own device, and ``infeed_bytes`` /
-        ``outfeed_bytes`` override the program's host-link charges (a
-        pod peer chip receives its shard over the interconnect, so its
-        program opens with zero host bytes while chip 0 carries the
-        whole wave's).
+        ``data`` placement for each chip's pair shard and by the
+        ``wave`` placement for each pinned wave -- ``device`` overrides
+        the executor's own device, and ``infeed_bytes`` /
+        ``outfeed_bytes`` override the program's host-link charges
+        (each pod chip streams exactly its own shard's bytes over its
+        own :class:`~repro.hw.pod.HostLink`).
         """
         device = self.device if device is None else device
         indices = wave.pair_indices
@@ -709,7 +766,7 @@ class FleetExecutor:
         if outfeed_bytes is None:
             outfeed_bytes = sum(xs[i].nbytes for i in indices)
         rows_per_chunk = effective_chunk_rows(
-            wave.plane_shape, self.chunk_rows, self.max_stack_bytes,
+            wave.plane_shape, self.chunk_rows, self.effective_stack_bytes,
             what="streamed wave chunk",
         )
         with device.program(infeed_bytes=infeed_bytes, outfeed_bytes=outfeed_bytes):
@@ -778,6 +835,10 @@ class FleetExecutor:
             before = [d.stats.seconds for d in pod.devices]
             if self.placement == "chunk":
                 collectives = self._run_wave_chunked(pod, wave, xs, ys, plans, results)
+            elif self.placement == "wave":
+                collectives = self._run_wave_on_chip(
+                    pod, wave, wave_index, xs, ys, plans, results
+                )
             else:
                 collectives = self._run_wave_data(pod, wave, xs, ys, plans, results)
             chip_seconds = tuple(
@@ -802,22 +863,18 @@ class FleetExecutor:
         Chip ``c`` runs an ordinary sub-wave over its pair shard
         (:meth:`_run_wave`); per-pair kernels, scores and residuals are
         plane-local, so the shard is bit-identical to the same pairs of
-        a single-chip wave.  Chip 0 owns the host link -- it infeeds and
-        outfeeds the *whole* wave -- and the peer shards' plane bytes
-        are priced as point-to-point scatters on the pod interconnect
-        (serialized on the root's links, a conservative model); peer
-        score rows come back through one all-gather.  Chips beyond the
-        wave's pair count launch nothing.
+        a single-chip wave.  Every chip feeds and drains *its own
+        shard* over its own :class:`~repro.hw.pod.HostLink` -- the
+        shards stream concurrently from the host, so the wave's host
+        cost is the slowest link rather than a serial chip-0 feed plus
+        a fabric scatter, and there are no collectives left on this
+        path (each chip's score rows return over its own link too).
+        Chips beyond the wave's pair count launch nothing.
         """
         indices = wave.pair_indices
         active = min(pod.num_chips, wave.num_pairs)
-        full_infeed = feed_bytes(
-            [a for i in indices for a in (xs[i], ys[i])], self.precision
-        )
-        full_outfeed = sum(xs[i].nbytes for i in indices)
-        scatter_seconds = 0.0
-        scatter_bytes = 0
-        shard_out_bytes: list[int] = []
+        infeed_seconds = [0.0] * pod.num_chips
+        outfeed_seconds = [0.0] * pod.num_chips
         for chip, pair_slice in enumerate(shard_slices(wave.num_pairs, active)):
             sub_indices = indices[pair_slice]
             sub_rows = sum(
@@ -825,28 +882,64 @@ class FleetExecutor:
                 for i in sub_indices
             )
             shard = WavePlan(tuple(sub_indices), wave.plane_shape, sub_rows)
-            if chip > 0:
-                shard_feed = feed_bytes(
-                    [a for i in sub_indices for a in (xs[i], ys[i])], self.precision
-                )
-                scatter_seconds += pod.interconnect.point_to_point_seconds(shard_feed)
-                scatter_bytes += shard_feed
+            shard_feed = feed_bytes(
+                [a for i in sub_indices for a in (xs[i], ys[i])], self.precision
+            )
+            shard_out = sum(xs[i].nbytes for i in sub_indices)
             self._run_wave(
                 shard, xs, ys, plans, results,
                 device=pod.devices[chip],
-                infeed_bytes=full_infeed if chip == 0 else 0,
-                outfeed_bytes=full_outfeed if chip == 0 else 0,
+                infeed_bytes=shard_feed,
+                outfeed_bytes=shard_out,
             )
-            shard_out_bytes.append(sum(xs[i].nbytes for i in sub_indices))
-        gather_seconds = pod.interconnect.all_gather_seconds(
-            max(shard_out_bytes, default=0), active
-        )
+            link = pod.host_links[chip]
+            infeed_seconds[chip] = link.feed_seconds(shard_feed)
+            outfeed_seconds[chip] = link.feed_seconds(shard_out)
         return dict(
             active_chips=active,
-            scatter_seconds=scatter_seconds,
-            scatter_bytes=scatter_bytes,
-            gather_seconds=gather_seconds,
-            gather_bytes=sum(shard_out_bytes[1:]),
+            dispatch_seconds=pod.launch_latency_seconds,
+            launched_chips=active,
+            infeed_seconds=tuple(infeed_seconds),
+            outfeed_seconds=tuple(outfeed_seconds),
+        )
+
+    def _run_wave_on_chip(
+        self, pod, wave, wave_index: int, xs, ys, plans, results
+    ) -> dict:
+        """Wave placement: the whole wave runs on chip ``w % K``.
+
+        Each wave is an ordinary single-chip wave -- own solves, own
+        spectra, own host link for its full infeed/outfeed -- pinned
+        round-robin so a multi-wave schedule's waves execute
+        *concurrently across chips* instead of serially on one
+        (:meth:`~repro.hw.pod.TpuPod.commit_run` groups the pinned
+        stages per chip and charges the slowest chain).  No collectives
+        at all: nothing is sharded, so nothing is exchanged.
+        """
+        chip = wave_index % pod.num_chips
+        indices = wave.pair_indices
+        infeed = feed_bytes(
+            [a for i in indices for a in (xs[i], ys[i])], self.precision
+        )
+        outfeed = sum(xs[i].nbytes for i in indices)
+        self._run_wave(
+            wave, xs, ys, plans, results,
+            device=pod.devices[chip],
+            infeed_bytes=infeed,
+            outfeed_bytes=outfeed,
+        )
+        link = pod.host_links[chip]
+        infeed_seconds = [0.0] * pod.num_chips
+        outfeed_seconds = [0.0] * pod.num_chips
+        infeed_seconds[chip] = link.feed_seconds(infeed)
+        outfeed_seconds[chip] = link.feed_seconds(outfeed)
+        return dict(
+            active_chips=1,
+            dispatch_seconds=pod.launch_latency_seconds,
+            launched_chips=1,
+            infeed_seconds=tuple(infeed_seconds),
+            outfeed_seconds=tuple(outfeed_seconds),
+            chip_index=chip,
         )
 
     def _window_chunks(self, wave, xs, plans, pair_base, lo, hi, rows_per_chunk):
@@ -881,6 +974,7 @@ class FleetExecutor:
     def _stream_rows(
         self, device, wave, xs, plans, kernel_stack, row_pair, row_is_mask,
         pair_base, y_planes, mask_scores, residual_pred, lo, hi, rows_per_chunk,
+        record: bool = True,
     ) -> None:
         """Convolve + reduce global rows ``[lo, hi)`` of a wave on one chip.
 
@@ -890,7 +984,10 @@ class FleetExecutor:
         (:meth:`~repro.hw.device.Device._record_batch_conv`) and runs
         the functional stream directly.  Scores land at their absolute
         positions in the per-pair score vectors, so any partition of the
-        row space reassembles the same arrays.
+        row space reassembles the same arrays.  ``record=False`` skips
+        the ledger row -- the overlapped placement streams one window
+        per pair and prices the chip's whole row share as a single
+        batched record instead of one per window.
         """
         m, n = wave.plane_shape
         local_chunks = (
@@ -906,7 +1003,8 @@ class FleetExecutor:
             num_rows=hi - lo,
             precision=self.precision,
         )
-        device._record_batch_conv(hi - lo, m, n, spec=self.precision)
+        if record:
+            device._record_batch_conv(hi - lo, m, n, spec=self.precision)
         for convolved, local_rows in convolved_chunks:
             offset = 0
             while offset < len(convolved):
@@ -931,18 +1029,110 @@ class FleetExecutor:
                 )
                 offset = stop
 
+    @staticmethod
+    def _overlap_windows(pair_row_counts, pair_base, active: int, root_rows: int):
+        """Per-pair row windows for the overlapped chunk placement.
+
+        Every pair's rows split across all ``active`` chips (root
+        first, then the peers evenly), so each chip touches *every*
+        pair -- peers never sit behind a late pair's spectrum for rows
+        of an early one, which is what lets their streams interleave
+        with the root's solve.  ``root_rows`` is the root's solve-aware
+        global share; rounding happens per pair by largest remainder,
+        so the global totals track the targets within one row per pair.
+        Returns ``(windows, chip_rows)``: ``windows[c][j]`` is chip
+        ``c``'s global ``(lo, hi)`` window of pair ``j`` (possibly
+        empty) and ``chip_rows[c]`` its total row count.
+        """
+        num_rows = sum(pair_row_counts)
+        weights = [root_rows / num_rows]
+        if active > 1:
+            weights += [(1.0 - weights[0]) / (active - 1)] * (active - 1)
+        windows = [[] for _ in range(active)]
+        chip_rows = [0] * active
+        for j, r in enumerate(pair_row_counts):
+            quotas = [r * w for w in weights]
+            counts = [int(q) for q in quotas]
+            leftover = r - sum(counts)
+            by_fraction = sorted(
+                range(active), key=lambda c: (counts[c] + 1 - quotas[c], c)
+            )
+            for c in by_fraction[:leftover]:
+                counts[c] += 1
+            cursor = pair_base[j]
+            for c in range(active):
+                windows[c].append((cursor, cursor + counts[c]))
+                cursor += counts[c]
+                chip_rows[c] += counts[c]
+        return windows, chip_rows
+
+    def _chunk_timeline(
+        self, pod, active: int, windows, chip_rows, conv_seconds,
+        infeed_seconds, outfeed_seconds, solve_seconds: float,
+        num_pairs: int, spectrum_bytes: int,
+    ) -> float:
+        """Critical path of the overlapped solve/broadcast/stream wave.
+
+        A discrete per-pair timeline: the root solves the pairs'
+        kernels in sequence and streams each spectrum over the ring as
+        solved, so pair ``j``'s spectrum reaches the peers at the solve
+        prefix plus the stream's pipeline fill plus ``j + 1`` message
+        transfers; each peer -- its full-plane infeed already done over
+        its own host link -- convolves its window of pair ``j`` no
+        earlier than that, and the root streams its own (solve-shrunk)
+        share after the solve with no broadcast wait.  The returned
+        body is the slowest chip's finish including its outfeed -- what
+        replaces the serial solve-then-stream sum.
+        """
+        config = pod.interconnect.config
+        fill = (active - 1) * config.link_latency_sec
+        per_message = spectrum_bytes / config.link_bandwidth_bytes_per_sec
+        solve_step = solve_seconds / num_pairs if num_pairs else 0.0
+        ends = []
+        for chip in range(active):
+            rows_total = chip_rows[chip]
+            scale = conv_seconds[chip] / rows_total if rows_total else 0.0
+            if chip == 0:
+                end = (
+                    infeed_seconds[0] + solve_seconds
+                    + conv_seconds[0] + outfeed_seconds[0]
+                )
+            else:
+                t = infeed_seconds[chip]
+                for j, (lo, hi) in enumerate(windows[chip]):
+                    if hi <= lo:
+                        continue
+                    ready = (
+                        infeed_seconds[0]
+                        + solve_step * (j + 1)
+                        + fill
+                        + per_message * (j + 1)
+                    )
+                    t = max(t, ready) + (hi - lo) * scale
+                end = t + outfeed_seconds[chip]
+            ends.append(end)
+        return max(ends)
+
     def _run_wave_chunked(self, pod, wave, xs, ys, plans, results) -> dict:
-        """Chunk placement: the wave's row space splits across chips.
+        """Chunk placement: row sharding with the root solve overlapped.
 
         For a single over-wide plan (or any wave whose rows dwarf its
         pair count) the pairs cannot balance the chips, but the rows
-        can: chip 0 solves every pair's kernel and records the wave's
-        one kernel-spectrum batch, the input planes and the spectra
-        broadcast to all active chips, and each chip convolves and
-        reduces only its contiguous row window.  Row operations are
-        per-plane, so the concatenated score segments are bit-identical
-        to the single-chip wave.  Chip 0 keeps the host link (full wave
-        infeed/outfeed); score rows return through one all-gather.
+        can.  The root launches a *solve program* -- every pair's Eq. 4
+        kernel plus the wave's one recorded spectrum batch -- while
+        every active chip infeeds the wave's planes over its own
+        :class:`~repro.hw.pod.HostLink`; as each pair's spectrum is
+        solved it streams to the peers over a pipelined ring broadcast
+        (:meth:`~repro.hw.interconnect.Interconnect
+        .broadcast_stream_seconds`, the wave's one remaining true
+        collective), and each chip convolves + reduces its per-pair
+        row windows (:meth:`_overlap_windows`), outfeeding its own
+        score rows.  The root's measured solve span sets its shrunken
+        row share, and the wave's body is the :meth:`_chunk_timeline`
+        critical path instead of solve + stream in series.  Row
+        operations are per-plane and scores land at absolute
+        positions, so the reassembled arrays stay bit-identical to the
+        single-chip wave.
         """
         indices = wave.pair_indices
         table = SliceTable.for_plans([plans[i] for i in indices])
@@ -950,73 +1140,117 @@ class FleetExecutor:
         row_is_mask = np.asarray([r.kind == "mask" for r in table.rows])
         num_rows = len(table)
         active = min(pod.num_chips, num_rows)
-        row_shards = shard_slices(num_rows, active)
         m, n = wave.plane_shape
         full_infeed = feed_bytes(
             [a for i in indices for a in (xs[i], ys[i])], self.precision
         )
         full_outfeed = sum(xs[i].nbytes for i in indices)
         rows_per_chunk = effective_chunk_rows(
-            wave.plane_shape, self.chunk_rows, self.max_stack_bytes,
+            wave.plane_shape, self.chunk_rows, self.effective_stack_bytes,
             what="streamed wave chunk",
         )
         pair_base: list[int] = []
+        pair_row_counts: list[int] = []
         row = 0
         for i in indices:
             pair_base.append(row)
-            row += (plans[i].num_masks if plans[i] is not None else 0) + 1
+            count = (plans[i].num_masks if plans[i] is not None else 0) + 1
+            pair_row_counts.append(count)
+            row += count
 
-        kernels: list[np.ndarray] = []
-        y_planes: list[np.ndarray] = []
-        kernel_stack: np.ndarray | None = None
-        mask_scores: dict[int, np.ndarray] = {}
+        # Root solve program: kernels plus the wave's one spectrum
+        # batch, measured off the ledger so the row partition can
+        # charge the root exactly the solve time it spends.
+        root = pod.devices[0]
+        launches = 1
+        with root.program(infeed_bytes=full_infeed, outfeed_bytes=0):
+            mark = root.stats.seconds
+            kernels, y_planes = self._solve_kernels(root, indices, xs, ys)
+            kernel_stack = np.stack(kernels)
+            root._record_kernel_spectra(len(kernels), m, n, spec=self.precision)
+            solve_seconds = root.stats.seconds - mark
+        mask_scores = {
+            local: np.empty(plans[i].num_masks)
+            for local, i in enumerate(indices)
+            if plans[i] is not None
+        }
         residual_pred: dict[int, np.ndarray] = {}
-        for chip, row_slice in enumerate(row_shards):
+
+        # Solve-aware root share: the root streams fewer rows so it
+        # finishes level with peers that start behind the spectrum
+        # stream; in the solve-starved regime its share clamps to 0.
+        conv_total = root.batch_conv_seconds(num_rows, m, n, precision=self.precision)
+        if active == 1:
+            root_rows = num_rows
+        elif conv_total <= 0:
+            root_rows = num_rows // active
+        else:
+            per_row = conv_total / num_rows
+            balanced = (num_rows * per_row - (active - 1) * solve_seconds) / (
+                active * per_row
+            )
+            root_rows = min(num_rows, max(0, int(balanced)))
+        windows, chip_rows = self._overlap_windows(
+            pair_row_counts, pair_base, active, root_rows
+        )
+        per_chip_out = [
+            int(round(full_outfeed * rows / num_rows)) for rows in chip_rows
+        ]
+
+        conv_seconds = [0.0] * active
+        for chip in range(active):
+            if chip_rows[chip] == 0:
+                continue
             device = pod.devices[chip]
             with device.program(
-                infeed_bytes=full_infeed if chip == 0 else 0,
-                outfeed_bytes=full_outfeed if chip == 0 else 0,
+                # The root's planes arrived with its solve program; the
+                # peers pull the full wave over their own links.
+                infeed_bytes=0 if chip == 0 else full_infeed,
+                outfeed_bytes=per_chip_out[chip],
             ):
-                if chip == 0:
-                    kernels, y_planes = self._solve_kernels(device, indices, xs, ys)
-                    kernel_stack = np.stack(kernels)
-                    # The wave's single spectrum batch: solved and
-                    # transformed once, on the root, then broadcast --
-                    # peers do not re-record it.
-                    device._record_kernel_spectra(
-                        len(kernels), m, n, spec=self.precision
+                for lo, hi in windows[chip]:
+                    if hi <= lo:
+                        continue
+                    self._stream_rows(
+                        device, wave, xs, plans, kernel_stack, row_pair,
+                        row_is_mask, pair_base, y_planes, mask_scores,
+                        residual_pred, lo, hi, rows_per_chunk, record=False,
                     )
-                    mask_scores = {
-                        local: np.empty(plans[i].num_masks)
-                        for local, i in enumerate(indices)
-                        if plans[i] is not None
-                    }
-                self._stream_rows(
-                    device, wave, xs, plans, kernel_stack, row_pair, row_is_mask,
-                    pair_base, y_planes, mask_scores, residual_pred,
-                    row_slice.start, row_slice.stop, rows_per_chunk,
-                )
+                device._record_batch_conv(chip_rows[chip], m, n, spec=self.precision)
+            launches += 1
+            conv_seconds[chip] = device.batch_conv_seconds(
+                chip_rows[chip], m, n, precision=self.precision
+            )
         # Host-side reassembly on the root (complex elements pairs may
         # re-convolve eagerly there, as in single-chip execution).
         self._assemble_results(
-            pod.devices[0], indices, xs, plans, kernels, y_planes,
+            root, indices, xs, plans, kernels, y_planes,
             mask_scores, residual_pred, results,
         )
-        spectra_bytes = len(indices) * m * n * COMPLEX_BYTES
-        per_chip_out = [
-            int(round(full_outfeed * (s.stop - s.start) / num_rows))
-            for s in row_shards
-        ]
+        spectrum_bytes = m * n * COMPLEX_BYTES
+        infeed_seconds = [0.0] * pod.num_chips
+        outfeed_seconds = [0.0] * pod.num_chips
+        for chip in range(active):
+            link = pod.host_links[chip]
+            infeed_seconds[chip] = link.feed_seconds(full_infeed)
+            outfeed_seconds[chip] = link.feed_seconds(per_chip_out[chip])
+        gated_body = self._chunk_timeline(
+            pod, active, windows, chip_rows, conv_seconds,
+            infeed_seconds, outfeed_seconds, solve_seconds,
+            len(indices), spectrum_bytes,
+        )
         return dict(
             active_chips=active,
-            scatter_seconds=pod.interconnect.broadcast_seconds(full_infeed, active),
-            scatter_bytes=full_infeed if active > 1 else 0,
-            broadcast_seconds=pod.interconnect.broadcast_seconds(spectra_bytes, active),
-            broadcast_bytes=spectra_bytes if active > 1 else 0,
-            gather_seconds=pod.interconnect.all_gather_seconds(
-                max(per_chip_out, default=0), active
+            broadcast_seconds=pod.interconnect.broadcast_stream_seconds(
+                spectrum_bytes, len(indices), active
             ),
-            gather_bytes=sum(per_chip_out[1:]),
+            broadcast_bytes=len(indices) * spectrum_bytes if active > 1 else 0,
+            dispatch_seconds=pod.launch_latency_seconds,
+            launched_chips=launches,
+            infeed_seconds=tuple(infeed_seconds),
+            outfeed_seconds=tuple(outfeed_seconds),
+            solve_seconds=solve_seconds,
+            gated_body_seconds=gated_body,
         )
 
     def _element_scores(

@@ -185,17 +185,21 @@ class ExplanationPipeline:
         ``method="loop"`` at the same precision bit for bit, streamed
         and dense.  Quantizing precisions reject the ``elements``
         granularity (its linearity fast path assumes exact arithmetic).
-    num_chips, placement, interconnect:
+    num_chips, placement, interconnect, hbm_bytes:
         Pod scaling (wave fusion only): ``num_chips=K > 1`` replicates
         ``device`` into a :class:`~repro.hw.pod.TpuPod` of K clones
-        (handing a ``TpuPod`` in as ``device`` works too) and shards
+        (handing a ``TpuPod`` in as ``device`` works too), each with
+        its own sharded :class:`~repro.hw.pod.HostLink`, and shards
         every wave across the chips along the ``placement`` axis --
         ``"data"`` splits a wave's pairs, ``"chunk"`` its row space
-        (see :mod:`repro.core.fleet`).  Collectives are priced on
-        ``interconnect`` (default ring) and scores stay bit-identical
-        to single-chip execution.  A pod requires ``method="batched"``
-        + ``fusion="wave"``; the per-pair paths have no sharded
-        execution and raise.
+        (root solve overlapped), ``"wave"`` pins whole waves to chips
+        round-robin (see :mod:`repro.core.fleet`).  Remaining
+        collectives are priced on ``interconnect`` (default ring) and
+        scores stay bit-identical to single-chip execution.
+        ``hbm_bytes`` overrides each chip's modeled HBM capacity; wave
+        budgeting clamps to the capacity either way.  A pod requires
+        ``method="batched"`` + ``fusion="wave"``; the per-pair paths
+        have no sharded execution and raise.
     """
 
     def __init__(
@@ -216,6 +220,7 @@ class ExplanationPipeline:
         num_chips: int | None = None,
         placement: str = "data",
         interconnect=None,
+        hbm_bytes: int | None = None,
     ) -> None:
         if granularity not in GRANULARITIES:
             raise ValueError(
@@ -237,7 +242,10 @@ class ExplanationPipeline:
         # and its ledger is the run's ledger; the fleet executor then
         # recognizes the pod and shards along self.placement.
         if num_chips is not None and int(num_chips) > 1 and not isinstance(device, TpuPod):
-            device = TpuPod.like(device, int(num_chips), interconnect=interconnect)
+            device = TpuPod.like(
+                device, int(num_chips), interconnect=interconnect,
+                hbm_bytes=hbm_bytes,
+            )
         if isinstance(device, TpuPod):
             if num_chips is not None and int(num_chips) != device.num_chips:
                 raise ValueError(
@@ -263,6 +271,7 @@ class ExplanationPipeline:
         self.chunk_rows = chunk_rows
         self.max_pairs_per_wave = max_pairs_per_wave
         self.dense_budget = dense_budget
+        self.hbm_bytes = None if hbm_bytes is None else int(hbm_bytes)
 
     def explain_pair(self, x: np.ndarray, y: np.ndarray) -> PairExplanation:
         """Distill and interpret one pair (no program scoping)."""
@@ -357,6 +366,7 @@ class ExplanationPipeline:
             max_pairs_per_wave=self.max_pairs_per_wave,
             dense_budget=self.dense_budget,
             placement=self.placement,
+            hbm_bytes=self.hbm_bytes,
         )
         config.update(service_kwargs)
         return ExplanationService(self.device, **config)
@@ -374,6 +384,7 @@ class ExplanationPipeline:
             precision=self.precision,
             dense_budget=self.dense_budget,
             placement=self.placement,
+            hbm_bytes=self.hbm_bytes,
         )
         fleet = executor.run(pairs, pipelined=self.pipelined)
         stats = self.device.take_stats()

@@ -41,6 +41,7 @@ _VALID_NORMS = ("backward", "ortho", "forward")
 _TWIDDLE_CACHE: dict[int, list[np.ndarray]] = {}
 _BITREV_CACHE: dict[int, np.ndarray] = {}
 _RFFT_CACHE: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = {}
+_BLUESTEIN_CACHE: dict[int, tuple[int, np.ndarray, np.ndarray, np.ndarray]] = {}
 _PLAN_LOCK = threading.Lock()
 
 # Sibling caches (e.g. the kernel-spectrum cache in repro.fft.spectra)
@@ -213,34 +214,66 @@ def _fft_radix2(x: np.ndarray, reuse: bool = False) -> np.ndarray:
     return src
 
 
-def _fft_bluestein(x: np.ndarray) -> np.ndarray:
+def _bluestein_plan(n: int) -> tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+    """Cached chirp tables for the length-``n`` chirp-z transform.
+
+    Returns ``(padded_len, chirp, b_spectrum, half_chirp)``: the
+    power-of-two convolution length, the chirp ``exp(-j*pi*k^2/n)``,
+    the precomputed forward transform of the wrapped conjugate chirp
+    (the convolution's fixed factor -- caching it drops one of the
+    three radix-2 transforms from every Bluestein call), and the chirp
+    sliced to the ``n//2 + 1`` half-spectrum bins for the real path.
+    """
+    with _PLAN_LOCK:
+        cached = _BLUESTEIN_CACHE.get(n)
+    if cached is None:
+        # Built outside the lock: the b transform below takes the same
+        # (non-reentrant) lock for its twiddle and bit-reversal plans.
+        # A racing duplicate build is harmless -- both produce the same
+        # read-only tables and last-write-wins.
+        k = np.arange(n)
+        # exp(-j*pi*k^2/n); mod 2n on k^2 keeps the phase small.
+        chirp = np.exp(-1j * np.pi * np.mod(k * k, 2 * n) / n)
+        padded_len = next_power_of_two(2 * n - 1)
+        b = np.zeros(padded_len, dtype=np.complex128)
+        b[:n] = np.conj(chirp)
+        b[padded_len - (n - 1):] = np.conj(chirp[1:][::-1])
+        b_spectrum = _fft_radix2(b)
+        half_chirp = chirp[: n // 2 + 1].copy()
+        for table in (chirp, b_spectrum, half_chirp):
+            table.setflags(write=False)
+        cached = (padded_len, chirp, b_spectrum, half_chirp)
+        with _PLAN_LOCK:
+            _BLUESTEIN_CACHE[n] = cached
+    return cached
+
+
+def _fft_bluestein(x: np.ndarray, half: bool = False) -> np.ndarray:
     """Forward unnormalized DFT of arbitrary length via the chirp-z trick.
 
     Writing ``mk = (m^2 + k^2 - (k-m)^2) / 2`` turns the DFT sum into a
     circular convolution with the chirp sequence ``exp(j*pi*k^2/n)``,
     which we evaluate at a padded power-of-two length with the radix-2
-    kernel.
+    kernel.  The chirp and the convolution's fixed spectrum come from
+    the per-length plan cache, so a repeated length pays two radix-2
+    transforms, not three.  ``half=True`` returns only the ``n//2 + 1``
+    non-redundant bins (for real input the rest is Hermitian-redundant),
+    skipping the final chirp multiply on the mirrored half.
     """
     n = x.shape[-1]
-    k = np.arange(n)
-    # exp(-j*pi*k^2/n); use mod 2n on k^2 to keep the phase argument small.
-    chirp = np.exp(-1j * np.pi * np.mod(k * k, 2 * n) / n)
-    padded_len = next_power_of_two(2 * n - 1)
+    padded_len, chirp, b_spectrum, half_chirp = _bluestein_plan(n)
 
     a = np.zeros(x.shape[:-1] + (padded_len,), dtype=np.complex128)
     a[..., :n] = x * chirp
 
-    b = np.zeros(padded_len, dtype=np.complex128)
-    b[:n] = np.conj(chirp)
-    b[padded_len - (n - 1):] = np.conj(chirp[1:][::-1])
-
-    # The ``a`` transform and the inverse may reuse the workspace (each
-    # result is consumed into fresh storage before the next same-shape
-    # transform); the ``b`` transform may NOT -- with 1-D input it would
-    # share ``a``'s shape and hand back the very same buffer.
-    spectrum = _fft_radix2(a, reuse=True) * _fft_radix2(b)
+    # Workspace reuse is safe: the product below lands in fresh storage
+    # before the inverse transform can overwrite the buffer, and the
+    # convolution's fixed factor is cached (never transformed here).
+    spectrum = _fft_radix2(a, reuse=True) * b_spectrum
     # Inverse FFT of the product via conjugation (still power-of-two).
     convolved = np.conj(_fft_radix2(np.conj(spectrum), reuse=True)) / padded_len
+    if half:
+        return convolved[..., : n // 2 + 1] * half_chirp
     return convolved[..., :n] * chirp
 
 
@@ -370,7 +403,7 @@ def rfft(x: np.ndarray, axis: int = -1, norm: str = "backward") -> np.ndarray:
     elif is_power_of_two(n):
         result = _rfft_packed(moved)
     else:
-        result = _fft_bluestein(moved)[..., : n // 2 + 1]
+        result = _fft_bluestein(moved, half=True)
     scale = _forward_scale(n, norm)
     if scale != 1.0:
         result = result * scale
@@ -434,6 +467,7 @@ def fft_plan_cache_info() -> dict[str, int]:
             "twiddle_plans": len(_TWIDDLE_CACHE),
             "bit_reversal_tables": len(_BITREV_CACHE),
             "rfft_plans": len(_RFFT_CACHE),
+            "bluestein_plans": len(_BLUESTEIN_CACHE),
             # Per-thread: counts the calling thread's workspace shapes.
             "radix2_workspaces": len(getattr(_WORKSPACES, "buffers", {})),
         }
@@ -448,6 +482,7 @@ def clear_fft_plan_cache() -> None:
         _TWIDDLE_CACHE.clear()
         _BITREV_CACHE.clear()
         _RFFT_CACHE.clear()
+        _BLUESTEIN_CACHE.clear()
     getattr(_WORKSPACES, "buffers", {}).clear()
     for _, aux_clear in _AUX_CACHES:
         aux_clear()

@@ -209,6 +209,31 @@ class Device(abc.ABC):
         """Simulated time to move ``nbytes`` between host and device."""
 
     # ------------------------------------------------------------------
+    # Capability introspection (pod placement consults these)
+    # ------------------------------------------------------------------
+    @property
+    def launch_latency_seconds(self) -> float:
+        """Host round-trip latency of one program launch.
+
+        Zero for eager backends (their per-op overheads live in the op
+        costs themselves); accelerator backends with an explicit
+        dispatch round trip override this so the pod's asynchronous
+        per-chip host links (:class:`~repro.hw.pod.HostLink`) know how
+        much launch latency a wave can hide under compute.
+        """
+        return 0.0
+
+    @property
+    def hbm_capacity_bytes(self) -> int | None:
+        """On-device memory capacity, or ``None`` when unmodeled.
+
+        Pod placement (:meth:`repro.core.fleet.FleetSchedule.plan`)
+        consults this so per-chip working sets are capacity-constrained
+        rather than assumed to fit.
+        """
+        return None
+
+    # ------------------------------------------------------------------
     # Numeric hooks (backends override to inject quantization etc.)
     # ------------------------------------------------------------------
     def _matmul_compute(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:

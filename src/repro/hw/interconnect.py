@@ -118,6 +118,28 @@ class Interconnect:
         transfer = nbytes / self.config.link_bandwidth_bytes_per_sec
         return transfer + (num_cores - 1) * self.config.link_latency_sec
 
+    def broadcast_stream_seconds(
+        self, nbytes_each: int, num_messages: int, num_cores: int
+    ) -> float:
+        """Cost of ``num_messages`` back-to-back root broadcasts.
+
+        The streamed-spectra pattern of the pod's overlapped chunk
+        placement: the root emits one small payload per solved kernel
+        and the messages ride the same pipelined ring, so the
+        ``(p-1)``-hop pipeline fill is paid once for the whole stream
+        while every message still pays its bandwidth term.  Equals
+        :meth:`broadcast_seconds` for a single message.
+        """
+        self._check(nbytes_each, num_cores)
+        if num_messages < 0:
+            raise ValueError(f"message count cannot be negative ({num_messages})")
+        if num_cores == 1 or nbytes_each == 0 or num_messages == 0:
+            return 0.0
+        transfer = (
+            num_messages * nbytes_each / self.config.link_bandwidth_bytes_per_sec
+        )
+        return transfer + (num_cores - 1) * self.config.link_latency_sec
+
     def point_to_point_seconds(self, nbytes: int) -> float:
         """Cost of one direct core-to-core transfer."""
         self._check(nbytes, 1)

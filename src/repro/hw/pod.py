@@ -4,8 +4,25 @@ The fleet executor saturates one simulated chip; the paper's multi-core
 argument ("parallel computation of multiple inputs", Section III-D, and
 the cross-replica reassembly sums) extends one level up: a **pod** of K
 chips wired by an :class:`~repro.hw.interconnect.Interconnect` shards a
-wave's cross-pair stack, scatters plane bytes out, and gathers score
-rows back over the modeled links.
+wave's cross-pair stack across the chips and prices the data movement
+between them on the modeled links.
+
+**Sharded host links.**  Every member chip owns a :class:`HostLink` --
+its private host attachment, priced by the chip's own
+``transfer_seconds`` / launch latency.  Pair shards stream to each chip
+concurrently from the host (there is no chip-0 fabric scatter on the
+data path any more), and each chip outfeeds its own score rows, so a
+wave's host-side cost is the *slowest link*, not the sum.  The link's
+program launch is **asynchronously queued**: the host enqueues the
+wave's SPMD launch on all links and the round trip completes while the
+chips already stream and compute, so only the part of the launch
+latency that outlasts the wave's busy time is exposed -- a wave can
+never finish faster than one launch round trip, but K chips never pay
+K round trips on the critical path.  Per wave::
+
+    elapsed = max(launch_round_trip,
+                  max_c(infeed_c + compute_c + outfeed_c) + trailing collectives)
+            + leading collectives
 
 :class:`TpuPod` is itself a :class:`~repro.hw.device.Device`, so every
 consumer that holds a device -- :class:`~repro.core.pipeline
@@ -20,17 +37,19 @@ reconciles its ledger:
   the audit view);
 * each wave's collectives land as positive ``pod_scatter`` /
   ``pod_broadcast`` / ``pod_gather`` rows;
-* two negative credit rows bring ``stats.seconds`` down to **elapsed**
-  time: ``pod_compute_overlap`` (work hidden because chips run
-  concurrently -- ``sum`` minus ``max`` per wave) and
-  ``collective_overlap`` (collectives hidden under the previous wave's
-  compute, the :func:`~repro.hw.device.pipelined_elapsed_seconds`
-  double-buffering model that :meth:`Device.pipeline` applies to
-  infeed).
+* three negative credit rows bring ``stats.seconds`` down to
+  **elapsed** time: ``pod_compute_overlap`` (work hidden because chips
+  run concurrently -- ``sum`` minus the wave's critical path),
+  ``host_link_overlap`` (launch round trips hidden by the asynchronous
+  per-chip host links) and ``collective_overlap`` (stage time hidden
+  under the previous wave's compute, the
+  :func:`~repro.hw.device.pipelined_elapsed_seconds` double-buffering
+  model that :meth:`Device.pipeline` applies to infeed).
 
 So ``pod.stats.seconds`` is pod elapsed time, per-chip ledgers stay
 auditable in :attr:`TpuPod.chip_stats`, and
-:attr:`TpuPod.collective_log` itemizes every wave's collective seconds.
+:attr:`TpuPod.collective_log` itemizes every wave's collective seconds
+plus its per-chip host-link columns.
 
 Single ops executed directly on the pod (outside the fleet path)
 delegate their cost and numerics to the root chip -- a pod prices like
@@ -39,7 +58,8 @@ its root for unsharded work.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import inspect
+from dataclasses import dataclass, field
 
 from repro.hw.device import (
     Device,
@@ -50,18 +70,37 @@ from repro.hw.device import (
 from repro.hw.interconnect import Interconnect, InterconnectConfig
 
 
-def clone_device(device: Device) -> Device:
+def clone_device(device: Device, hbm_bytes: int | None = None) -> Device:
     """A fresh device of the same configuration (for pod replication).
 
     Prefers an explicit ``clone()`` method (``TpuBackend`` provides one
     rebuilding a chip from its config); otherwise rebuilds from the
     device's ``config`` dataclass (``CpuDevice``, ``GpuDevice``,
     ``TpuCore``).  The clone starts with a clean ledger and shares no
-    mutable state with the original.
+    mutable state with the original.  ``hbm_bytes`` overrides the
+    clone's modeled memory capacity -- the per-chip HBM knob of
+    capacity-constrained pod placement; it requires a capacity-aware
+    ``clone()`` (``TpuBackend`` has one).
     """
     clone = getattr(device, "clone", None)
     if callable(clone):
-        return clone()
+        if hbm_bytes is None:
+            return clone()
+        try:
+            accepts = "hbm_bytes" in inspect.signature(clone).parameters
+        except (TypeError, ValueError):
+            accepts = False
+        if not accepts:
+            raise TypeError(
+                f"{type(device).__name__}.clone() does not take hbm_bytes; "
+                "cannot build a capacity-overridden pod from it"
+            )
+        return clone(hbm_bytes=hbm_bytes)
+    if hbm_bytes is not None:
+        raise TypeError(
+            f"cannot override HBM capacity on {type(device).__name__}: it "
+            "has no capacity-aware clone()"
+        )
     config = getattr(device, "config", None)
     if config is None:
         raise TypeError(
@@ -73,14 +112,51 @@ def clone_device(device: Device) -> Device:
 
 
 @dataclass(frozen=True)
-class PodWaveStats:
-    """Collective and compute accounting of one wave on a pod.
+class HostLink:
+    """One chip's private host attachment in a sharded pod.
 
-    ``chip_seconds[c]`` is chip ``c``'s ledger delta for this wave
-    (zero for chips the placement left idle); the collective fields are
-    interconnect-priced seconds (and payload bytes) of distributing the
-    wave's planes (``scatter``), its kernel spectra (``broadcast``,
-    chunk placement only) and collecting the score rows (``gather``).
+    The pod's Amdahl fix: instead of chip 0 serially feeding the whole
+    fleet and scattering shards over the fabric, every chip streams its
+    own shard through its own link, priced by the chip's existing
+    ``transfer_seconds`` model.  Launches are queued asynchronously --
+    :attr:`launch_latency_seconds` is a *floor* on wave completion, not
+    a serial prefix (see :class:`PodWaveStats`).
+    """
+
+    device: Device
+
+    def feed_seconds(self, nbytes: int) -> float:
+        """Host-link seconds to stream ``nbytes`` to or from the chip."""
+        if nbytes < 0:
+            raise ValueError(f"cannot transfer a negative byte count ({nbytes})")
+        if nbytes == 0:
+            return 0.0
+        return self.device.transfer_seconds(nbytes)
+
+    @property
+    def launch_latency_seconds(self) -> float:
+        """The chip's program-launch round trip over this link."""
+        return self.device.launch_latency_seconds
+
+
+@dataclass(frozen=True)
+class PodWaveStats:
+    """Collective and host-link accounting of one wave on a pod.
+
+    ``chip_seconds[c]`` is chip ``c``'s full ledger delta for this wave
+    (zero for chips the placement left idle); ``infeed_seconds`` /
+    ``outfeed_seconds`` are the per-chip :class:`HostLink` columns
+    (each chip's own shard feed, concurrent across chips);
+    ``dispatch_seconds`` the launch round trip each launching chip
+    recorded (``launched_chips`` of them), hidden by the asynchronous
+    host links up to the wave floor; the collective fields are
+    interconnect-priced seconds (and payload bytes) of the *remaining
+    true collectives* -- for the overlapped chunk placement, the
+    streamed kernel-spectra broadcast.  ``gated_body_seconds``
+    optionally overrides the wave's busy critical path with a
+    placement-computed pipeline timeline (the chunk placement's
+    solve-overlap model); ``solve_seconds`` is the root's kernel-solve
+    span inside it, kept for the audit columns.
     """
 
     wave_index: int
@@ -95,26 +171,67 @@ class PodWaveStats:
     broadcast_bytes: int = 0
     gather_seconds: float = 0.0
     gather_bytes: int = 0
+    dispatch_seconds: float = 0.0
+    launched_chips: int = 0
+    infeed_seconds: tuple[float, ...] = ()
+    outfeed_seconds: tuple[float, ...] = ()
+    solve_seconds: float = 0.0
+    gated_body_seconds: float | None = None
+    chip_index: int | None = None  # wave placement: the chip this wave ran on
 
     @property
     def collective_seconds(self) -> float:
         return self.scatter_seconds + self.broadcast_seconds + self.gather_seconds
 
     @property
+    def busy_seconds(self) -> tuple[float, ...]:
+        """Per-chip infeed + compute + outfeed: the ledger delta minus
+        the launch round trip the asynchronous host link hides."""
+        dispatch = self.dispatch_seconds
+        return tuple(
+            max(0.0, seconds - dispatch) if seconds > 0.0 else 0.0
+            for seconds in self.chip_seconds
+        )
+
+    @property
     def body_seconds(self) -> float:
-        """Wave elapsed on-chip time: the slowest chip (max, not sum)."""
-        return max(self.chip_seconds, default=0.0)
+        """The wave's busy critical path: the slowest chip's infeed +
+        compute + outfeed (or the placement's gated timeline)."""
+        if self.gated_body_seconds is not None:
+            return self.gated_body_seconds
+        return max(self.busy_seconds, default=0.0)
+
+    @property
+    def launch_exposed_seconds(self) -> float:
+        """Launch latency the wave cannot hide: a wave never completes
+        faster than one launch round trip."""
+        trailing = self.body_seconds + self.gather_seconds
+        return max(0.0, self.dispatch_seconds - trailing)
+
+    @property
+    def launch_hidden_seconds(self) -> float:
+        """Launch round trips the asynchronous host links absorbed."""
+        recorded = self.dispatch_seconds * self.launched_chips
+        return max(0.0, recorded - self.launch_exposed_seconds)
 
     @property
     def stage(self) -> PipelineStage:
         """The wave as a double-buffering pipeline stage.
 
-        Pre-compute collectives (scatter + broadcast) are the prologue a
-        pipelined pod hides under the previous wave's compute; the
-        gather is the epilogue riding opposite the next wave's scatter.
+        The prologue -- leading collectives plus the exposed launch
+        residual -- is what a pipelined pod hides under the previous
+        wave's compute (the next wave's launch is already queued on
+        the host links); the gather is the epilogue riding opposite
+        the next wave's infeed.  A broadcast counts as a leading
+        collective only for plain waves: a placement-gated body
+        (``gated_body_seconds``) already carries its broadcast waits
+        inside the timeline.
         """
+        prologue = self.scatter_seconds + self.launch_exposed_seconds
+        if self.gated_body_seconds is None:
+            prologue += self.broadcast_seconds
         return PipelineStage(
-            prologue=self.scatter_seconds + self.broadcast_seconds,
+            prologue=prologue,
             body=self.body_seconds,
             epilogue=self.gather_seconds,
         )
@@ -128,6 +245,7 @@ class TpuPod(Device):
         devices,
         interconnect: Interconnect | InterconnectConfig | None = None,
         name: str | None = None,
+        hbm_bytes=None,
     ) -> None:
         devices = list(devices)
         if not devices:
@@ -143,7 +261,22 @@ class TpuPod(Device):
             interconnect = Interconnect(interconnect)
         self.devices = devices
         self.interconnect = interconnect if interconnect is not None else Interconnect()
+        if hbm_bytes is None:
+            overrides = [None] * len(devices)
+        elif isinstance(hbm_bytes, (int, float)):
+            overrides = [int(hbm_bytes)] * len(devices)
+        else:
+            overrides = [None if v is None else int(v) for v in hbm_bytes]
+            if len(overrides) != len(devices):
+                raise ValueError(
+                    f"{len(overrides)} hbm_bytes entries for {len(devices)} chips"
+                )
+        for value in overrides:
+            if value is not None and value <= 0:
+                raise ValueError(f"hbm_bytes must be positive, got {value}")
+        self._hbm_overrides = tuple(overrides)
         super().__init__(name=name or f"pod-{len(devices)}x[{devices[0].name}]")
+        self.host_links = [HostLink(device) for device in devices]
         self.chip_stats: list[DeviceStats] = [DeviceStats() for _ in devices]
         self.collective_log: list[PodWaveStats] = []
 
@@ -153,12 +286,15 @@ class TpuPod(Device):
         device: Device,
         num_chips: int,
         interconnect: Interconnect | InterconnectConfig | None = None,
+        hbm_bytes: int | None = None,
     ) -> "TpuPod":
         """A pod of ``num_chips`` fresh clones of ``device``.
 
         Every member (including chip 0) is a clone, so the template
         device's ledger is never aliased by the pod -- callers keep
         reading their own device while the pod accounts separately.
+        ``hbm_bytes`` overrides each clone's modeled HBM capacity (the
+        capacity-constrained-placement knob).
         """
         if isinstance(device, TpuPod):
             raise TypeError("cannot build a pod from a pod; pass the chip device")
@@ -166,7 +302,7 @@ class TpuPod(Device):
         if num_chips < 1:
             raise ValueError(f"a pod needs at least one chip, got {num_chips}")
         return cls(
-            [clone_device(device) for _ in range(num_chips)],
+            [clone_device(device, hbm_bytes=hbm_bytes) for _ in range(num_chips)],
             interconnect=interconnect,
         )
 
@@ -179,8 +315,34 @@ class TpuPod(Device):
 
     @property
     def root(self) -> Device:
-        """Chip 0: holds the host link, scatters inputs, gathers results."""
+        """Chip 0: solves shared kernels (chunk placement), reassembles."""
         return self.devices[0]
+
+    @property
+    def chip_hbm_bytes(self) -> tuple:
+        """Per-chip modeled HBM capacity (``None`` = unmodeled)."""
+        return tuple(
+            override if override is not None else device.hbm_capacity_bytes
+            for override, device in zip(self._hbm_overrides, self.devices)
+        )
+
+    @property
+    def min_chip_hbm_bytes(self) -> int | None:
+        """The tightest member capacity, or ``None`` when unmodeled.
+
+        What :meth:`repro.core.fleet.FleetSchedule.plan` consults: a
+        placement decision must fit the smallest chip it may land on.
+        """
+        known = [v for v in self.chip_hbm_bytes if v is not None]
+        return min(known) if known else None
+
+    @property
+    def hbm_capacity_bytes(self) -> int | None:
+        return self.min_chip_hbm_bytes
+
+    @property
+    def launch_latency_seconds(self) -> float:
+        return self.root.launch_latency_seconds
 
     # ------------------------------------------------------------------
     # Stats plumbing: the pod ledger is the roll-up
@@ -198,9 +360,16 @@ class TpuPod(Device):
         Harvests every chip's ledger delta (merging the rows into both
         the per-chip audit ledgers and the pod roll-up), records the
         waves' collective rows, and reconciles ``stats.seconds`` from
-        *total work* down to *elapsed* with the two negative credits
-        described in the module docstring.  ``pipelined=False`` keeps
-        the serial stage sum (no ``collective_overlap`` credit).
+        *total work* down to *elapsed* with the three negative credits
+        described in the module docstring.  Waves carrying a
+        ``chip_index`` (the ``"wave"`` placement) run **concurrently
+        across chips**: their stages group per chip, each chip's
+        sequence pipelines (or sums, under ``pipelined=False``), and
+        elapsed is the slowest chip's sequence plus the remaining
+        serial waves.  ``pipelined=False`` keeps the serial stage sum
+        (no ``collective_overlap`` credit beyond the per-chip launch
+        hiding, which is a property of the asynchronous host links, not
+        of cross-wave double-buffering).
         """
         wave_stats = list(wave_stats)
         work = DeviceStats()
@@ -209,31 +378,67 @@ class TpuPod(Device):
             self.chip_stats[index].merge(delta)
             work.merge(delta)
         self.stats.merge(work)
-        bodies = 0.0
+        rows_total = 0.0
+        launch_hidden = 0.0
         for ws in wave_stats:
-            bodies += ws.body_seconds
+            launch_hidden += ws.launch_hidden_seconds
             if ws.scatter_seconds:
                 self.stats.record(
                     "pod_scatter", ws.scatter_seconds, bytes_moved=ws.scatter_bytes
                 )
+                rows_total += ws.scatter_seconds
             if ws.broadcast_seconds:
                 self.stats.record(
                     "pod_broadcast", ws.broadcast_seconds, bytes_moved=ws.broadcast_bytes
                 )
+                rows_total += ws.broadcast_seconds
             if ws.gather_seconds:
                 self.stats.record(
                     "pod_gather", ws.gather_seconds, bytes_moved=ws.gather_bytes
                 )
-        stages = [ws.stage for ws in wave_stats]
-        serial = sum(stage.total for stage in stages)
-        elapsed = pipelined_elapsed_seconds(stages) if pipelined else serial
-        compute_overlap = work.seconds - bodies
+                rows_total += ws.gather_seconds
+        serial = sum(ws.stage.total for ws in wave_stats)
+        elapsed = self._elapsed(wave_stats, pipelined)
+        if launch_hidden > 0:
+            self.stats.credit("host_link_overlap", launch_hidden)
+        # What remains after the hidden launches and the wave-stage
+        # shape is cross-chip concurrency: total work plus collective
+        # rows, minus the serial stage walk, minus the launches already
+        # credited.
+        compute_overlap = work.seconds + rows_total - serial - launch_hidden
         if compute_overlap > 0:
             self.stats.credit("pod_compute_overlap", compute_overlap)
         savings = serial - elapsed
         if savings > 0:
             self.stats.credit("collective_overlap", savings)
         self.collective_log.extend(wave_stats)
+        return elapsed
+
+    def _elapsed(self, wave_stats, pipelined: bool) -> float:
+        """Elapsed seconds of the committed waves.
+
+        Waves without a ``chip_index`` run one after another across the
+        whole pod (data / chunk placements): their stages chain, double
+        buffered when ``pipelined``.  Waves pinned to chips (``"wave"``
+        placement) partition round-robin: each chip chains its own
+        waves and the chips run concurrently, so that segment costs the
+        slowest chip's chain.
+        """
+        shared = [ws for ws in wave_stats if ws.chip_index is None]
+        pinned: dict[int, list[PodWaveStats]] = {}
+        for ws in wave_stats:
+            if ws.chip_index is not None:
+                pinned.setdefault(ws.chip_index, []).append(ws)
+
+        def chain(waves) -> float:
+            stages = [ws.stage for ws in waves]
+            if pipelined:
+                return pipelined_elapsed_seconds(stages)
+            return sum(stage.total for stage in stages)
+
+        elapsed = chain(shared) if shared else 0.0
+        if pinned:
+            elapsed += max(chain(waves) for waves in pinned.values())
         return elapsed
 
     # ------------------------------------------------------------------

@@ -19,11 +19,19 @@ flagged inputs) hits regardless of which array objects carry it.
 Eviction is least-recently-used under a byte budget priced by the
 stored artifacts (kernel + score planes + the residual scalar); an
 entry larger than the whole budget is simply not cached.
+
+:class:`DigestMemo` rides alongside: warm replay traffic tends to carry
+the *same array objects* repeatedly, and re-hashing megabytes of plane
+bytes per request dominates the served-from-memory path -- the memo
+short-circuits :func:`explanation_digest` by object identity (weakly
+referenced, so recycled ids never alias) while content addressing stays
+authoritative for distinct objects.
 """
 
 from __future__ import annotations
 
 import hashlib
+import weakref
 from collections import OrderedDict
 
 import numpy as np
@@ -79,6 +87,50 @@ def explanation_digest(
         ).encode()
     )
     return digest.hexdigest()
+
+
+class DigestMemo:
+    """Identity-keyed memo of :func:`explanation_digest` values.
+
+    The serve-replay hot path: hashing both planes dominates warm
+    request handling once the explanation itself is cached, and
+    replayed traffic (monitoring dashboards re-explaining the same
+    flagged inputs) typically carries the *same array objects* through
+    every replay.  The memo keys on the planes' object identity plus
+    the config tuple and holds weak references, so a recycled ``id()``
+    after garbage collection can never alias a stale digest and the
+    memo never keeps request arrays alive.
+
+    The immutability contract: a caller that mutates a request plane
+    in place after submitting it gets the old digest for the same
+    object, exactly as it would get a stale cached explanation -- the
+    service already freezes cached results for the same reason, and
+    content addressing stays authoritative for distinct objects.
+    """
+
+    def __init__(self) -> None:
+        self._memo: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def lookup(self, x, y, config, compute):
+        """The digest of ``(x, y, config)``, computing once per identity."""
+        token = (id(x), id(y), config)
+        hit = self._memo.get(token)
+        if hit is not None:
+            ref_x, ref_y, value = hit
+            if ref_x() is x and ref_y() is y:
+                return value
+        value = compute()
+        try:
+            drop = lambda _, token=token: self._memo.pop(token, None)
+            self._memo[token] = (
+                weakref.ref(x, drop), weakref.ref(y, drop), value,
+            )
+        except TypeError:
+            pass  # non-weakref-able planes: memoization is best-effort
+        return value
 
 
 def result_nbytes(result: PairResult) -> int:

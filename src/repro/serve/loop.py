@@ -62,6 +62,7 @@ from repro.serve.admission import ADMITTED, AdmissionController
 from repro.serve.batcher import BatchKey, MicroBatcher, QueuedRequest
 from repro.serve.cache import (
     DEFAULT_CACHE_BYTES,
+    DigestMemo,
     ExplanationCache,
     explanation_digest,
 )
@@ -103,13 +104,17 @@ class ExplanationService:
     admission:
         Optional :class:`~repro.serve.admission.AdmissionController`;
         ``None`` admits everything.
-    num_chips, placement, interconnect:
+    num_chips, placement, interconnect, hbm_bytes:
         Pod scaling: ``num_chips=K > 1`` replicates ``device`` into a
         :class:`~repro.hw.pod.TpuPod` of K clones (handing a pod in as
-        ``device`` works too); every dispatch then shards its waves
-        across the chips along ``placement`` (``"data"`` over pairs,
-        ``"chunk"`` over the row space) with collectives priced on
-        ``interconnect``.  Served explanations stay bit-identical to
+        ``device`` works too), each with its own sharded
+        :class:`~repro.hw.pod.HostLink`; every dispatch then shards its
+        waves across the chips along ``placement`` (``"data"`` over
+        pairs, ``"chunk"`` over the row space with the root solve
+        overlapped, ``"wave"`` whole waves round-robin) with remaining
+        collectives priced on ``interconnect``, and ``hbm_bytes``
+        overrides each chip's modeled HBM capacity (wave budgeting
+        clamps to it).  Served explanations stay bit-identical to
         single-chip dispatches -- the pod moves only the clock.
     """
 
@@ -135,6 +140,7 @@ class ExplanationService:
         num_chips: int | None = None,
         placement: str = "data",
         interconnect=None,
+        hbm_bytes: int | None = None,
     ) -> None:
         if granularity not in GRANULARITIES:
             raise ValueError(
@@ -156,7 +162,10 @@ class ExplanationService:
         # ledger is the service clock's time source, and every batch
         # key's executor shards through it.
         if num_chips is not None and int(num_chips) > 1 and not isinstance(device, TpuPod):
-            device = TpuPod.like(device, int(num_chips), interconnect=interconnect)
+            device = TpuPod.like(
+                device, int(num_chips), interconnect=interconnect,
+                hbm_bytes=hbm_bytes,
+            )
         if (
             isinstance(device, TpuPod)
             and num_chips is not None
@@ -187,17 +196,50 @@ class ExplanationService:
         else:
             self.cache = ExplanationCache(max_bytes=cache_max_bytes)
         self.admission = admission
+        self.hbm_bytes = None if hbm_bytes is None else int(hbm_bytes)
         # One executor per batch key and one lazy mask plan per
         # (granularity, block_shape, plane shape): built on first use,
         # reused for every later request and every later process() call.
         self._executors: dict[BatchKey, FleetExecutor] = {}
         self._plans: dict[tuple, MaskSpec | None] = {}
+        # Replay hot-path memos: per-request Python bookkeeping (key
+        # resolution, precision specs, content digests) dominates warm
+        # replay once explanations come from cache, so each resolves
+        # once per distinct input instead of once per request.
+        self._key_memo: dict = {}
+        self._spec_memo: dict = {}
+        self._digest_memo = DigestMemo()
 
     # ------------------------------------------------------------------
     # Request resolution
     # ------------------------------------------------------------------
     def batch_key(self, request: Request) -> BatchKey:
-        """The compatibility key this request batches under."""
+        """The compatibility key this request batches under.
+
+        Memoized on the request's raw ``(granularity, block_shape,
+        precision)`` override triple -- replay traffic resolves and
+        validates each distinct triple once, not once per request (an
+        unhashable override simply skips the memo).
+        """
+        token: tuple | None
+        try:
+            token = (
+                request.granularity,
+                None
+                if request.block_shape is None
+                else tuple(request.block_shape),
+                request.precision,
+            )
+            key = self._key_memo.get(token)
+        except TypeError:
+            token, key = None, None
+        if key is None:
+            key = self._resolve_batch_key(request)
+            if token is not None:
+                self._key_memo[token] = key
+        return key
+
+    def _resolve_batch_key(self, request: Request) -> BatchKey:
         granularity = request.granularity or self.granularity
         if granularity not in GRANULARITIES:
             raise ValueError(
@@ -245,9 +287,16 @@ class ExplanationService:
                 precision=key.precision,
                 dense_budget=self.dense_budget,
                 placement=self.placement,
+                hbm_bytes=self.hbm_bytes,
             )
             self._executors[key] = executor
         return executor
+
+    def _spec(self, precision_name: str | None):
+        """Per-key precision spec, resolved once per distinct name."""
+        if precision_name not in self._spec_memo:
+            self._spec_memo[precision_name] = resolve_precision(precision_name)
+        return self._spec_memo[precision_name]
 
     def _plan(self, key: BatchKey, plane_shape: tuple[int, int]) -> MaskSpec | None:
         """Submit-time plan reuse: one MaskSpec per (key, plane shape)."""
@@ -262,16 +311,22 @@ class ExplanationService:
         return self._plans[plan_key]
 
     def _digest(self, request: Request, key: BatchKey) -> str:
-        return explanation_digest(
+        """Content digest, memoized by plane identity for warm replay."""
+        return self._digest_memo.lookup(
             request.x,
             request.y,
-            granularity=key.granularity,
-            block_shape=key.block_shape,
-            precision_name=key.precision,
-            eps=self.eps,
-            reduction=self.reduction,
-            fill_value=self.fill_value,
-            embedding_strategy=self.embedding.strategy,
+            key.as_tuple(),
+            lambda: explanation_digest(
+                request.x,
+                request.y,
+                granularity=key.granularity,
+                block_shape=key.block_shape,
+                precision_name=key.precision,
+                eps=self.eps,
+                reduction=self.reduction,
+                fill_value=self.fill_value,
+                embedding_strategy=self.embedding.strategy,
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -369,7 +424,7 @@ class ExplanationService:
         lookup (a hit then completes without queueing).
         """
         key = self.batch_key(request)
-        spec = resolve_precision(key.precision)
+        spec = self._spec(key.precision)
 
         feed_nbytes = feed_bytes([request.x, request.y], spec)
         decision = ADMITTED
