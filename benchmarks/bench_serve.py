@@ -17,10 +17,20 @@ The report sweeps arrival rates and prints, per service, **goodput**
 p50/p95/p99 latency percentiles from the simulated clock, plus a
 cache section replaying a trace against a warm content-addressed cache.
 
+The **autopilot** section drives seeded *bursty* traces through the
+same sweep and compares the :class:`repro.serve.BatchController`
+(AIMD per-key tuning toward a p95 target) against a grid of static
+``(max_wait_seconds, max_batch_pairs)`` settings, then projects the
+autopilot's ledger into a capacity table (chips needed at rate R,
+simulated cost per million explanations).
+
 Contracts asserted (pytest, and by the ``--quick`` CI smoke):
 
 * batched goodput >= 5x serial at the default arrival rate with 100+
   requests (and strictly above serial at every swept rate);
+* the autopilot meets the p95 target at **every** swept rate while
+  every static setting misses it at one rate or more, with goodput no
+  worse than the best static at 400 req/s -- and bit-identical scores;
 * cache-hit responses are **bit-identical** to cold responses, and the
   warm-replay pass records **zero kernel-spectrum batches** (zero
   device work of any kind);
@@ -29,16 +39,31 @@ Contracts asserted (pytest, and by the ``--quick`` CI smoke):
 
 Runnable standalone::
 
-    PYTHONPATH=src python benchmarks/bench_serve.py [--quick]
+    PYTHONPATH=src python benchmarks/bench_serve.py [--quick] [--json PATH]
+
+The full run writes the sweep + capacity artifact to
+``BENCH_serve_autopilot.json`` (or ``--json PATH``); ``--quick`` writes
+it only when ``--json`` is given.
 """
 
 import argparse
+import dataclasses
+import functools
+import json
 import sys
+from pathlib import Path
 
 import numpy as np
 
 from repro.core.backend import TpuBackend, make_tpu_chip
-from repro.serve import ExplanationService, poisson_requests
+from repro.serve import (
+    BatchController,
+    ExplanationService,
+    bursty_requests,
+    capacity_table,
+    format_capacity_table,
+    poisson_requests,
+)
 
 SHAPE = (16, 16)
 BLOCK = (4, 4)
@@ -46,6 +71,21 @@ DEFAULT_RATE = 400.0  # requests per simulated second
 DEFAULT_COUNT = 120  # acceptance asks for 100+ seeded arrivals
 SWEEP_RATES = (100.0, 400.0, 1600.0)
 GOODPUT_FACTOR = 5.0  # batched must clear this multiple of serial
+
+#: The serving SLO the autopilot is steered toward: under the ~100ms+
+#: p95 the best static setting pays somewhere in the bursty sweep.
+AUTOPILOT_TARGET = 0.09
+BURST_SIZE = 20  # arrivals per closed burst in the autopilot traces
+AUTOPILOT_SEED = 7
+
+#: The static grid the autopilot must beat across the sweep: the
+#: PR-5 default, a tight low-latency pair, and per-request serial.
+STATIC_GRID = {
+    "static-50ms/32": dict(max_wait_seconds=0.05, max_batch_pairs=32),
+    "static-10ms/8": dict(max_wait_seconds=0.01, max_batch_pairs=8),
+    "serial": dict(max_wait_seconds=0.0, max_batch_pairs=1),
+}
+DEFAULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_serve_autopilot.json"
 
 
 def small_backend(num_cores=8):
@@ -72,6 +112,43 @@ def serial_service(device=None):
 
 def request_trace(count=DEFAULT_COUNT, rate=DEFAULT_RATE, seed=0, **kwargs):
     return poisson_requests(count, rate=rate, seed=seed, shape=SHAPE, **kwargs)
+
+
+def bursty_trace(rate, count=DEFAULT_COUNT, seed=AUTOPILOT_SEED):
+    """Closed bursts of BURST_SIZE arrivals averaging ``rate`` req/s."""
+    return bursty_requests(
+        count,
+        burst_size=BURST_SIZE,
+        burst_gap=BURST_SIZE / rate,
+        seed=seed,
+        shape=SHAPE,
+    )
+
+
+def autopilot_service(device=None):
+    return batched_service(
+        device,
+        cache_max_bytes=None,
+        controller=BatchController(target_p95_seconds=AUTOPILOT_TARGET),
+    )
+
+
+def static_service(name, device=None):
+    return batched_service(device, cache_max_bytes=None, **STATIC_GRID[name])
+
+
+@functools.lru_cache(maxsize=None)
+def _autopilot_reports(rate):
+    """Autopilot + the full static grid on the same seeded bursty trace.
+
+    Cached so the pytest contracts, the report sections, the ``--quick``
+    assertion, and the JSON artifact all share one sweep.
+    """
+    trace = bursty_trace(rate)
+    reports = {"autopilot": autopilot_service().process(trace)}
+    for name in STATIC_GRID:
+        reports[name] = static_service(name).process(trace)
+    return reports
 
 
 # ----------------------------------------------------------------------
@@ -132,6 +209,52 @@ def test_latency_ledger_is_deterministic():
     assert first.ledger.signature() == second.ledger.signature()
 
 
+def test_autopilot_meets_p95_target_every_static_misses_somewhere():
+    """The headline autopilot contract: the controller holds the p95
+    SLO at every swept rate of the seeded bursty trace, while each
+    static (wait, cap) pairing misses it at one rate or more."""
+    for rate in SWEEP_RATES:
+        report = _autopilot_reports(rate)["autopilot"]
+        assert report.completed_count == DEFAULT_COUNT, f"rate {rate}"
+        assert report.p95 <= AUTOPILOT_TARGET, (
+            f"autopilot p95 {report.p95 * 1e3:.1f}ms over target at {rate}"
+        )
+    for name in STATIC_GRID:
+        assert any(
+            _autopilot_reports(rate)[name].p95 > AUTOPILOT_TARGET
+            for rate in SWEEP_RATES
+        ), f"static {name} never misses the target; grid too weak"
+
+
+def test_autopilot_goodput_no_worse_than_best_static_at_default_rate():
+    reports = _autopilot_reports(DEFAULT_RATE)
+    best_static = max(reports[name].goodput for name in STATIC_GRID)
+    assert reports["autopilot"].goodput >= best_static
+
+
+def test_autopilot_scores_bit_identical_to_static():
+    """Adaptation moves *when* pairs dispatch, never *what* they score."""
+    reports = _autopilot_reports(DEFAULT_RATE)
+    autopilot = reports["autopilot"].results_by_id()
+    for name in STATIC_GRID:
+        static = reports[name].results_by_id()
+        assert autopilot.keys() == static.keys()
+        for request_id, result in static.items():
+            np.testing.assert_array_equal(
+                autopilot[request_id].scores, result.scores
+            )
+
+
+def test_capacity_plan_scales_with_rate():
+    report = _autopilot_reports(DEFAULT_RATE)["autopilot"]
+    plans = capacity_table(report, rates=SWEEP_RATES)
+    chips = [plan.chips_needed for plan in plans]
+    assert chips == sorted(chips)  # more traffic never needs fewer chips
+    assert all(plan.chips_needed >= 1 for plan in plans)
+    assert all(plan.cost_per_million > 0.0 for plan in plans)
+    assert all(plan.per_chip_rate > 0.0 for plan in plans)
+
+
 # ----------------------------------------------------------------------
 # Report + CLI smoke mode
 # ----------------------------------------------------------------------
@@ -169,6 +292,76 @@ def _sweep_report(count: int, rates) -> str:
             f"{serial.p95 / batched.p95:.2f}x"
         )
     return "\n".join(lines)
+
+
+def _autopilot_report() -> str:
+    lines = [
+        "SLO AUTOPILOT (seeded bursty arrivals, bursts of "
+        f"{BURST_SIZE}; target p95 <= {AUTOPILOT_TARGET * 1e3:.0f}ms)",
+        f"{'service':15s} {'rate':>6s} {'slo':>4s} {'p95(ms)':>9s} "
+        f"{'p99(ms)':>9s} {'goodput':>10s} {'disp':>5s}",
+    ]
+    for rate in SWEEP_RATES:
+        reports = _autopilot_reports(rate)
+        for name in ("autopilot", *STATIC_GRID):
+            report = reports[name]
+            flag = "ok" if report.p95 <= AUTOPILOT_TARGET else "MISS"
+            lines.append(
+                f"{name:15s} {rate:6.0f} {flag:>4s} "
+                f"{report.p95 * 1e3:9.1f} {report.p99 * 1e3:9.1f} "
+                f"{report.goodput:10.1f} {report.num_dispatches:5d}"
+            )
+    return "\n".join(lines)
+
+
+def _capacity_report() -> str:
+    report = _autopilot_reports(DEFAULT_RATE)["autopilot"]
+    plans = capacity_table(report, rates=SWEEP_RATES)
+    return "\n".join(
+        [
+            "CAPACITY PLAN (autopilot ledger at "
+            f"{DEFAULT_RATE:.0f} req/s; 70% utilization ceiling)",
+            format_capacity_table(plans),
+        ]
+    )
+
+
+def _artifact() -> dict:
+    """The sweep table + capacity rows written as the JSON artifact."""
+    sweep = []
+    for rate in SWEEP_RATES:
+        for name, report in _autopilot_reports(rate).items():
+            sweep.append(
+                {
+                    "service": name,
+                    "rate": rate,
+                    "completed": report.completed_count,
+                    "dispatches": report.num_dispatches,
+                    "goodput": round(report.goodput, 3),
+                    "p50_ms": round(report.p50 * 1e3, 3),
+                    "p95_ms": round(report.p95 * 1e3, 3),
+                    "p99_ms": round(report.p99 * 1e3, 3),
+                    "meets_target": bool(report.p95 <= AUTOPILOT_TARGET),
+                }
+            )
+    plans = capacity_table(
+        _autopilot_reports(DEFAULT_RATE)["autopilot"], rates=SWEEP_RATES
+    )
+    return {
+        "benchmark": "serve_autopilot",
+        "backend": small_backend().name,
+        "target_p95_seconds": AUTOPILOT_TARGET,
+        "trace": {
+            "kind": "bursty",
+            "count": DEFAULT_COUNT,
+            "burst_size": BURST_SIZE,
+            "seed": AUTOPILOT_SEED,
+            "shape": list(SHAPE),
+        },
+        "sweep_rates": list(SWEEP_RATES),
+        "sweep": sweep,
+        "capacity": [dataclasses.asdict(plan) for plan in plans],
+    }
 
 
 def _cache_report(count: int) -> str:
@@ -246,6 +439,35 @@ def _smoke(count: int) -> int:
     return 0
 
 
+def _autopilot_smoke() -> int:
+    """The CI autopilot contract: with the controller enabled, p95 must
+    hold the target at the highest admitted rate of the bursty sweep."""
+    top_rate = max(SWEEP_RATES)
+    report = _autopilot_reports(top_rate)["autopilot"]
+    print(
+        f"autopilot at {top_rate:.0f}/s bursty: "
+        f"p95 {report.p95 * 1e3:.1f}ms "
+        f"(target {AUTOPILOT_TARGET * 1e3:.0f}ms), "
+        f"goodput {report.goodput:.1f}, "
+        f"{report.num_dispatches} dispatches"
+    )
+    if report.completed_count != DEFAULT_COUNT:
+        print(
+            "FAIL: autopilot must complete every admitted request",
+            file=sys.stderr,
+        )
+        return 1
+    if report.p95 > AUTOPILOT_TARGET:
+        print(
+            f"FAIL: autopilot p95 {report.p95 * 1e3:.1f}ms exceeds the "
+            f"{AUTOPILOT_TARGET * 1e3:.0f}ms target at the highest "
+            "admitted rate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -253,16 +475,36 @@ def main(argv=None) -> int:
         action="store_true",
         help="CI smoke mode: default rate only, smaller sweep",
     )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the autopilot sweep + capacity artifact here "
+        "(full runs default to BENCH_serve_autopilot.json; --quick "
+        "writes only when this flag is given)",
+    )
     args = parser.parse_args(argv)
 
     count = 100 if args.quick else DEFAULT_COUNT
-    status = _smoke(count)
+    status = _smoke(count) or _autopilot_smoke()
     if status:
         return status
     print()
     print(_sweep_report(count, (DEFAULT_RATE,) if args.quick else SWEEP_RATES))
     print()
+    print(_autopilot_report())
+    print()
+    print(_capacity_report())
+    print()
     print(_cache_report(60 if args.quick else count))
+
+    json_path = args.json if args.json is not None else (
+        None if args.quick else DEFAULT_JSON
+    )
+    if json_path is not None:
+        json_path.write_text(json.dumps(_artifact(), indent=2) + "\n")
+        print(f"\nwrote {json_path}")
     return 0
 
 

@@ -349,8 +349,13 @@ class ExplanationPipeline:
         request defaults, so an offline pipeline and its online
         counterpart produce bit-identical explanations for the same
         inputs.  ``service_kwargs`` override any of those and add the
-        serving-only knobs (``max_wait_seconds``, ``max_batch_pairs``,
-        ``cache_max_bytes``, ``admission``, ...) -- see
+        serving-only knobs: the static micro-batching pair
+        (``max_wait_seconds``, ``max_batch_pairs``), the autopilot that
+        replaces it (``controller=BatchController(...)``), dispatch
+        fairness (``dispatch_policy``, ``key_weights``), caching
+        (``cache_max_bytes``) and speculative warming (``warm_cache``,
+        ``warm_min_gap_seconds``, ``warm_max_per_gap``), and admission
+        control (``admission``, with global and per-key budgets) -- see
         :class:`repro.serve.loop.ExplanationService`.
         """
         from repro.serve.loop import ExplanationService

@@ -4,25 +4,35 @@ Everything below the offline stack explains *lists*; this package
 serves *traffic*.  It is the repo's fifth accelerator layer -- the one
 that turns batch economics into goodput under live load:
 
-* :mod:`repro.serve.clock`     -- deterministic simulated time (no
+* :mod:`repro.serve.clock`      -- deterministic simulated time (no
   wall-clock sleeps anywhere on the request path);
-* :mod:`repro.serve.workload`  -- :class:`Request` plus seeded Poisson
-  and bursty arrival processes;
-* :mod:`repro.serve.batcher`   -- dynamic micro-batching per
+* :mod:`repro.serve.workload`   -- :class:`Request` plus seeded Poisson
+  and bursty arrival processes (and :func:`merge_traces` for
+  multi-tenant mixes);
+* :mod:`repro.serve.batcher`    -- dynamic micro-batching per
   ``(granularity, block_shape, precision)`` key under a
-  max-wait/max-batch policy;
-* :mod:`repro.serve.cache`     -- content-addressed, byte-budgeted LRU
-  of finished explanations (hits are bit-identical and device-free);
-* :mod:`repro.serve.admission` -- queue-depth/byte backpressure;
-* :mod:`repro.serve.metrics`   -- the latency ledger, p50/p95/p99 and
+  max-wait/max-batch policy, with weighted-fair dispatch across keys;
+* :mod:`repro.serve.controller` -- the serving autopilot: an AIMD
+  :class:`BatchController` steering each key's policy toward a p95
+  target;
+* :mod:`repro.serve.cache`      -- content-addressed, byte-budgeted LRU
+  of finished explanations (hits are bit-identical and device-free),
+  plus the :class:`SpeculativeWarmer` that re-distills recurring
+  evicted entries during idle gaps;
+* :mod:`repro.serve.admission`  -- queue-depth/byte backpressure,
+  global and per key;
+* :mod:`repro.serve.metrics`    -- the latency ledger, p50/p95/p99 and
   goodput report;
-* :mod:`repro.serve.loop`      -- :class:`ExplanationService`, the
+* :mod:`repro.serve.capacity`   -- chips-needed-at-rate-R and simulated
+  cost-per-million-explanations, projected from a report;
+* :mod:`repro.serve.loop`       -- :class:`ExplanationService`, the
   event loop tying them together (also reachable as
   :meth:`ExplanationPipeline.service()
   <repro.core.pipeline.ExplanationPipeline.service>`).
 
 See ``benchmarks/bench_serve.py`` for the arrival-rate sweep comparing
-the batched service against the per-request serial baseline.
+the batched service against the per-request serial baseline and the
+autopilot against the best static policy.
 """
 
 from repro.serve.admission import (
@@ -30,39 +40,68 @@ from repro.serve.admission import (
     AdmissionController,
     AdmissionDecision,
 )
-from repro.serve.batcher import BatchKey, MicroBatcher, QueuedRequest
+from repro.serve.batcher import (
+    DISPATCH_POLICIES,
+    BatchKey,
+    MicroBatcher,
+    QueuedRequest,
+)
 from repro.serve.cache import (
     DEFAULT_CACHE_BYTES,
     ExplanationCache,
+    SpeculativeWarmer,
     explanation_digest,
     result_nbytes,
 )
+from repro.serve.capacity import (
+    DEFAULT_CHIP_COST_PER_HOUR,
+    CapacityPlan,
+    capacity_table,
+    format_capacity_table,
+    plan_capacity,
+)
 from repro.serve.clock import SimulatedClock
+from repro.serve.controller import BatchController, nearest_rank_percentile
 from repro.serve.loop import ExplanationService
 from repro.serve.metrics import (
     LatencyLedger,
     RequestRecord,
     ServiceReport,
 )
-from repro.serve.workload import Request, bursty_requests, poisson_requests
+from repro.serve.workload import (
+    Request,
+    bursty_requests,
+    merge_traces,
+    poisson_requests,
+)
 
 __all__ = [
     "ADMITTED",
     "AdmissionController",
     "AdmissionDecision",
+    "DISPATCH_POLICIES",
     "BatchKey",
     "MicroBatcher",
     "QueuedRequest",
     "DEFAULT_CACHE_BYTES",
     "ExplanationCache",
+    "SpeculativeWarmer",
     "explanation_digest",
     "result_nbytes",
+    "DEFAULT_CHIP_COST_PER_HOUR",
+    "CapacityPlan",
+    "capacity_table",
+    "format_capacity_table",
+    "plan_capacity",
     "SimulatedClock",
+    "BatchController",
+    "nearest_rank_percentile",
     "ExplanationService",
     "LatencyLedger",
     "RequestRecord",
     "ServiceReport",
     "Request",
     "bursty_requests",
+    "merge_traces",
     "poisson_requests",
 ]

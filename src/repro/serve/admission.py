@@ -13,6 +13,14 @@ applies the two classic backpressure signals *at arrival time*:
   bytes than an fp64 one -- quantization buys admission headroom, not
   just MXU rate).
 
+Both signals exist at two scopes: **global** (the whole pending set,
+the host-memory bound) and **per key** (one :class:`~repro.serve
+.batcher.BatchKey`'s share of it, the fairness bound).  Per-key budgets
+keep one hot granularity/precision key from monopolizing the queues: a
+saturating key hits its own depth/byte budget and sheds load while
+sparse keys keep admitting -- backpressure lands on the tenant causing
+it.
+
 A rejected request is cheap by design: it never touches the device, the
 cache, or the batcher; it is recorded on the latency ledger with its
 rejection reason and excluded from goodput.
@@ -41,7 +49,10 @@ class AdmissionController:
     ``max_queue_depth`` bounds how many requests may be pending across
     the batch queues; ``max_queued_bytes`` bounds their total input
     footprint (the arriving request's own bytes count toward the
-    check).  ``None`` disables a bound; the default controller admits
+    check).  ``max_queue_depth_per_key`` / ``max_queued_bytes_per_key``
+    apply the same two bounds to the arriving request's own batch key,
+    so a single hot key saturates its own budget instead of the whole
+    host's.  ``None`` disables a bound; the default controller admits
     everything.
     """
 
@@ -49,25 +60,37 @@ class AdmissionController:
         self,
         max_queue_depth: int | None = None,
         max_queued_bytes: int | None = None,
+        max_queue_depth_per_key: int | None = None,
+        max_queued_bytes_per_key: int | None = None,
     ) -> None:
-        if max_queue_depth is not None and max_queue_depth <= 0:
-            raise ValueError(
-                f"max_queue_depth must be positive, got {max_queue_depth}"
-            )
-        if max_queued_bytes is not None and max_queued_bytes <= 0:
-            raise ValueError(
-                f"max_queued_bytes must be positive, got {max_queued_bytes}"
-            )
+        for name, bound in (
+            ("max_queue_depth", max_queue_depth),
+            ("max_queued_bytes", max_queued_bytes),
+            ("max_queue_depth_per_key", max_queue_depth_per_key),
+            ("max_queued_bytes_per_key", max_queued_bytes_per_key),
+        ):
+            if bound is not None and bound <= 0:
+                raise ValueError(f"{name} must be positive, got {bound}")
         self.max_queue_depth = max_queue_depth
         self.max_queued_bytes = max_queued_bytes
+        self.max_queue_depth_per_key = max_queue_depth_per_key
+        self.max_queued_bytes_per_key = max_queued_bytes_per_key
 
     def admit(
         self,
         request_nbytes: int,
         queue_depth: int,
         queued_bytes: int,
+        key_depth: int = 0,
+        key_bytes: int = 0,
     ) -> AdmissionDecision:
-        """Decide one arrival given the current pending-queue pressure."""
+        """Decide one arrival given the current pending-queue pressure.
+
+        ``queue_depth``/``queued_bytes`` are the global pending totals;
+        ``key_depth``/``key_bytes`` the arriving request's own batch
+        key's share of them (default 0, which disarms the per-key
+        bounds for callers that don't track keys).
+        """
         if (
             self.max_queue_depth is not None
             and queue_depth >= self.max_queue_depth
@@ -89,6 +112,29 @@ class AdmissionController:
                     f"queued bytes {queued_bytes} + request "
                     f"{request_nbytes} over the "
                     f"{self.max_queued_bytes}-byte budget"
+                ),
+            )
+        if (
+            self.max_queue_depth_per_key is not None
+            and key_depth >= self.max_queue_depth_per_key
+        ):
+            return AdmissionDecision(
+                admitted=False,
+                reason=(
+                    f"per-key queue depth {key_depth} at the "
+                    f"{self.max_queue_depth_per_key}-request budget"
+                ),
+            )
+        if (
+            self.max_queued_bytes_per_key is not None
+            and key_bytes + request_nbytes > self.max_queued_bytes_per_key
+        ):
+            return AdmissionDecision(
+                admitted=False,
+                reason=(
+                    f"per-key queued bytes {key_bytes} + request "
+                    f"{request_nbytes} over the "
+                    f"{self.max_queued_bytes_per_key}-byte budget"
                 ),
             )
         return ADMITTED

@@ -10,7 +10,32 @@ one batch under a *max-wait / max-batch* policy:
   (dispatch immediately -- waiting longer buys nothing);
 * a key's queue is **due** once its oldest request has waited
   ``max_wait_seconds`` (dispatch whatever has coalesced -- waiting
-  longer only buys latency).
+  longer only buys latency);
+* once the arrival trace is exhausted a key is **drained**: no future
+  arrival can widen any batch, so pending queues flush without burning
+  the remainder of their max-wait window (:meth:`MicroBatcher
+  .drain_keys`).
+
+The policy is per key: a static ``(max_wait_seconds,
+max_batch_pairs)`` pair by default, or -- when a
+:class:`~repro.serve.controller.BatchController` is attached -- the
+controller's current per-key setting, re-read at every decision point
+so AIMD updates take effect on the very next dispatch.
+
+**Dispatch fairness.**  When several keys are ripe in the same event-
+loop iteration (typically after a long dispatch advanced the clock
+past many deadlines), ``dispatch_policy`` orders them:
+
+* ``"fair"`` (weighted fair queueing, the default) -- keys dispatch in
+  ascending order of *served credit*, the pairs a key has already had
+  dispatched divided by its weight (``weights``, default 1.0).  A hot
+  key that constantly fills batches accumulates credit and yields the
+  head of each contended round to starved keys, bounding how long a
+  sparse key can sit behind a saturating one; a weight > 1 entitles a
+  key to proportionally more service before yielding.
+* ``"fifo"`` -- first-seen key order (the pre-autopilot behaviour,
+  kept as the comparison baseline: a hot key inserted first dispatches
+  first in every contended round).
 
 Keys are the compatibility contract: requests of different
 granularities, block shapes or precisions never share a dispatch, so
@@ -27,6 +52,9 @@ from dataclasses import dataclass
 
 from repro.core.masking import MaskSpec
 from repro.serve.workload import Request
+
+#: Orders for draining several simultaneously-ripe keys.
+DISPATCH_POLICIES = ("fair", "fifo")
 
 
 @dataclass(frozen=True)
@@ -59,6 +87,9 @@ class MicroBatcher:
         self,
         max_wait_seconds: float = 0.05,
         max_batch_pairs: int = 32,
+        controller=None,
+        dispatch_policy: str = "fair",
+        weights: dict | None = None,
     ) -> None:
         if max_wait_seconds < 0:
             raise ValueError(
@@ -68,14 +99,53 @@ class MicroBatcher:
             raise ValueError(
                 f"max_batch_pairs must be positive, got {max_batch_pairs}"
             )
+        if dispatch_policy not in DISPATCH_POLICIES:
+            raise ValueError(
+                f"unknown dispatch_policy {dispatch_policy!r}; "
+                f"expected one of {DISPATCH_POLICIES}"
+            )
+        if weights is not None:
+            for key, weight in weights.items():
+                if weight <= 0:
+                    raise ValueError(
+                        f"dispatch weight for {key} must be positive, got {weight}"
+                    )
         self.max_wait_seconds = float(max_wait_seconds)
         self.max_batch_pairs = int(max_batch_pairs)
+        self.controller = controller
+        self.dispatch_policy = dispatch_policy
+        self.weights = dict(weights) if weights else {}
         self._queues: dict[BatchKey, list[QueuedRequest]] = {}
+        self._order: dict[BatchKey, int] = {}  # first-seen key order
+        self._served: dict[BatchKey, float] = {}  # weighted pairs dispatched
+
+    # ------------------------------------------------------------------
+    # Per-key policy
+    # ------------------------------------------------------------------
+    def policy_for(self, key: BatchKey) -> tuple[float, int]:
+        """The ``(max_wait_seconds, max_batch_pairs)`` governing ``key``.
+
+        The attached controller's live per-key setting when present,
+        else the static construction-time pair -- re-read at every
+        deadline/ripeness/pop decision so controller updates apply to
+        the very next dispatch.
+        """
+        if self.controller is not None:
+            return self.controller.policy(key)
+        return (self.max_wait_seconds, self.max_batch_pairs)
+
+    def weight_for(self, key: BatchKey) -> float:
+        """The key's fairness weight (keys or their tuples both index)."""
+        if key in self.weights:
+            return self.weights[key]
+        return self.weights.get(key.as_tuple(), 1.0)
 
     # ------------------------------------------------------------------
     # Enqueue / pressure
     # ------------------------------------------------------------------
     def enqueue(self, key: BatchKey, queued: QueuedRequest) -> None:
+        if key not in self._order:
+            self._order[key] = len(self._order)
         self._queues.setdefault(key, []).append(queued)
 
     @property
@@ -92,42 +162,79 @@ class MicroBatcher:
             for queued in queue
         )
 
+    def pending_count_for(self, key: BatchKey) -> int:
+        """Requests one key has waiting (the per-key admission signal)."""
+        return len(self._queues.get(key, ()))
+
+    def pending_bytes_for(self, key: BatchKey) -> int:
+        """Host-link bytes one key has queued."""
+        return sum(q.feed_nbytes for q in self._queues.get(key, ()))
+
     # ------------------------------------------------------------------
     # Dispatch policy
     # ------------------------------------------------------------------
     def next_deadline(self) -> float:
         """When the oldest pending request's max-wait expires (inf if idle)."""
         deadlines = [
-            queue[0].enqueue_time + self.max_wait_seconds
-            for queue in self._queues.values()
+            queue[0].enqueue_time + self.policy_for(key)[0]
+            for key, queue in self._queues.items()
             if queue
         ]
         return min(deadlines) if deadlines else math.inf
 
+    def _dispatch_order(self, keys: list[BatchKey]) -> list[BatchKey]:
+        """Order simultaneously-ripe keys per the dispatch policy."""
+        if self.dispatch_policy == "fifo":
+            return sorted(keys, key=lambda key: self._order[key])
+        return sorted(
+            keys,
+            key=lambda key: (self._served.get(key, 0.0), self._order[key]),
+        )
+
     def ripe_keys(self, now: float) -> list[BatchKey]:
         """Keys that should dispatch at ``now``: full or past max-wait.
 
-        Insertion-ordered and duplicate-free, so the event loop's
-        dispatch order is deterministic.
+        Ordered by the dispatch policy (weighted fair queueing by
+        default, first-seen under ``"fifo"``) and duplicate-free, so
+        the event loop's dispatch order is deterministic.
         """
         ripe = []
         for key, queue in self._queues.items():
             if not queue:
                 continue
-            full = len(queue) >= self.max_batch_pairs
-            due = queue[0].enqueue_time + self.max_wait_seconds <= now
+            max_wait, max_pairs = self.policy_for(key)
+            full = len(queue) >= max_pairs
+            due = queue[0].enqueue_time + max_wait <= now
             if full or due:
                 ripe.append(key)
-        return ripe
+        return self._dispatch_order(ripe)
+
+    def drain_keys(self) -> list[BatchKey]:
+        """Every key with pending requests, in dispatch-policy order.
+
+        The trace-exhausted flush: once no further arrival can join a
+        batch, waiting out the max-wait window buys width that will
+        never come -- the event loop drains these keys immediately.
+        """
+        return self._dispatch_order(
+            [key for key, queue in self._queues.items() if queue]
+        )
 
     def pop(self, key: BatchKey) -> list[QueuedRequest]:
-        """Release up to ``max_batch_pairs`` of a key's oldest requests.
+        """Release up to the key's ``max_batch_pairs`` oldest requests.
 
         Anything past the batch cap stays queued with its original
         enqueue time (its max-wait deadline keeps running), so a
-        saturating key drains as a train of full batches.
+        saturating key drains as a train of full batches.  The key's
+        served credit grows by the weighted batch size -- the fairness
+        bookkeeping behind ``dispatch_policy="fair"``.
         """
+        _, max_pairs = self.policy_for(key)
         queue = self._queues.get(key, [])
-        batch = queue[: self.max_batch_pairs]
-        self._queues[key] = queue[self.max_batch_pairs :]
+        batch = queue[:max_pairs]
+        self._queues[key] = queue[max_pairs:]
+        if batch:
+            self._served[key] = (
+                self._served.get(key, 0.0) + len(batch) / self.weight_for(key)
+            )
         return batch

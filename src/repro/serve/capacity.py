@@ -1,0 +1,136 @@
+"""Capacity planning: from the latency ledger to chips and dollars.
+
+The serving report says what one simulated chip (or pod replica) did
+under one trace; an operator needs the next two derivatives -- **how
+many replicas** hold a target arrival rate, and **what a million
+explanations cost** at that rate.  This module derives both from
+quantities the :class:`~repro.serve.metrics.ServiceReport` already
+carries, with no new measurement:
+
+* **utilization** -- device-busy simulated seconds over elapsed
+  simulated seconds for the measured run: how much of the wall the
+  replica actually computed;
+* **per-replica service rate** -- completed requests per device-*busy*
+  second: the replica's intrinsic throughput with idle time factored
+  out, so the projection does not reward a sparse trace;
+* **replicas needed at rate R** -- ``ceil(R / (service_rate *
+  max_utilization))``: enough replicas that each runs at or below the
+  target utilization (the headroom that keeps tail latency from
+  exploding as the queueing-theory knee approaches);
+* **cost per million explanations** -- replicas times an hourly chip
+  price, normalized by the explanation rate.
+
+All of it is simulated economics on simulated time: the point is the
+*shape* (how cost scales with rate, where batching bends the curve),
+not a cloud invoice.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.serve.metrics import ServiceReport
+
+#: Simulated price of one chip-hour, loosely shaped on public
+#: accelerator on-demand pricing.  Every cost is linear in it, so the
+#: comparisons (batched vs serial, controller vs static) are
+#: price-independent.
+DEFAULT_CHIP_COST_PER_HOUR = 1.35
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """What it takes to serve ``rate`` requests/second, projected from one run."""
+
+    rate: float  # target arrival rate (requests / simulated second)
+    per_chip_rate: float  # intrinsic service rate of one replica
+    utilization: float  # measured busy fraction of the source run
+    max_utilization: float  # headroom target the plan provisions to
+    chips_needed: int
+    cost_per_hour: float
+    cost_per_million: float  # simulated cost per 1e6 explanations
+
+
+def plan_capacity(
+    report: ServiceReport,
+    rate: float | None = None,
+    max_utilization: float = 0.7,
+    chip_cost_per_hour: float = DEFAULT_CHIP_COST_PER_HOUR,
+) -> CapacityPlan:
+    """Project one measured run onto a target arrival rate.
+
+    ``rate`` defaults to the run's own completed-request rate (plan for
+    the traffic you measured).  ``max_utilization`` is the busy-fraction
+    ceiling each replica is provisioned to -- the latency-headroom
+    knob; provisioning to 1.0 means queueing delay diverges at the
+    target rate.
+    """
+    if not 0 < max_utilization <= 1:
+        raise ValueError(
+            f"max_utilization must lie in (0, 1], got {max_utilization}"
+        )
+    if chip_cost_per_hour < 0:
+        raise ValueError(
+            f"chip_cost_per_hour cannot be negative, got {chip_cost_per_hour}"
+        )
+    completed = report.completed_count
+    busy = report.stats.seconds
+    if completed <= 0 or busy <= 0:
+        raise ValueError(
+            "capacity planning needs a run with completed requests and "
+            f"device work (completed={completed}, busy={busy})"
+        )
+    per_chip_rate = completed / busy
+    utilization = busy / report.elapsed_seconds if report.elapsed_seconds > 0 else 1.0
+    if rate is None:
+        rate = report.goodput
+    if rate <= 0:
+        raise ValueError(f"target rate must be positive, got {rate}")
+    chips = max(1, math.ceil(rate / (per_chip_rate * max_utilization)))
+    cost_per_hour = chips * chip_cost_per_hour
+    explanations_per_hour = rate * 3600.0
+    cost_per_million = cost_per_hour / explanations_per_hour * 1e6
+    return CapacityPlan(
+        rate=float(rate),
+        per_chip_rate=per_chip_rate,
+        utilization=utilization,
+        max_utilization=float(max_utilization),
+        chips_needed=chips,
+        cost_per_hour=cost_per_hour,
+        cost_per_million=cost_per_million,
+    )
+
+
+def capacity_table(
+    report: ServiceReport,
+    rates,
+    max_utilization: float = 0.7,
+    chip_cost_per_hour: float = DEFAULT_CHIP_COST_PER_HOUR,
+) -> list[CapacityPlan]:
+    """One :func:`plan_capacity` row per target rate."""
+    return [
+        plan_capacity(
+            report,
+            rate=rate,
+            max_utilization=max_utilization,
+            chip_cost_per_hour=chip_cost_per_hour,
+        )
+        for rate in rates
+    ]
+
+
+def format_capacity_table(plans) -> str:
+    """A fixed-width text table of capacity plans (for bench output)."""
+    header = (
+        f"{'rate (req/s)':>14} {'chips':>7} {'per-chip (req/s)':>18} "
+        f"{'cost ($/h)':>12} {'cost ($/1M)':>13}"
+    )
+    lines = [header, "-" * len(header)]
+    for plan in plans:
+        lines.append(
+            f"{plan.rate:>14.1f} {plan.chips_needed:>7d} "
+            f"{plan.per_chip_rate:>18.1f} {plan.cost_per_hour:>12.2f} "
+            f"{plan.cost_per_million:>13.3f}"
+        )
+    return "\n".join(lines)

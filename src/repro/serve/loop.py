@@ -59,14 +59,21 @@ from repro.hw.device import Device
 from repro.hw.pod import TpuPod
 from repro.hw.quantize import resolve_precision
 from repro.serve.admission import ADMITTED, AdmissionController
-from repro.serve.batcher import BatchKey, MicroBatcher, QueuedRequest
+from repro.serve.batcher import (
+    DISPATCH_POLICIES,
+    BatchKey,
+    MicroBatcher,
+    QueuedRequest,
+)
 from repro.serve.cache import (
     DEFAULT_CACHE_BYTES,
     DigestMemo,
     ExplanationCache,
+    SpeculativeWarmer,
     explanation_digest,
 )
 from repro.serve.clock import SimulatedClock
+from repro.serve.controller import BatchController
 from repro.serve.metrics import LatencyLedger, RequestRecord, ServiceReport
 from repro.serve.workload import Request
 
@@ -103,7 +110,35 @@ class ExplanationService:
         caching.  The cache persists across :meth:`process` calls.
     admission:
         Optional :class:`~repro.serve.admission.AdmissionController`;
-        ``None`` admits everything.
+        ``None`` admits everything.  Per-key budgets on the controller
+        are fed each arrival's own key pressure automatically.
+    controller:
+        Optional :class:`~repro.serve.controller.BatchController` (the
+        serving autopilot).  When present it replaces the static
+        ``max_wait_seconds``/``max_batch_pairs`` pair: the micro-batcher
+        consults the controller's live per-key policy at every decision
+        point, and the service feeds every dispatched batch's records
+        back through :meth:`~repro.serve.controller.BatchController
+        .observe`.  Controller state persists across :meth:`process`
+        calls, like the cache.
+    dispatch_policy, key_weights:
+        How simultaneously-ripe batch keys are ordered: ``"fair"``
+        (weighted fair queueing on served pairs -- the default; a hot
+        key yields contended rounds to starved ones) or ``"fifo"``
+        (first-seen key order, the pre-autopilot baseline).
+        ``key_weights`` maps :class:`~repro.serve.batcher.BatchKey`\\ s
+        (or their ``as_tuple()`` forms) to relative service weights.
+    warm_cache, warm_min_gap_seconds, warm_max_per_gap, warm_tracked:
+        Speculative cache warming: with ``warm_cache=True`` (requires a
+        cache) the service re-distills recurring evicted explanations
+        during idle drain gaps -- when the queues are empty and the
+        next arrival is at least ``warm_min_gap_seconds`` away, up to
+        ``warm_max_per_gap`` staged candidates recompute through the
+        normal executor path (honest simulated time, never past the
+        next arrival) and re-enter the cache.  ``warm_tracked`` bounds
+        how many recent digests the warmer remembers planes for.
+        Warming converts drain time into hit rate and never changes
+        what any explanation is.
     num_chips, placement, interconnect, hbm_bytes:
         Pod scaling: ``num_chips=K > 1`` replicates ``device`` into a
         :class:`~repro.hw.pod.TpuPod` of K clones (handing a pod in as
@@ -141,6 +176,13 @@ class ExplanationService:
         placement: str = "data",
         interconnect=None,
         hbm_bytes: int | None = None,
+        controller: BatchController | None = None,
+        dispatch_policy: str = "fair",
+        key_weights: dict | None = None,
+        warm_cache: bool = False,
+        warm_min_gap_seconds: float = 0.25,
+        warm_max_per_gap: int = 4,
+        warm_tracked: int = 64,
     ) -> None:
         if granularity not in GRANULARITIES:
             raise ValueError(
@@ -196,6 +238,38 @@ class ExplanationService:
         else:
             self.cache = ExplanationCache(max_bytes=cache_max_bytes)
         self.admission = admission
+        if dispatch_policy not in DISPATCH_POLICIES:
+            raise ValueError(
+                f"unknown dispatch_policy {dispatch_policy!r}; "
+                f"expected one of {DISPATCH_POLICIES}"
+            )
+        self.controller = controller
+        self.dispatch_policy = dispatch_policy
+        self.key_weights = dict(key_weights) if key_weights else {}
+        if warm_min_gap_seconds <= 0:
+            raise ValueError(
+                f"warm_min_gap_seconds must be positive, got "
+                f"{warm_min_gap_seconds}"
+            )
+        if warm_max_per_gap <= 0:
+            raise ValueError(
+                f"warm_max_per_gap must be positive, got {warm_max_per_gap}"
+            )
+        self.warm_min_gap_seconds = float(warm_min_gap_seconds)
+        self.warm_max_per_gap = int(warm_max_per_gap)
+        self.warmer: SpeculativeWarmer | None = None
+        if warm_cache:
+            if self.cache is None:
+                raise ValueError(
+                    "warm_cache=True requires a cache (cache_max_bytes "
+                    "must not be None)"
+                )
+            self.warmer = SpeculativeWarmer(max_tracked=warm_tracked)
+            self.cache.on_evict = self.warmer.note_eviction
+        # Conservative per-warm cost estimate (simulated seconds),
+        # learned from actual warm dispatches so a gap never overruns
+        # into the next arrival after the first warm of a session.
+        self._warm_cost_estimate = 0.0
         self.hbm_bytes = None if hbm_bytes is None else int(hbm_bytes)
         # One executor per batch key and one lazy mask plan per
         # (granularity, block_shape, plane shape): built on first use,
@@ -338,7 +412,11 @@ class ExplanationService:
         Deterministic discrete-event execution: requests are taken in
         ``(arrival_time, request_id)`` order; between arrivals the only
         events are batch deadlines, and the clock advances by device
-        simulated seconds whenever a batch dispatches.  The loop ends
+        simulated seconds whenever a batch dispatches (or, with
+        warming on, whenever an idle gap re-distills an evicted
+        explanation).  Once the trace is exhausted pending batches
+        flush immediately -- no future arrival can widen them, so the
+        clock never advances past the last completion.  The loop ends
         with an idle drain that flushes every known batch key --
         including empty ones, the path that exercises the empty-fleet
         guards.  The device ledger is reset on entry and harvested into
@@ -351,6 +429,9 @@ class ExplanationService:
         batcher = MicroBatcher(
             max_wait_seconds=self.max_wait_seconds,
             max_batch_pairs=self.max_batch_pairs,
+            controller=self.controller,
+            dispatch_policy=self.dispatch_policy,
+            weights=self.key_weights,
         )
         ledger = LatencyLedger()
         self.device.reset_stats()
@@ -359,22 +440,27 @@ class ExplanationService:
             if self.cache is not None
             else (0, 0, 0)
         )
-        counters = {"dispatches": 0, "waves": 0}
+        counters = {"dispatches": 0, "waves": 0, "warmed": 0}
 
         index = 0
         while index < len(requests) or batcher.pending_count:
             # Release everything already full or past its max-wait.
             for key in batcher.ripe_keys(clock.now):
                 self._dispatch(key, batcher, ledger, clock, counters)
-            next_arrival = (
-                requests[index].arrival_time
-                if index < len(requests)
-                else math.inf
-            )
+            if index >= len(requests):
+                # Trace exhausted: no future arrival can widen any
+                # batch, so flush pending keys now instead of burning
+                # the remainder of their max-wait windows.
+                for key in batcher.drain_keys():
+                    self._dispatch(key, batcher, ledger, clock, counters)
+                continue
+            next_arrival = requests[index].arrival_time
             deadline = batcher.next_deadline()
             if next_arrival <= deadline:
-                if index >= len(requests):
-                    break  # nothing pending, nothing arriving
+                if batcher.pending_count == 0:
+                    # An idle gap mid-trace: the only place speculative
+                    # warming may spend device time.
+                    self._warm(next_arrival, clock, counters)
                 clock.advance_to(next_arrival)
                 self._accept(requests[index], batcher, ledger, clock)
                 index += 1
@@ -404,6 +490,7 @@ class ExplanationService:
             cache_hits=cache_after[0] - cache_before[0],
             cache_misses=cache_after[1] - cache_before[1],
             cache_evictions=cache_after[2] - cache_before[2],
+            num_warmed=counters["warmed"],
         )
 
     # ------------------------------------------------------------------
@@ -430,7 +517,11 @@ class ExplanationService:
         decision = ADMITTED
         if self.admission is not None:
             decision = self.admission.admit(
-                feed_nbytes, batcher.pending_count, batcher.pending_bytes
+                feed_nbytes,
+                batcher.pending_count,
+                batcher.pending_bytes,
+                key_depth=batcher.pending_count_for(key),
+                key_bytes=batcher.pending_bytes_for(key),
             )
         if not decision.admitted:
             ledger.add(
@@ -447,6 +538,11 @@ class ExplanationService:
         digest = None
         if self.cache is not None:
             digest = self._digest(request, key)
+            if self.warmer is not None:
+                self.warmer.note_request(
+                    digest, request.x, request.y, key,
+                    self._plan(key, request.x.shape),
+                )
             hit = self.cache.get(digest)
             if hit is not None:
                 # Served from memory: bit-identical to the cold result,
@@ -503,19 +599,60 @@ class ExplanationService:
         dispatch_index = counters["dispatches"]
         counters["dispatches"] += 1
         counters["waves"] += fleet.num_waves
+        records = []
         for queued, result in zip(batch, fleet.results):
             if self.cache is not None and queued.digest is not None:
                 self.cache.put(queued.digest, result)
-            ledger.add(
-                RequestRecord(
-                    request_id=queued.request.request_id,
-                    arrival_time=queued.request.arrival_time,
-                    status="completed",
-                    batch_key=key.as_tuple(),
-                    enqueue_time=queued.enqueue_time,
-                    dispatch_time=dispatch_time,
-                    completion_time=clock.now,
-                    dispatch_index=dispatch_index,
-                    result=result,
-                )
+            record = RequestRecord(
+                request_id=queued.request.request_id,
+                arrival_time=queued.request.arrival_time,
+                status="completed",
+                batch_key=key.as_tuple(),
+                enqueue_time=queued.enqueue_time,
+                dispatch_time=dispatch_time,
+                completion_time=clock.now,
+                dispatch_index=dispatch_index,
+                result=result,
             )
+            records.append(record)
+            ledger.add(record)
+        if self.controller is not None:
+            # Close the autopilot loop: this batch's lifecycles steer
+            # the key's (max_wait, max_batch) for the next dispatch.
+            self.controller.observe(key, records)
+
+    def _warm(
+        self,
+        next_arrival: float,
+        clock: SimulatedClock,
+        counters: dict,
+    ) -> None:
+        """Spend an idle drain gap re-distilling evicted explanations.
+
+        Runs only mid-trace with empty queues.  Each staged recurring
+        candidate recomputes through the key's normal executor path --
+        honest simulated device time, bit-identical artifacts -- and
+        re-enters the cache.  A learned per-warm cost estimate keeps
+        the gap from overrunning into the next arrival.
+        """
+        if self.warmer is None or self.cache is None:
+            return
+        gap = next_arrival - clock.now
+        if gap < self.warm_min_gap_seconds:
+            return
+        for _ in range(self.warm_max_per_gap):
+            if next_arrival - clock.now < self._warm_cost_estimate:
+                break
+            candidates = self.warmer.pop_candidates(self.cache, 1)
+            if not candidates:
+                break
+            digest, x, y, key, plan = candidates[0]
+            executor = self._executor(key)
+            before = self.device.stats.seconds
+            fleet = executor.run([(x, y)], pipelined=True, plans=[plan])
+            cost = self.device.stats.seconds - before
+            clock.advance(cost)
+            self._warm_cost_estimate = max(self._warm_cost_estimate, cost)
+            self.cache.put(digest, fleet.results[0])
+            self.warmer.warmed += 1
+            counters["warmed"] += 1

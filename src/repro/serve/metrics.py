@@ -97,6 +97,35 @@ class LatencyLedger:
         return sorted(r.latency for r in self.completed)
 
     # ------------------------------------------------------------------
+    # Per-key views (the fairness instrumentation)
+    # ------------------------------------------------------------------
+    def completed_for(self, batch_key: tuple) -> list[RequestRecord]:
+        """Completed records whose batch key equals ``batch_key``."""
+        return [r for r in self.completed if r.batch_key == batch_key]
+
+    def latencies_for(self, batch_key: tuple) -> list[float]:
+        """Sorted completed latencies for one batch key."""
+        return sorted(r.latency for r in self.completed_for(batch_key))
+
+    def percentile_for(self, batch_key: tuple, p: float) -> float:
+        """Nearest-rank percentile over one batch key's completions."""
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile must lie in (0, 100], got {p}")
+        latencies = self.latencies_for(batch_key)
+        if not latencies:
+            return 0.0
+        rank = max(1, math.ceil(p / 100.0 * len(latencies)))
+        return latencies[rank - 1]
+
+    def batch_keys(self) -> list[tuple]:
+        """Every batch key on the ledger, in first-appearance order."""
+        seen: dict[tuple, None] = {}
+        for record in self.records:
+            if record.batch_key and record.batch_key not in seen:
+                seen[record.batch_key] = None
+        return list(seen)
+
+    # ------------------------------------------------------------------
     # Percentiles (nearest-rank, so values are actual observed latencies)
     # ------------------------------------------------------------------
     def percentile(self, p: float) -> float:
@@ -144,7 +173,8 @@ class ServiceReport:
     the whole run; ``num_dispatches`` how many non-empty batches went to
     the fleet executor and ``num_waves`` the scheduler waves they
     resolved to; the cache counters snapshot the service cache's
-    activity during this run.
+    activity during this run; ``num_warmed`` counts explanations the
+    speculative warmer re-distilled during idle drain gaps.
     """
 
     ledger: LatencyLedger
@@ -155,6 +185,7 @@ class ServiceReport:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    num_warmed: int = 0
 
     # ------------------------------------------------------------------
     # Headline serving metrics
@@ -196,3 +227,22 @@ class ServiceReport:
     def results_by_id(self) -> dict[int, object]:
         """Completed results keyed by request id (bit-identity checks)."""
         return {r.request_id: r.result for r in self.ledger.completed}
+
+    def signature(self) -> tuple:
+        """The whole report as plain tuples: the determinism contract.
+
+        Extends :meth:`LatencyLedger.signature` with the run-level
+        counters, so two replays of the same seeded trace must agree
+        not just record by record but also on the makespan, dispatch
+        structure, cache activity and warming work.
+        """
+        return (
+            self.ledger.signature(),
+            self.elapsed_seconds,
+            self.num_dispatches,
+            self.num_waves,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.num_warmed,
+        )

@@ -21,7 +21,7 @@ bit-identically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -139,6 +139,7 @@ def bursty_requests(
     block_shape: tuple[int, int] | None = None,
     precision=None,
     precisions=None,
+    jitter: float = 0.0,
 ) -> list[Request]:
     """A bursty trace: closed bursts of ``burst_size`` simultaneous
     requests, one burst every ``burst_gap`` simulated seconds.
@@ -146,6 +147,11 @@ def bursty_requests(
     Every request of burst ``k`` arrives at exactly ``k * burst_gap`` --
     the micro-batcher should coalesce each burst into few waves, and the
     idle gap between bursts exercises the max-wait flush path.
+    ``jitter > 0`` smears each arrival uniformly over ``[0, jitter)``
+    seconds after its burst instant (seeded, then re-sorted), turning
+    the perfectly-closed bursts into ragged ones -- the adaptive
+    controller's harder case.  ``jitter=0`` draws nothing and is
+    bit-identical to the pre-jitter trace.
     """
     if count < 0:
         raise ValueError(f"count cannot be negative, got {count}")
@@ -153,9 +159,39 @@ def bursty_requests(
         raise ValueError(f"burst size must be positive, got {burst_size}")
     if burst_gap < 0:
         raise ValueError(f"burst gap cannot be negative, got {burst_gap}")
+    if jitter < 0:
+        raise ValueError(f"jitter cannot be negative, got {jitter}")
     rng = np.random.default_rng(seed)
     arrivals = [(index // burst_size) * burst_gap for index in range(count)]
+    if jitter > 0:
+        offsets = rng.uniform(0.0, jitter, size=count)
+        arrivals = sorted(a + o for a, o in zip(arrivals, offsets))
     return _requests_from_arrivals(
         arrivals, rng, shape, seed, repeat_fraction,
         granularity, block_shape, precision, precisions,
     )
+
+
+def merge_traces(*traces) -> list[Request]:
+    """Interleave several traces into one multi-tenant arrival stream.
+
+    Requests are ordered by ``(arrival_time, trace position)`` --
+    ties broken by the order the traces were passed, then within a
+    trace by its own order -- and renumbered with fresh sequential
+    ``request_id``\\ s (the service requires ids to disambiguate
+    results; two independent traces both start at id 0).  Each
+    request's planes and batch-key overrides ride along untouched, so
+    merging a hot single-key trace with sparse other-key traces builds
+    the fairness stress case directly.
+    """
+    tagged = []
+    for trace_index, trace in enumerate(traces):
+        for position, request in enumerate(trace):
+            tagged.append(
+                (request.arrival_time, trace_index, position, request)
+            )
+    tagged.sort(key=lambda item: item[:3])
+    return [
+        replace(request, request_id=new_id)
+        for new_id, (_, _, _, request) in enumerate(tagged)
+    ]

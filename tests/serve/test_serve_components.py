@@ -13,8 +13,10 @@ from repro.serve import (
     QueuedRequest,
     Request,
     SimulatedClock,
+    SpeculativeWarmer,
     bursty_requests,
     explanation_digest,
+    merge_traces,
     poisson_requests,
     result_nbytes,
 )
@@ -81,6 +83,44 @@ class TestWorkloads:
         names = {r.precision for r in trace}
         assert names == {"fp64", "int8"}
 
+    def test_zero_jitter_is_bit_identical_to_the_unjittered_trace(self):
+        plain = bursty_requests(9, burst_size=3, burst_gap=1.0, seed=6)
+        zero = bursty_requests(9, burst_size=3, burst_gap=1.0, seed=6, jitter=0.0)
+        assert [r.arrival_time for r in plain] == [r.arrival_time for r in zero]
+        for a, b in zip(plain, zero):
+            np.testing.assert_array_equal(a.x, b.x)
+            np.testing.assert_array_equal(a.y, b.y)
+
+    def test_jitter_smears_bursts_within_the_window_deterministically(self):
+        a = bursty_requests(9, burst_size=3, burst_gap=1.0, seed=6, jitter=0.2)
+        b = bursty_requests(9, burst_size=3, burst_gap=1.0, seed=6, jitter=0.2)
+        assert [r.arrival_time for r in a] == [r.arrival_time for r in b]
+        arrivals = [r.arrival_time for r in a]
+        assert arrivals == sorted(arrivals)
+        assert len(set(arrivals)) == len(arrivals)  # no longer simultaneous
+        # Each arrival sits within [burst instant, burst instant + jitter).
+        for arrival in arrivals:
+            assert arrival % 1.0 < 0.2
+
+    def test_merge_traces_interleaves_and_renumbers(self):
+        first = bursty_requests(4, burst_size=2, burst_gap=1.0, seed=1)
+        second = poisson_requests(4, rate=2.0, seed=2, granularity="rows")
+        merged = merge_traces(first, second)
+        assert len(merged) == 8
+        arrivals = [r.arrival_time for r in merged]
+        assert arrivals == sorted(arrivals)
+        assert [r.request_id for r in merged] == list(range(8))
+        # Per-request overrides ride along untouched.
+        assert sum(r.granularity == "rows" for r in merged) == 4
+
+    def test_merge_traces_breaks_ties_by_trace_order(self):
+        first = bursty_requests(2, burst_size=2, burst_gap=1.0, seed=1)
+        second = bursty_requests(
+            2, burst_size=2, burst_gap=1.0, seed=2, granularity="rows"
+        )
+        merged = merge_traces(first, second)
+        assert [r.granularity for r in merged] == [None, None, "rows", "rows"]
+
     def test_validation(self):
         with pytest.raises(ValueError):
             poisson_requests(10, rate=0.0)
@@ -89,10 +129,13 @@ class TestWorkloads:
         with pytest.raises(ValueError):
             bursty_requests(10, burst_size=0, burst_gap=1.0)
         with pytest.raises(ValueError):
+            bursty_requests(10, burst_size=2, burst_gap=1.0, jitter=-0.1)
+        with pytest.raises(ValueError):
             poisson_requests(10, rate=1.0, precisions=())
         with pytest.raises(ValueError):
             Request(request_id=0, arrival_time=-1.0, x=np.ones((2, 2)), y=np.ones((2, 2)))
         assert poisson_requests(0, rate=1.0) == []
+        assert merge_traces() == []
 
 
 def _result(seed=0, shape=(4, 4)):
@@ -203,11 +246,57 @@ class TestAdmissionController:
         assert not rejected.admitted
         assert "byte" in rejected.reason
 
+    def test_per_key_depth_budget(self):
+        controller = AdmissionController(max_queue_depth_per_key=2)
+        assert controller.admit(
+            100, queue_depth=50, queued_bytes=0, key_depth=1
+        ).admitted
+        rejected = controller.admit(
+            100, queue_depth=50, queued_bytes=0, key_depth=2
+        )
+        assert not rejected.admitted
+        assert "per-key" in rejected.reason and "depth" in rejected.reason
+
+    def test_per_key_byte_budget(self):
+        controller = AdmissionController(max_queued_bytes_per_key=1000)
+        assert controller.admit(
+            400, queue_depth=0, queued_bytes=10**9, key_bytes=600
+        ).admitted
+        rejected = controller.admit(
+            401, queue_depth=0, queued_bytes=0, key_bytes=600
+        )
+        assert not rejected.admitted
+        assert "per-key" in rejected.reason and "byte" in rejected.reason
+
+    def test_global_and_per_key_budgets_compose(self):
+        controller = AdmissionController(
+            max_queue_depth=10, max_queue_depth_per_key=2
+        )
+        # Global bound trips first when the whole host is full...
+        assert not controller.admit(
+            0, queue_depth=10, queued_bytes=0, key_depth=0
+        ).admitted
+        # ...and the per-key bound trips even with global headroom.
+        assert not controller.admit(
+            0, queue_depth=5, queued_bytes=0, key_depth=2
+        ).admitted
+        assert controller.admit(
+            0, queue_depth=5, queued_bytes=0, key_depth=1
+        ).admitted
+
+    def test_omitted_key_pressure_disarms_the_per_key_bounds(self):
+        controller = AdmissionController(max_queue_depth_per_key=1)
+        assert controller.admit(100, queue_depth=50, queued_bytes=0).admitted
+
     def test_validation(self):
         with pytest.raises(ValueError):
             AdmissionController(max_queue_depth=0)
         with pytest.raises(ValueError):
             AdmissionController(max_queued_bytes=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue_depth_per_key=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queued_bytes_per_key=-1)
 
 
 def _queued(request_id, enqueue_time, nbytes=100):
@@ -256,8 +345,188 @@ class TestMicroBatcher:
         assert batcher.pending_bytes == 500
         assert batcher.pending_count == 2
 
+    def test_zero_max_wait_is_due_immediately(self):
+        """max_wait_seconds=0: every enqueued request is ripe the moment
+        it lands -- the per-request serial policy."""
+        batcher = MicroBatcher(max_wait_seconds=0.0, max_batch_pairs=8)
+        batcher.enqueue(KEY, _queued(0, enqueue_time=1.0))
+        assert batcher.next_deadline() == 1.0
+        assert batcher.ripe_keys(1.0) == [KEY]
+
+    def test_max_batch_pairs_one_pops_single_requests_in_order(self):
+        batcher = MicroBatcher(max_wait_seconds=0.5, max_batch_pairs=1)
+        for i in range(3):
+            batcher.enqueue(KEY, _queued(i, enqueue_time=float(i)))
+        assert batcher.ripe_keys(0.0) == [KEY]  # full at a single request
+        popped = []
+        while batcher.pending_count:
+            batch = batcher.pop(KEY)
+            assert len(batch) == 1
+            popped.append(batch[0].request.request_id)
+        assert popped == [0, 1, 2]
+
+    def test_drain_keys_lists_every_non_empty_queue(self):
+        """The trace-exhausted flush path: drain_keys surfaces pending
+        keys even when none is full or due yet."""
+        other = BatchKey(granularity="rows", block_shape=None, precision=None)
+        batcher = MicroBatcher(max_wait_seconds=10.0, max_batch_pairs=64)
+        batcher.enqueue(KEY, _queued(0, enqueue_time=0.0))
+        batcher.enqueue(other, _queued(1, enqueue_time=0.0))
+        assert batcher.ripe_keys(0.1) == []  # neither full nor due
+        assert set(batcher.drain_keys()) == {KEY, other}
+        batcher.pop(KEY)
+        assert batcher.drain_keys() == [other]
+        batcher.pop(other)
+        assert batcher.drain_keys() == []
+
+    def test_mixed_key_interleaving_never_co_batches(self):
+        """Requests enqueued alternately under two keys pop as two pure
+        single-key batches -- keys never share a dispatch."""
+        other = BatchKey(granularity="rows", block_shape=None, precision=None)
+        batcher = MicroBatcher(max_wait_seconds=0.5, max_batch_pairs=8)
+        for i in range(6):
+            batcher.enqueue(KEY if i % 2 == 0 else other, _queued(i, 0.0))
+        for key, expected in ((KEY, [0, 2, 4]), (other, [1, 3, 5])):
+            batch = batcher.pop(key)
+            assert [q.request.request_id for q in batch] == expected
+        assert batcher.pending_count == 0
+
+    def test_per_key_pressure_views(self):
+        other = BatchKey(granularity="rows", block_shape=None, precision=None)
+        batcher = MicroBatcher()
+        batcher.enqueue(KEY, _queued(0, 0.0, nbytes=300))
+        batcher.enqueue(KEY, _queued(1, 0.0, nbytes=200))
+        batcher.enqueue(other, _queued(2, 0.0, nbytes=50))
+        assert batcher.pending_count_for(KEY) == 2
+        assert batcher.pending_bytes_for(KEY) == 500
+        assert batcher.pending_count_for(other) == 1
+        assert batcher.pending_bytes_for(other) == 50
+        missing = BatchKey(granularity="elements", block_shape=None, precision=None)
+        assert batcher.pending_count_for(missing) == 0
+        assert batcher.pending_bytes_for(missing) == 0
+
+    def test_fifo_dispatch_orders_by_first_seen(self):
+        other = BatchKey(granularity="rows", block_shape=None, precision=None)
+        batcher = MicroBatcher(max_wait_seconds=0.0, dispatch_policy="fifo")
+        batcher.enqueue(KEY, _queued(0, 0.0))
+        batcher.enqueue(other, _queued(1, 0.0))
+        assert batcher.ripe_keys(0.0) == [KEY, other]
+        # The hot first-seen key keeps the head no matter how much it
+        # has already been served.
+        batcher.pop(KEY)
+        batcher.enqueue(KEY, _queued(2, 0.0))
+        assert batcher.ripe_keys(0.0) == [KEY, other]
+
+    def test_fair_dispatch_yields_to_the_least_served_key(self):
+        other = BatchKey(granularity="rows", block_shape=None, precision=None)
+        batcher = MicroBatcher(max_wait_seconds=0.0, dispatch_policy="fair")
+        batcher.enqueue(KEY, _queued(0, 0.0))
+        batcher.enqueue(other, _queued(1, 0.0))
+        assert batcher.ripe_keys(0.0) == [KEY, other]  # credit tie: first seen
+        batcher.pop(KEY)  # KEY accrues served credit
+        batcher.enqueue(KEY, _queued(2, 0.0))
+        assert batcher.ripe_keys(0.0) == [other, KEY]  # starved key first
+
+    def test_fair_dispatch_weights_scale_served_credit(self):
+        other = BatchKey(granularity="rows", block_shape=None, precision=None)
+        batcher = MicroBatcher(
+            max_wait_seconds=0.0, dispatch_policy="fair",
+            weights={KEY: 4.0},
+        )
+        for i in range(4):
+            batcher.enqueue(KEY, _queued(i, 0.0))
+        batcher.pop(KEY)  # 4 pairs / weight 4 = 1 credit
+        batcher.enqueue(other, _queued(4, 0.0))
+        batcher.pop(other)  # 1 pair / weight 1 = 1 credit
+        batcher.enqueue(KEY, _queued(5, 0.0))
+        batcher.enqueue(other, _queued(6, 0.0))
+        # Equal credit: first-seen breaks the tie, so the weighted hot
+        # key dispatches first despite having served 4x the pairs.
+        assert batcher.ripe_keys(0.0) == [KEY, other]
+
+    def test_weights_accept_key_tuples(self):
+        batcher = MicroBatcher(weights={KEY.as_tuple(): 2.0})
+        assert batcher.weight_for(KEY) == 2.0
+
     def test_validation(self):
         with pytest.raises(ValueError):
             MicroBatcher(max_wait_seconds=-1.0)
         with pytest.raises(ValueError):
             MicroBatcher(max_batch_pairs=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(dispatch_policy="random")
+        with pytest.raises(ValueError):
+            MicroBatcher(weights={KEY: 0.0})
+
+
+class TestSpeculativeWarmerBookkeeping:
+    def _cache_with(self, *digests):
+        cache = ExplanationCache(max_bytes=1 << 20)
+        for digest in digests:
+            cache.put(digest, _result())
+        return cache
+
+    def test_one_shot_evictions_are_never_staged(self):
+        warmer = SpeculativeWarmer()
+        warmer.note_request("d", None, None, KEY, None)
+        warmer.note_eviction("d")  # seen once: not worth warming
+        assert warmer.staged_count == 0
+
+    def test_recurring_evictions_stage_and_pop_in_eviction_order(self):
+        warmer = SpeculativeWarmer()
+        for digest in ("a", "b"):
+            warmer.note_request(digest, 1, 2, KEY, None)
+            warmer.note_request(digest, 1, 2, KEY, None)
+        warmer.note_eviction("b")
+        warmer.note_eviction("a")
+        cache = self._cache_with()
+        candidates = warmer.pop_candidates(cache, limit=10)
+        assert [c[0] for c in candidates] == ["b", "a"]
+        assert candidates[0][1:] == (1, 2, KEY, None)
+        # Popped candidates are consumed.
+        assert warmer.pop_candidates(cache, limit=10) == []
+
+    def test_pop_skips_digests_the_cache_reacquired(self):
+        warmer = SpeculativeWarmer()
+        for _ in range(2):
+            warmer.note_request("a", 1, 2, KEY, None)
+        warmer.note_eviction("a")
+        cache = self._cache_with("a")  # refilled by a later miss
+        assert warmer.pop_candidates(cache, limit=10) == []
+
+    def test_limit_caps_the_candidates(self):
+        warmer = SpeculativeWarmer()
+        for digest in ("a", "b", "c"):
+            warmer.note_request(digest, 1, 2, KEY, None)
+            warmer.note_request(digest, 1, 2, KEY, None)
+            warmer.note_eviction(digest)
+        cache = self._cache_with()
+        assert len(warmer.pop_candidates(cache, limit=2)) == 2
+        assert len(warmer.pop_candidates(cache, limit=2)) == 1
+
+    def test_max_tracked_bounds_the_plane_memory(self):
+        warmer = SpeculativeWarmer(max_tracked=2)
+        for digest in ("a", "b", "c"):  # "a" falls off the tracked LRU
+            warmer.note_request(digest, 1, 2, KEY, None)
+            warmer.note_request(digest, 1, 2, KEY, None)
+        warmer.note_eviction("a")  # planes are gone: cannot stage
+        warmer.note_eviction("c")
+        cache = self._cache_with()
+        assert [c[0] for c in warmer.pop_candidates(cache, 10)] == ["c"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpeculativeWarmer(max_tracked=0)
+        with pytest.raises(ValueError):
+            SpeculativeWarmer(min_recurrences=1)
+
+
+class TestCacheEvictionHook:
+    def test_on_evict_fires_with_the_evicted_digest(self):
+        entry = _result()
+        cache = ExplanationCache(max_bytes=2 * result_nbytes(entry))
+        evicted = []
+        cache.on_evict = evicted.append
+        for name in ("a", "b", "c", "d"):
+            cache.put(name, _result())
+        assert evicted == ["a", "b"]
