@@ -406,7 +406,7 @@ def _committed_speedups(path="BENCH_fleet_scaling.json"):
     return strong, chunk
 
 
-def _scaling_mode(quick=False, json_path=None) -> int:
+def _scaling_mode(quick=False, json_path=None, timeline=False) -> int:
     """Strong/weak pod-scaling curves plus the bit-identity matrix.
 
     Exits non-zero unless every pod run's scores equal the single-chip
@@ -452,6 +452,12 @@ def _scaling_mode(quick=False, json_path=None) -> int:
             f"collectives={collective:.6f}s "
             f"identical={entry['bit_identical_to_1chip']}"
         )
+    if timeline and last_pod is not None:
+        # The per-wave ASCII decomposition of the last (widest) strong
+        # run: one =infeed/#compute/-outfeed bar per busy chip.
+        from repro.obs.export import format_wave_timeline
+
+        print(format_wave_timeline(last_pod.collective_log))
     if quick:
         strong_speedup = strong["8"]["speedup_vs_1chip"]
         if strong_speedup <= COMMITTED_STRONG_8_CHIPS:
@@ -494,6 +500,10 @@ def _scaling_mode(quick=False, json_path=None) -> int:
         f"collectives={chunk['collective_seconds']:.6f}s "
         f"identical={chunk['bit_identical_to_1chip']}"
     )
+    if timeline and pod is not None:
+        from repro.obs.export import format_wave_timeline
+
+        print(format_wave_timeline(pod.collective_log))
     if quick:
         if chunk_speedup <= COMMITTED_CHUNK_4_CHIPS:
             failures.append(
@@ -901,10 +911,18 @@ def main(argv=None) -> int:
         help="output path for the --scaling JSON artifact "
         "(default: BENCH_fleet_scaling.json, or the _quick variant)",
     )
+    parser.add_argument(
+        "--timeline",
+        action="store_true",
+        help="with --scaling: print the per-wave ASCII timeline "
+        "(infeed/compute/outfeed bars per chip, collectives footer)",
+    )
     args = parser.parse_args(argv)
 
     if args.scaling:
-        return _scaling_mode(quick=args.quick, json_path=args.json)
+        return _scaling_mode(
+            quick=args.quick, json_path=args.json, timeline=args.timeline
+        )
 
     fleet = 10 if args.quick else 100
     pairs = planted_pairs(fleet)

@@ -143,6 +143,11 @@ from repro.fft.convolution import fft_circular_convolve2d_chunks
 from repro.hw.device import Device, DeviceStats
 from repro.hw.pod import PodWaveStats, TpuPod
 from repro.hw.quantize import resolve_precision
+from repro.obs.tracer import tracer
+
+#: Trace lane (tid) fleet-stage spans use on each executing device's
+#: process row -- clear of the device lanes (0) and pod lanes (< 64).
+_FLEET_TID = 50
 
 GRANULARITIES = ("blocks", "columns", "rows", "elements")
 
@@ -663,6 +668,19 @@ class FleetExecutor:
         ys = [np.asarray(y) for _, y in pairs]
         plans = self._check_plans(xs, plans)
         schedule = self._schedule(xs, ys, plans)
+        if tracer.enabled:
+            pid = tracer.pid_for(self.device)
+            tracer.set_thread_name(pid, _FLEET_TID, "fleet")
+            tracer.instant(
+                "fleet.plan", "fleet",
+                tracer.origin + self.device.trace_seconds, pid, _FLEET_TID,
+                {
+                    "waves": schedule.num_waves,
+                    "pairs": len(pairs),
+                    "placement": self.placement if self.pod is not None else "single",
+                    "pipelined": pipelined,
+                },
+            )
         results: list[PairResult | None] = [None] * len(pairs)
         if self.pod is not None:
             # Pod execution: the pod's stage model owns all cross-wave
@@ -703,6 +721,8 @@ class FleetExecutor:
 
     def _solve_kernels(self, device: Device, indices, xs, ys):
         """Per-pair Eq. 4 solves on ``device`` (inside a program scope)."""
+        traced = tracer.enabled
+        start = device.trace_seconds if traced else 0.0
         kernels: list[np.ndarray] = []
         y_planes: list[np.ndarray] = []
         for i in indices:
@@ -712,6 +732,14 @@ class FleetExecutor:
             distiller.fit(xs[i], ys[i])
             kernels.append(distiller.kernel_)
             y_planes.append(distiller.lift_outputs(ys[i])[0])
+        if traced and tracer.enabled:
+            pid = tracer.pid_for(device)
+            tracer.set_thread_name(pid, _FLEET_TID, "fleet")
+            tracer.complete(
+                "fleet.solve", "fleet", tracer.origin + start,
+                device.trace_seconds - start, pid, _FLEET_TID,
+                {"pairs": len(kernels)},
+            )
         return kernels, y_planes
 
     def _assemble_results(
@@ -719,6 +747,8 @@ class FleetExecutor:
         mask_scores, residual_pred, results,
     ) -> None:
         """Reassembly: fold each pair's streamed scores and residual."""
+        traced = tracer.enabled
+        start = device.trace_seconds if traced else 0.0
         for local, i in enumerate(indices):
             pred = residual_pred[local]
             delta = pred - y_planes[local]
@@ -731,6 +761,14 @@ class FleetExecutor:
                 scores = plans[i].reshape_scores(mask_scores[local])
             results[i] = PairResult(
                 kernel=kernels[local], scores=scores, residual=residual
+            )
+        if traced and tracer.enabled:
+            pid = tracer.pid_for(device)
+            tracer.set_thread_name(pid, _FLEET_TID, "fleet")
+            tracer.complete(
+                "fleet.assemble", "fleet", tracer.origin + start,
+                device.trace_seconds - start, pid, _FLEET_TID,
+                {"pairs": len(list(indices))},
             )
 
     def _run_wave(
@@ -769,6 +807,8 @@ class FleetExecutor:
             wave.plane_shape, self.chunk_rows, self.effective_stack_bytes,
             what="streamed wave chunk",
         )
+        traced = tracer.enabled
+        wave_start = device.trace_seconds if traced else 0.0
         with device.program(infeed_bytes=infeed_bytes, outfeed_bytes=outfeed_bytes):
             # Per-pair Eq. 4 solves (device ops inside the wave program).
             kernels, y_planes = self._solve_kernels(device, indices, xs, ys)
@@ -822,6 +862,14 @@ class FleetExecutor:
             self._assemble_results(
                 device, indices, xs, plans, kernels, y_planes,
                 mask_scores, residual_pred, results,
+            )
+        if traced and tracer.enabled:
+            pid = tracer.pid_for(device)
+            tracer.set_thread_name(pid, _FLEET_TID, "fleet")
+            tracer.complete(
+                "fleet.wave", "fleet", tracer.origin + wave_start,
+                device.trace_seconds - wave_start, pid, _FLEET_TID,
+                {"pairs": len(indices), "rows": wave.num_rows},
             )
 
     # ------------------------------------------------------------------
@@ -1135,6 +1183,8 @@ class FleetExecutor:
         single-chip wave.
         """
         indices = wave.pair_indices
+        traced = tracer.enabled
+        wave_start = pod.devices[0].trace_seconds if traced else 0.0
         table = SliceTable.for_plans([plans[i] for i in indices])
         row_pair = table.row_pair_indices()
         row_is_mask = np.asarray([r.kind == "mask" for r in table.rows])
@@ -1239,6 +1289,14 @@ class FleetExecutor:
             infeed_seconds, outfeed_seconds, solve_seconds,
             len(indices), spectrum_bytes,
         )
+        if traced and tracer.enabled:
+            pid = tracer.pid_for(root)
+            tracer.set_thread_name(pid, _FLEET_TID, "fleet")
+            tracer.complete(
+                "fleet.wave", "fleet", tracer.origin + wave_start,
+                root.trace_seconds - wave_start, pid, _FLEET_TID,
+                {"pairs": len(indices), "rows": num_rows, "placement": "chunk"},
+            )
         return dict(
             active_chips=active,
             broadcast_seconds=pod.interconnect.broadcast_stream_seconds(

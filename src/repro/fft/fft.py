@@ -44,6 +44,23 @@ _RFFT_CACHE: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = 
 _BLUESTEIN_CACHE: dict[int, tuple[int, np.ndarray, np.ndarray, np.ndarray]] = {}
 _PLAN_LOCK = threading.Lock()
 
+# Lifetime hit/miss counters per plan cache (the metrics-registry
+# surface).  Plan-cache counters mutate under _PLAN_LOCK alongside
+# their lookups; the per-thread workspace counters increment lock-free
+# on the hot path (a single dict-int bump under the GIL).
+_PLAN_COUNTERS: dict[str, int] = {
+    "twiddle_plan_hits": 0,
+    "twiddle_plan_misses": 0,
+    "bit_reversal_hits": 0,
+    "bit_reversal_misses": 0,
+    "rfft_plan_hits": 0,
+    "rfft_plan_misses": 0,
+    "bluestein_plan_hits": 0,
+    "bluestein_plan_misses": 0,
+    "radix2_workspace_hits": 0,
+    "radix2_workspace_misses": 0,
+}
+
 # Sibling caches (e.g. the kernel-spectrum cache in repro.fft.spectra)
 # register (info_fn, clear_fn) hooks here so fft_plan_cache_info() /
 # clear_fft_plan_cache() stay the single cache-management entry points
@@ -70,12 +87,15 @@ def _radix2_workspace(shape: tuple) -> tuple[np.ndarray, np.ndarray]:
         store = _WORKSPACES.buffers = {}
     pair = store.pop(shape, None)
     if pair is None:
+        _PLAN_COUNTERS["radix2_workspace_misses"] += 1
         if len(store) >= _WORKSPACE_MAX_ENTRIES:
             store.pop(next(iter(store)))  # evict least recently used
         pair = (
             np.empty(shape, dtype=np.complex128),
             np.empty(shape, dtype=np.complex128),
         )
+    else:
+        _PLAN_COUNTERS["radix2_workspace_hits"] += 1
     store[shape] = pair  # (re-)insert last: most recently used
     return pair
 
@@ -108,6 +128,7 @@ def bit_reversal_permutation(n: int) -> np.ndarray:
     with _PLAN_LOCK:
         cached = _BITREV_CACHE.get(n)
         if cached is None:
+            _PLAN_COUNTERS["bit_reversal_misses"] += 1
             bits = n.bit_length() - 1
             reversed_indices = np.zeros(n, dtype=np.int64)
             work = np.arange(n, dtype=np.int64)
@@ -116,6 +137,8 @@ def bit_reversal_permutation(n: int) -> np.ndarray:
                 work >>= 1
             reversed_indices.setflags(write=False)
             _BITREV_CACHE[n] = cached = reversed_indices
+        else:
+            _PLAN_COUNTERS["bit_reversal_hits"] += 1
     return cached
 
 
@@ -124,6 +147,7 @@ def _twiddle_plan(n: int) -> list[np.ndarray]:
     with _PLAN_LOCK:
         cached = _TWIDDLE_CACHE.get(n)
         if cached is None:
+            _PLAN_COUNTERS["twiddle_plan_misses"] += 1
             cached = []
             size = 2
             while size <= n:
@@ -133,6 +157,8 @@ def _twiddle_plan(n: int) -> list[np.ndarray]:
                 cached.append(stage)
                 size *= 2
             _TWIDDLE_CACHE[n] = cached
+        else:
+            _PLAN_COUNTERS["twiddle_plan_hits"] += 1
     return cached
 
 
@@ -146,6 +172,7 @@ def _rfft_plan(n: int) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     with _PLAN_LOCK:
         cached = _RFFT_CACHE.get(n)
         if cached is None:
+            _PLAN_COUNTERS["rfft_plan_misses"] += 1
             half = n // 2
             wrap = np.arange(half + 1) % half
             mirror = (-np.arange(half + 1)) % half
@@ -154,6 +181,8 @@ def _rfft_plan(n: int) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
             for table in (wrap, mirror, forward, inverse):
                 table.setflags(write=False)
             _RFFT_CACHE[n] = cached = (wrap, mirror, forward, inverse)
+        else:
+            _PLAN_COUNTERS["rfft_plan_hits"] += 1
     return cached
 
 
@@ -226,6 +255,12 @@ def _bluestein_plan(n: int) -> tuple[int, np.ndarray, np.ndarray, np.ndarray]:
     """
     with _PLAN_LOCK:
         cached = _BLUESTEIN_CACHE.get(n)
+        # Counted at the first lookup: a racing duplicate build records
+        # a second miss, matching the duplicated work it performs.
+        if cached is None:
+            _PLAN_COUNTERS["bluestein_plan_misses"] += 1
+        else:
+            _PLAN_COUNTERS["bluestein_plan_hits"] += 1
     if cached is None:
         # Built outside the lock: the b transform below takes the same
         # (non-reentrant) lock for its twiddle and bit-reversal plans.
@@ -456,10 +491,11 @@ def irfft(
 
 
 def fft_plan_cache_info() -> dict[str, int]:
-    """Entry counts of every FFT-layer plan cache.
+    """Entry counts and hit/miss counters of every FFT-layer plan cache.
 
     Covers the radix-2 twiddle plans, bit-reversal tables and rFFT
-    untangling plans held here, plus any registered sibling cache (the
+    untangling plans held here -- each with its lifetime ``*_hits`` /
+    ``*_misses`` counters -- plus any registered sibling cache (the
     kernel-spectrum cache of :mod:`repro.fft.spectra`).
     """
     with _PLAN_LOCK:
@@ -471,18 +507,25 @@ def fft_plan_cache_info() -> dict[str, int]:
             # Per-thread: counts the calling thread's workspace shapes.
             "radix2_workspaces": len(getattr(_WORKSPACES, "buffers", {})),
         }
+        info.update(_PLAN_COUNTERS)
     for aux_info, _ in _AUX_CACHES:
         info.update(aux_info())
     return info
 
 
 def clear_fft_plan_cache() -> None:
-    """Drop all cached FFT plans (and registered sibling caches)."""
+    """Drop all cached FFT plans (and registered sibling caches).
+
+    Also zeros the hit/miss counters, so tests and benchmark sections
+    can measure cache behaviour from a clean slate.
+    """
     with _PLAN_LOCK:
         _TWIDDLE_CACHE.clear()
         _BITREV_CACHE.clear()
         _RFFT_CACHE.clear()
         _BLUESTEIN_CACHE.clear()
+        for key in _PLAN_COUNTERS:
+            _PLAN_COUNTERS[key] = 0
     getattr(_WORKSPACES, "buffers", {}).clear()
     for _, aux_clear in _AUX_CACHES:
         aux_clear()

@@ -270,7 +270,18 @@ def kernel_spectrum(kernel: np.ndarray, real: bool, precision=None) -> KernelSpe
 
 
 def _aux_cache_info() -> dict[str, int]:
-    return {"kernel_spectra": len(_PROCESS_CACHE)}
+    """The spectrum cache's slice of :func:`~repro.fft.fft
+    .fft_plan_cache_info`: entry count plus lifetime hit/miss/store/
+    eviction/transform counters, prefixed to avoid key collisions."""
+    info = _PROCESS_CACHE.info()
+    return {
+        "kernel_spectra": info["entries"],
+        "kernel_spectrum_hits": info["hits"],
+        "kernel_spectrum_misses": info["misses"],
+        "kernel_spectrum_stores": info["stores"],
+        "kernel_spectrum_evictions": info["evictions"],
+        "kernel_transforms": info["kernel_transforms"],
+    }
 
 
 register_aux_plan_cache(_aux_cache_info, clear_kernel_spectrum_cache)

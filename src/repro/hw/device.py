@@ -45,6 +45,7 @@ from repro.fft.convolution import (
 )
 from repro.fft.fft2d import fft2, ifft2
 from repro.hw.quantize import resolve_precision
+from repro.obs.tracer import tracer
 
 #: Real flops one complex point-wise op costs per element: a complex
 #: multiply (or divide, to first order) is 4 real multiplies + 2 adds
@@ -180,16 +181,28 @@ class Device(abc.ABC):
         self.stats = DeviceStats()
         self._program_depth = 0
         self._pipeline: _PipelineLedger | None = None
+        #: Simulated seconds this device's trace lane has advanced past
+        #: what :attr:`stats` currently holds -- harvested ledgers and
+        #: overlap credits move the base forward so span positions stay
+        #: monotone across ``take_stats`` / ``reset_stats`` / credits.
+        self._trace_base = 0.0
 
     # ------------------------------------------------------------------
     # Stats plumbing
     # ------------------------------------------------------------------
+    @property
+    def trace_seconds(self) -> float:
+        """This device's monotone trace-lane position (simulated s)."""
+        return self._trace_base + self.stats.seconds
+
     def reset_stats(self) -> None:
+        self._trace_base += self.stats.seconds
         self.stats = DeviceStats()
 
     def take_stats(self) -> DeviceStats:
         """Return the accumulated ledger and start a fresh one."""
         harvested = self.stats
+        self._trace_base += harvested.seconds
         self.stats = DeviceStats()
         return harvested
 
@@ -340,6 +353,7 @@ class Device(abc.ABC):
         epilogue (outfeed) for the double-buffering credit.
         """
         is_stage = self._pipeline is not None and self._program_depth == 0
+        traced = tracer.enabled
         before = self.stats.seconds
         self._begin_program(infeed_bytes)
         after_begin = self.stats.seconds
@@ -356,6 +370,31 @@ class Device(abc.ABC):
                 body=before_end - after_begin,
                 epilogue=self.stats.seconds - before_end,
             )
+        if traced and tracer.enabled:
+            end = self.stats.seconds
+            base = tracer.origin + self._trace_base
+            pid = tracer.pid_for(self)
+            tracer.complete(
+                "program", "device", base + before, end - before, pid, 0,
+                {
+                    "infeed_bytes": int(infeed_bytes),
+                    "outfeed_bytes": int(outfeed_bytes),
+                    "prologue": after_begin - before,
+                    "body": before_end - after_begin,
+                    "epilogue": end - before_end,
+                    "depth": self._program_depth,
+                },
+            )
+            if after_begin > before:
+                tracer.complete(
+                    "infeed", "device", base + before, after_begin - before,
+                    pid, 0, {"bytes": int(infeed_bytes)},
+                )
+            if end > before_end:
+                tracer.complete(
+                    "outfeed", "device", base + before_end, end - before_end,
+                    pid, 0, {"bytes": int(outfeed_bytes)},
+                )
 
     @contextlib.contextmanager
     def pipeline(self):
@@ -378,18 +417,36 @@ class Device(abc.ABC):
         if self._pipeline is not None:
             raise RuntimeError("pipeline scopes do not nest")
         self._pipeline = _PipelineLedger()
+        traced = tracer.enabled
+        start = self.stats.seconds
         try:
             yield self
         finally:
             ledger = self._pipeline
             self._pipeline = None
             savings = ledger.overlap_savings()
+            if traced and tracer.enabled:
+                end = self.stats.seconds  # before the credit lands
+                base = tracer.origin + self._trace_base
+                pid = tracer.pid_for(self)
+                tracer.complete(
+                    "pipeline", "device", base + start, end - start, pid, 0,
+                    {"stages": len(ledger.stages), "infeed_overlap": savings},
+                )
+                if savings > 0:
+                    tracer.instant(
+                        "infeed_overlap", "device", base + end, pid, 0,
+                        {"seconds": savings},
+                    )
             if savings > 0:
                 self._credit_overlap(savings)
 
     def _credit_overlap(self, seconds: float) -> None:
         """Apply the pipeline overlap credit (backends may extend)."""
         self.stats.credit("infeed_overlap", seconds)
+        # Keep the trace lane monotone: the credit rewinds the ledger,
+        # not the timeline -- spans already sit at their true positions.
+        self._trace_base += seconds
 
     def _begin_program(self, infeed_bytes: int) -> None:
         """Cost of entering a program scope (override for launch semantics)."""

@@ -68,6 +68,7 @@ from repro.hw.device import (
     pipelined_elapsed_seconds,
 )
 from repro.hw.interconnect import Interconnect, InterconnectConfig
+from repro.obs.tracer import tracer
 
 
 def clone_device(device: Device, hbm_bytes: int | None = None) -> Device:
@@ -237,6 +238,116 @@ class PodWaveStats:
         )
 
 
+@dataclass(frozen=True)
+class WaveWindow:
+    """One wave's absolute position inside a committed run's timeline.
+
+    All values are simulated seconds from the run's local zero:
+    ``prologue_start`` is where the wave's leading collectives begin,
+    ``body_start``/``body_end`` bracket the busy critical path, and
+    ``end`` adds the gather epilogue.
+    """
+
+    prologue_start: float
+    body_start: float
+    body_end: float
+    end: float
+
+
+def wave_timeline(wave_stats, pipelined: bool = True):
+    """Per-wave :class:`WaveWindow` positions plus the run's elapsed.
+
+    Walks the committed waves exactly the way :meth:`TpuPod.commit_run`
+    prices them -- shared waves chain (double-buffered when
+    ``pipelined``), chip-pinned waves partition into concurrent
+    per-chip chains starting after the shared segment -- and returns
+    ``(windows, elapsed)`` with ``windows`` aligned to the input order.
+    The ``elapsed`` float is **bit-identical** to the ledger's: the
+    accumulation order matches :func:`~repro.hw.device
+    .pipelined_elapsed_seconds` / the serial stage sum term for term,
+    so span positions derived from the windows reconcile with the pod
+    ledger by ``==``, not by tolerance.
+    """
+    wave_stats = list(wave_stats)
+    shared = [ws for ws in wave_stats if ws.chip_index is None]
+    pinned: dict[int, list[PodWaveStats]] = {}
+    for ws in wave_stats:
+        if ws.chip_index is not None:
+            pinned.setdefault(ws.chip_index, []).append(ws)
+
+    def chain_elapsed(waves) -> float:
+        stages = [ws.stage for ws in waves]
+        if pipelined:
+            return pipelined_elapsed_seconds(stages)
+        return sum(stage.total for stage in stages)
+
+    def chain_windows(waves, base: float) -> dict:
+        windows: dict[int, WaveWindow] = {}
+        stages = [ws.stage for ws in waves]
+        if not stages:
+            return windows
+        if pipelined:
+            # Mirror pipelined_elapsed_seconds' accumulator: stage i's
+            # body begins at the accumulated elapsed (its prologue has
+            # streamed under the previous stage's work).
+            elapsed = stages[0].prologue
+            for index, (ws, stage) in enumerate(zip(waves, stages)):
+                last = index == len(stages) - 1
+                body_start = base + elapsed
+                body_end = body_start + stage.body
+                windows[id(ws)] = WaveWindow(
+                    prologue_start=body_start - stage.prologue,
+                    body_start=body_start,
+                    body_end=body_end,
+                    end=body_end + stage.epilogue,
+                )
+                work = stage.body + (0.0 if last else stage.epilogue)
+                next_prologue = 0.0 if last else stages[index + 1].prologue
+                elapsed += max(work, next_prologue)
+        else:
+            cursor = base
+            for ws, stage in zip(waves, stages):
+                body_start = cursor + stage.prologue
+                body_end = body_start + stage.body
+                end = body_end + stage.epilogue
+                windows[id(ws)] = WaveWindow(cursor, body_start, body_end, end)
+                cursor = end
+        return windows
+
+    shared_elapsed = chain_elapsed(shared) if shared else 0.0
+    windows = chain_windows(shared, 0.0)
+    elapsed = shared_elapsed
+    if pinned:
+        elapsed += max(chain_elapsed(waves) for waves in pinned.values())
+        for waves in pinned.values():
+            windows.update(chain_windows(waves, shared_elapsed))
+    return [windows[id(ws)] for ws in wave_stats], elapsed
+
+
+@dataclass(frozen=True)
+class PodCommit:
+    """One :meth:`TpuPod.commit_run` entry in the pod's commit log.
+
+    ``trace_base`` is the absolute session timestamp of the run's local
+    zero when the commit was traced (``None`` when tracing was off), so
+    the reconciler can re-derive every span position from the logged
+    waves and compare against the recorded trace exactly.
+    """
+
+    num_waves: int
+    pipelined: bool
+    elapsed: float
+    serial: float
+    credits: tuple  # ((op, seconds) pairs actually credited)
+    trace_base: float | None
+
+
+#: tid scheme of pod-category spans: shared waves use lanes 0..2
+#: (body / leading collectives / gather); waves pinned to chip ``c``
+#: use ``3 * (1 + c)`` upward; per-chip busy bars sit at ``64 + c``.
+_POD_CHIP_BAR_TID = 64
+
+
 class TpuPod(Device):
     """K member chips plus a shared interconnect, presented as one device."""
 
@@ -279,6 +390,7 @@ class TpuPod(Device):
         self.host_links = [HostLink(device) for device in devices]
         self.chip_stats: list[DeviceStats] = [DeviceStats() for _ in devices]
         self.collective_log: list[PodWaveStats] = []
+        self.commit_log: list[PodCommit] = []
 
     @classmethod
     def like(
@@ -353,6 +465,7 @@ class TpuPod(Device):
             device.reset_stats()
         self.chip_stats = [DeviceStats() for _ in self.devices]
         self.collective_log.clear()
+        self.commit_log.clear()
 
     def commit_run(self, wave_stats, pipelined: bool = True) -> float:
         """Fold one sharded fleet run into the pod ledger; returns elapsed.
@@ -372,6 +485,8 @@ class TpuPod(Device):
         of cross-wave double-buffering).
         """
         wave_stats = list(wave_stats)
+        traced = tracer.enabled
+        entry_trace = self.trace_seconds  # the run's local zero
         work = DeviceStats()
         for index, device in enumerate(self.devices):
             delta = device.take_stats()
@@ -398,9 +513,11 @@ class TpuPod(Device):
                 )
                 rows_total += ws.gather_seconds
         serial = sum(ws.stage.total for ws in wave_stats)
-        elapsed = self._elapsed(wave_stats, pipelined)
+        windows, elapsed = wave_timeline(wave_stats, pipelined)
+        credits = []
         if launch_hidden > 0:
             self.stats.credit("host_link_overlap", launch_hidden)
+            credits.append(("host_link_overlap", launch_hidden))
         # What remains after the hidden launches and the wave-stage
         # shape is cross-chip concurrency: total work plus collective
         # rows, minus the serial stage walk, minus the launches already
@@ -408,10 +525,30 @@ class TpuPod(Device):
         compute_overlap = work.seconds + rows_total - serial - launch_hidden
         if compute_overlap > 0:
             self.stats.credit("pod_compute_overlap", compute_overlap)
+            credits.append(("pod_compute_overlap", compute_overlap))
         savings = serial - elapsed
         if savings > 0:
             self.stats.credit("collective_overlap", savings)
+            credits.append(("collective_overlap", savings))
         self.collective_log.extend(wave_stats)
+        base = tracer.origin + entry_trace if traced else None
+        self.commit_log.append(
+            PodCommit(
+                num_waves=len(wave_stats),
+                pipelined=pipelined,
+                elapsed=elapsed,
+                serial=serial,
+                credits=tuple(credits),
+                trace_base=base,
+            )
+        )
+        if traced and tracer.enabled:
+            self._trace_commit(wave_stats, windows, elapsed, serial, base, credits)
+            # Park the lane at the run's far edge: the next commit's
+            # spans must not regress into this one even when the ledger
+            # (post-credit) sits below the timeline extent.
+            run_extent = max([elapsed] + [w.end for w in windows])
+            self._trace_base = entry_trace + run_extent - self.stats.seconds
         return elapsed
 
     def _elapsed(self, wave_stats, pipelined: bool) -> float:
@@ -422,24 +559,139 @@ class TpuPod(Device):
         buffered when ``pipelined``.  Waves pinned to chips (``"wave"``
         placement) partition round-robin: each chip chains its own
         waves and the chips run concurrently, so that segment costs the
-        slowest chip's chain.
+        slowest chip's chain.  Delegates to :func:`wave_timeline`, the
+        shared walk that also positions the trace spans.
         """
-        shared = [ws for ws in wave_stats if ws.chip_index is None]
-        pinned: dict[int, list[PodWaveStats]] = {}
-        for ws in wave_stats:
-            if ws.chip_index is not None:
-                pinned.setdefault(ws.chip_index, []).append(ws)
-
-        def chain(waves) -> float:
-            stages = [ws.stage for ws in waves]
-            if pipelined:
-                return pipelined_elapsed_seconds(stages)
-            return sum(stage.total for stage in stages)
-
-        elapsed = chain(shared) if shared else 0.0
-        if pinned:
-            elapsed += max(chain(waves) for waves in pinned.values())
+        _, elapsed = wave_timeline(wave_stats, pipelined)
         return elapsed
+
+    def _trace_commit(
+        self, wave_stats, windows, elapsed, serial, base, credits
+    ) -> None:
+        """Emit one committed run's span tree onto the pod's trace lanes.
+
+        Lane scheme (per :data:`_POD_CHIP_BAR_TID`): shared waves put
+        their body on tid 0, leading collectives (scatter, exposed
+        launch, broadcast) on tid 1 and the gather epilogue on tid 2;
+        chip-pinned waves shift the same three roles to ``3 * (1 +
+        chip)``.  Per-chip busy bars (infeed / compute / outfeed, the
+        :func:`repro.obs.export.format_wave_timeline` decomposition)
+        land on ``64 + chip``.  Overlap credits become flow arrows from
+        the run's start to its end, carrying the credited seconds; the
+        reconciler rebuilds the pod ledger from exactly these events.
+        """
+        commit_index = len(self.commit_log) - 1
+        pid = tracer.pid_for(self)
+        tracer.set_thread_name(pid, 0, "waves")
+        tracer.set_thread_name(pid, 1, "collectives")
+        tracer.set_thread_name(pid, 2, "gather")
+        tracer.instant(
+            "commit", "pod", base, pid, 0,
+            {
+                "commit": commit_index,
+                "elapsed": elapsed,
+                "serial": serial,
+                "num_waves": len(wave_stats),
+            },
+        )
+        for ws, win in zip(wave_stats, windows):
+            stage = ws.stage
+            gated = ws.gated_body_seconds is not None
+            if ws.chip_index is None:
+                lane = 0
+            else:
+                lane = 3 * (1 + ws.chip_index)
+                tracer.set_thread_name(pid, lane, f"chip {ws.chip_index} waves")
+                tracer.set_thread_name(pid, lane + 1, f"chip {ws.chip_index} collectives")
+                tracer.set_thread_name(pid, lane + 2, f"chip {ws.chip_index} gather")
+            tags = {"commit": commit_index, "wave": ws.wave_index}
+            tracer.complete(
+                "wave", "pod", base + win.body_start, stage.body, pid, lane,
+                {
+                    **tags,
+                    "placement": ws.placement,
+                    "pairs": ws.num_pairs,
+                    "rows": ws.num_rows,
+                    "active_chips": ws.active_chips,
+                    "gated": gated,
+                },
+            )
+            cursor = base + win.prologue_start
+            if ws.scatter_seconds > 0.0:
+                tracer.complete(
+                    "scatter", "pod", cursor, ws.scatter_seconds, pid, lane + 1,
+                    {**tags, "bytes": ws.scatter_bytes},
+                )
+                cursor += ws.scatter_seconds
+            if ws.launch_exposed_seconds > 0.0:
+                tracer.complete(
+                    "launch_exposed", "pod", cursor, ws.launch_exposed_seconds,
+                    pid, lane + 1, dict(tags),
+                )
+                cursor += ws.launch_exposed_seconds
+            if ws.dispatch_seconds > 0.0 or ws.launched_chips > 0:
+                tracer.instant(
+                    "launch", "pod", base + win.prologue_start, pid, lane + 1,
+                    {
+                        **tags,
+                        "dispatch_seconds": ws.dispatch_seconds,
+                        "launched_chips": ws.launched_chips,
+                        "exposed": ws.launch_exposed_seconds,
+                        "hidden": ws.launch_hidden_seconds,
+                    },
+                )
+            if ws.broadcast_seconds > 0.0:
+                if gated:
+                    # A gated body already carries its broadcast waits
+                    # inside the timeline; annotate instead of spanning.
+                    tracer.instant(
+                        "broadcast", "pod", base + win.body_start, pid, lane + 1,
+                        {**tags, "seconds": ws.broadcast_seconds,
+                         "bytes": ws.broadcast_bytes},
+                    )
+                else:
+                    tracer.complete(
+                        "broadcast", "pod", cursor, ws.broadcast_seconds,
+                        pid, lane + 1, {**tags, "bytes": ws.broadcast_bytes},
+                    )
+                    cursor += ws.broadcast_seconds
+            if ws.gather_seconds > 0.0:
+                tracer.complete(
+                    "gather", "pod", base + win.body_end, ws.gather_seconds,
+                    pid, lane + 2, {**tags, "bytes": ws.gather_bytes},
+                )
+            busy = ws.busy_seconds
+            for chip, chip_busy in enumerate(busy):
+                if ws.chip_seconds[chip] <= 0.0:
+                    continue
+                tid = _POD_CHIP_BAR_TID + chip
+                tracer.set_thread_name(pid, tid, f"chip {chip}")
+                infeed = (
+                    ws.infeed_seconds[chip]
+                    if chip < len(ws.infeed_seconds) else 0.0
+                )
+                outfeed = (
+                    ws.outfeed_seconds[chip]
+                    if chip < len(ws.outfeed_seconds) else 0.0
+                )
+                compute = max(0.0, chip_busy - infeed - outfeed)
+                cursor = base + win.body_start
+                for name, dur in (
+                    ("infeed", infeed), ("compute", compute), ("outfeed", outfeed)
+                ):
+                    if dur > 0.0:
+                        tracer.complete(
+                            name, "pod", cursor, dur, pid, tid,
+                            {**tags, "chip": chip},
+                        )
+                    cursor += dur
+        for op, seconds in credits:
+            tracer.flow(
+                op, "pod",
+                src=(base, pid, 1),
+                dst=(base + elapsed, pid, 2),
+                args={"commit": commit_index, "seconds": seconds},
+            )
 
     # ------------------------------------------------------------------
     # Cost and numeric hooks: unsharded work prices like the root chip

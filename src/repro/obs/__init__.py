@@ -1,0 +1,46 @@
+"""Observability: span tracing, trace export, and the metrics registry.
+
+This package deliberately stays import-light: :mod:`repro.obs.tracer`
+imports nothing from the rest of the package (the hardware layer
+imports *it*), and this ``__init__`` pulls in only the tracer, the
+exporters and the registry.  The ledger↔span reconciler lives in
+:mod:`repro.obs.reconcile` and must be imported directly -- it imports
+:mod:`repro.hw.pod`, which would otherwise close an import cycle.
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    format_trace_ascii,
+    format_wave_timeline,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.registry import (
+    MetricsRegistry,
+    default_registry,
+    metrics_snapshot,
+    register_metrics_source,
+    reset_metrics,
+    unregister_metrics_source,
+)
+from repro.obs.tracer import PHASES, TraceEvent, Tracer, tracer
+
+__all__ = [
+    "PHASES",
+    "TraceEvent",
+    "Tracer",
+    "tracer",
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "format_trace_ascii",
+    "format_wave_timeline",
+    "MetricsRegistry",
+    "default_registry",
+    "register_metrics_source",
+    "unregister_metrics_source",
+    "metrics_snapshot",
+    "reset_metrics",
+]

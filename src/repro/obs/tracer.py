@@ -1,0 +1,242 @@
+"""Span tracing on the simulated clock.
+
+Every layer of the simulator keeps a faithful ledger of *how much*
+simulated time it spent (:class:`~repro.hw.device.DeviceStats`), but
+not *where on the timeline* that time sat.  This module records the
+missing axis: **spans** -- named intervals in simulated seconds with a
+``pid`` (which chip or host process) and ``tid`` (which stream on it)
+-- plus instants and flow arrows, in the vocabulary of the Chrome
+trace-event format so :mod:`repro.obs.export` can hand the buffer
+straight to Perfetto.
+
+The tracer is a process-wide singleton (:data:`tracer`), **disabled by
+default**.  Disabled, instrumentation sites do nothing beyond one
+``if tracer.enabled`` check -- no events, no allocation, no arithmetic
+-- so ledgers, scores and report signatures are bit-identical with and
+without the module imported.  This file deliberately imports nothing
+from the rest of the package: the hardware layer imports the tracer,
+never the other way around.
+
+Timestamps are *simulated seconds*.  Offline layers (device, pod,
+fleet) emit spans positioned by their own monotone trace clocks; the
+serving layer aligns them onto the service clock by setting
+:attr:`Tracer.origin` before a dispatch -- emitters add ``origin`` to
+their run-local positions at emission time, so recorded events always
+hold absolute session timestamps.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+from dataclasses import dataclass, field
+
+#: Event phases in the Chrome trace-event vocabulary that this tracer
+#: records: complete spans, instants, and flow start/finish arrows.
+PHASES = ("X", "i", "s", "f")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.
+
+    ``ts`` is the start in simulated seconds and ``dur`` the duration
+    (zero for instants and flow endpoints).  Storing the duration --
+    rather than the end -- keeps duration equality checks exact: the
+    reconciler compares ``dur`` against ledger quantities with ``==``
+    and float subtraction never re-enters the comparison.
+    """
+
+    ph: str
+    name: str
+    category: str
+    ts: float
+    dur: float = 0.0
+    pid: int = 0
+    tid: int = 0
+    args: dict = field(default_factory=dict)
+    flow_id: int | None = None
+
+    @property
+    def end(self) -> float:
+        return self.ts + self.dur
+
+
+class Tracer:
+    """An append-only buffer of :class:`TraceEvent`, plus name metadata.
+
+    ``process_names[pid]`` and ``thread_names[(pid, tid)]`` become the
+    ``M``-phase metadata events of the Chrome export, so Perfetto shows
+    ``chip 3 / infeed`` instead of ``7 / 1``.  :meth:`pid_for` hands
+    out stable pids per traced object (keyed by identity), so a pod and
+    its member chips each own a process row.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.events: list[TraceEvent] = []
+        self.process_names: dict[int, str] = {}
+        self.thread_names: dict[tuple[int, int], str] = {}
+        #: Offset (simulated seconds) emitters add to run-local
+        #: positions; the serving layer points it at the service clock.
+        self.origin = 0.0
+        self._pids: dict[int, int] = {}
+        self._next_pid = 1  # pid 0 is reserved for the serve host
+        self._next_flow = 1
+
+    # ------------------------------------------------------------------
+    # Session control
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop every event, name and pid mapping; keep enablement."""
+        self.events.clear()
+        self.process_names.clear()
+        self.thread_names.clear()
+        self._pids.clear()
+        self._next_pid = 1
+        self._next_flow = 1
+        self.origin = 0.0
+
+    @contextlib.contextmanager
+    def tracing(self):
+        """Enable tracing for the scope, restoring the prior state after."""
+        previous = self.enabled
+        self.enabled = True
+        try:
+            yield self
+        finally:
+            self.enabled = previous
+
+    # ------------------------------------------------------------------
+    # Identity and naming
+    # ------------------------------------------------------------------
+    def pid_for(self, obj, name: str | None = None) -> int:
+        """A stable pid for ``obj`` (allocated on first use).
+
+        Keyed by object identity, so each device/pod in a session owns
+        one process row; ``name`` (default ``obj.name`` / ``repr``)
+        labels the row on first allocation.
+        """
+        pid = self._pids.get(id(obj))
+        if pid is None:
+            pid = self._next_pid
+            self._next_pid += 1
+            self._pids[id(obj)] = pid
+            if name is None:
+                name = getattr(obj, "name", None) or repr(obj)
+            self.process_names.setdefault(pid, str(name))
+        return pid
+
+    def set_process_name(self, pid: int, name: str) -> None:
+        self.process_names[int(pid)] = str(name)
+
+    def set_thread_name(self, pid: int, tid: int, name: str) -> None:
+        self.thread_names[(int(pid), int(tid))] = str(name)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def complete(
+        self,
+        name: str,
+        category: str,
+        ts: float,
+        dur: float,
+        pid: int = 0,
+        tid: int = 0,
+        args: dict | None = None,
+    ) -> TraceEvent | None:
+        """Record one complete (``"X"``) span; no-op while disabled."""
+        if not self.enabled:
+            return None
+        dur = float(dur)
+        if not math.isfinite(dur) or dur < 0.0:
+            raise ValueError(f"span {name!r} has invalid duration {dur}")
+        event = TraceEvent(
+            ph="X", name=name, category=category, ts=float(ts), dur=dur,
+            pid=int(pid), tid=int(tid), args=dict(args or {}),
+        )
+        self.events.append(event)
+        return event
+
+    def instant(
+        self,
+        name: str,
+        category: str,
+        ts: float,
+        pid: int = 0,
+        tid: int = 0,
+        args: dict | None = None,
+    ) -> TraceEvent | None:
+        """Record one instant (``"i"``) event; no-op while disabled."""
+        if not self.enabled:
+            return None
+        event = TraceEvent(
+            ph="i", name=name, category=category, ts=float(ts),
+            pid=int(pid), tid=int(tid), args=dict(args or {}),
+        )
+        self.events.append(event)
+        return event
+
+    def flow(
+        self,
+        name: str,
+        category: str,
+        src: tuple[float, int, int],
+        dst: tuple[float, int, int],
+        args: dict | None = None,
+    ) -> int | None:
+        """Record a flow arrow: an ``"s"``/``"f"`` pair sharing one id.
+
+        ``src``/``dst`` are ``(ts, pid, tid)`` endpoints.  Both events
+        carry ``args`` (the overlap-credit seconds ride here), and the
+        shared id is returned for tests.  No-op while disabled.
+        """
+        if not self.enabled:
+            return None
+        flow_id = self._next_flow
+        self._next_flow += 1
+        shared = dict(args or {})
+        for ph, (ts, pid, tid) in (("s", src), ("f", dst)):
+            self.events.append(
+                TraceEvent(
+                    ph=ph, name=name, category=category, ts=float(ts),
+                    pid=int(pid), tid=int(tid), args=dict(shared),
+                    flow_id=flow_id,
+                )
+            )
+        return flow_id
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def spans(self, category: str | None = None) -> list[TraceEvent]:
+        """The ``"X"`` events, optionally filtered by category."""
+        return [
+            e for e in self.events
+            if e.ph == "X" and (category is None or e.category == category)
+        ]
+
+    def by_category(self) -> dict[str, int]:
+        """Event counts per category (the coverage summary)."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.category] = counts.get(event.category, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"<Tracer {state}, {len(self.events)} events>"
+
+
+#: The process-wide tracer every instrumentation site consults.
+tracer = Tracer()

@@ -75,6 +75,16 @@ class AdmissionController:
         self.max_queued_bytes = max_queued_bytes
         self.max_queue_depth_per_key = max_queue_depth_per_key
         self.max_queued_bytes_per_key = max_queued_bytes_per_key
+        #: Lifetime decision counters (the metrics-registry surface):
+        #: admissions, sheds, and sheds broken down by which bound hit.
+        self.admitted = 0
+        self.shed = 0
+        self.sheds_by_reason: dict[str, int] = {}
+
+    def _shed(self, bound: str, reason: str) -> AdmissionDecision:
+        self.shed += 1
+        self.sheds_by_reason[bound] = self.sheds_by_reason.get(bound, 0) + 1
+        return AdmissionDecision(admitted=False, reason=reason)
 
     def admit(
         self,
@@ -95,46 +105,39 @@ class AdmissionController:
             self.max_queue_depth is not None
             and queue_depth >= self.max_queue_depth
         ):
-            return AdmissionDecision(
-                admitted=False,
-                reason=(
-                    f"queue depth {queue_depth} at the "
-                    f"{self.max_queue_depth}-request limit"
-                ),
+            return self._shed(
+                "queue_depth",
+                f"queue depth {queue_depth} at the "
+                f"{self.max_queue_depth}-request limit",
             )
         if (
             self.max_queued_bytes is not None
             and queued_bytes + request_nbytes > self.max_queued_bytes
         ):
-            return AdmissionDecision(
-                admitted=False,
-                reason=(
-                    f"queued bytes {queued_bytes} + request "
-                    f"{request_nbytes} over the "
-                    f"{self.max_queued_bytes}-byte budget"
-                ),
+            return self._shed(
+                "queued_bytes",
+                f"queued bytes {queued_bytes} + request "
+                f"{request_nbytes} over the "
+                f"{self.max_queued_bytes}-byte budget",
             )
         if (
             self.max_queue_depth_per_key is not None
             and key_depth >= self.max_queue_depth_per_key
         ):
-            return AdmissionDecision(
-                admitted=False,
-                reason=(
-                    f"per-key queue depth {key_depth} at the "
-                    f"{self.max_queue_depth_per_key}-request budget"
-                ),
+            return self._shed(
+                "key_depth",
+                f"per-key queue depth {key_depth} at the "
+                f"{self.max_queue_depth_per_key}-request budget",
             )
         if (
             self.max_queued_bytes_per_key is not None
             and key_bytes + request_nbytes > self.max_queued_bytes_per_key
         ):
-            return AdmissionDecision(
-                admitted=False,
-                reason=(
-                    f"per-key queued bytes {key_bytes} + request "
-                    f"{request_nbytes} over the "
-                    f"{self.max_queued_bytes_per_key}-byte budget"
-                ),
+            return self._shed(
+                "key_bytes",
+                f"per-key queued bytes {key_bytes} + request "
+                f"{request_nbytes} over the "
+                f"{self.max_queued_bytes_per_key}-byte budget",
             )
+        self.admitted += 1
         return ADMITTED

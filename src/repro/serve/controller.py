@@ -79,6 +79,28 @@ class KeyPolicy:
         return (self.max_wait_seconds, self.max_batch_pairs)
 
 
+@dataclass(frozen=True)
+class ControllerDecision:
+    """One knob movement and why it happened (the decision log entry).
+
+    ``time`` is the latest completion in the observed batch (when the
+    controller acted, on the simulated clock); ``dominant`` names the
+    largest mean latency component of that batch (``"queue"``,
+    ``"window"`` or ``"service"``); ``reasons`` lists the control-law
+    branches that fired, in the order the law applies them.
+    """
+
+    time: float
+    key: object
+    old_wait: float
+    new_wait: float
+    old_cap: int
+    new_cap: int
+    dominant: str
+    p95_estimate: float
+    reasons: tuple
+
+
 class BatchController:
     """SLO-driven per-key tuning of the micro-batching policy.
 
@@ -161,6 +183,10 @@ class BatchController:
         self.decrease_factor = float(decrease_factor)
         self.headroom = float(headroom)
         self._keys: dict = {}
+        #: Every knob movement, in observation order -- why each key's
+        #: (wait, cap) sits where it does.  Purely explanatory: logging
+        #: never changes the control law or the policy trajectory.
+        self.decision_log: list[ControllerDecision] = []
 
     # ------------------------------------------------------------------
     # The policy surface consulted by the micro-batcher
@@ -219,6 +245,9 @@ class BatchController:
         state.num_observations += 1
         target = self.target_p95_seconds
         estimate = nearest_rank_percentile(state.latencies, 95)
+        old_wait = state.max_wait_seconds
+        old_cap = state.max_batch_pairs
+        reasons: list[str] = []
 
         # Saturation: a full dispatch means the cap, not the window,
         # bounded this batch -- double it so the next launch amortizes
@@ -227,6 +256,7 @@ class BatchController:
             state.max_batch_pairs = min(
                 self.max_batch_pairs, state.max_batch_pairs * 2
             )
+            reasons.append("full_cap_double")
 
         if estimate > target:
             if service_part > target:
@@ -235,12 +265,14 @@ class BatchController:
                 state.max_batch_pairs = max(
                     self.min_batch_pairs, state.max_batch_pairs // 2
                 )
+                reasons.append("service_cap_halve")
             if window_part >= max(queue_part, service_part):
                 # The wait window is the latency: multiplicative decrease.
                 state.max_wait_seconds = max(
                     self.min_wait_seconds,
                     state.max_wait_seconds * self.decrease_factor,
                 )
+                reasons.append("window_wait_decrease")
             elif not was_full and queue_part >= service_part:
                 # Queueing dominates with non-full batches: dispatches
                 # are too frequent to amortize their launches -- widen
@@ -249,6 +281,7 @@ class BatchController:
                     self.max_wait_seconds,
                     state.max_wait_seconds + self.wait_step_seconds,
                 )
+                reasons.append("queue_wait_increase")
         elif estimate <= self.headroom * target:
             # Under target with room to spare: spend latency on batch
             # width -- but only when arrivals actually span the window
@@ -261,6 +294,27 @@ class BatchController:
                     self.max_wait_seconds,
                     state.max_wait_seconds + self.wait_step_seconds,
                 )
+                reasons.append("headroom_wait_increase")
+
+        if reasons:
+            parts = {
+                "queue": queue_part,
+                "window": window_part,
+                "service": service_part,
+            }
+            self.decision_log.append(
+                ControllerDecision(
+                    time=max(r.completion_time for r in records),
+                    key=key,
+                    old_wait=old_wait,
+                    new_wait=state.max_wait_seconds,
+                    old_cap=old_cap,
+                    new_cap=state.max_batch_pairs,
+                    dominant=max(parts, key=parts.get),
+                    p95_estimate=estimate,
+                    reasons=tuple(reasons),
+                )
+            )
 
     def __repr__(self) -> str:
         return (

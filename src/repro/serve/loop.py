@@ -58,6 +58,8 @@ from repro.core.transform import OutputEmbedding
 from repro.hw.device import Device
 from repro.hw.pod import TpuPod
 from repro.hw.quantize import resolve_precision
+from repro.obs.registry import register_metrics_source
+from repro.obs.tracer import tracer
 from repro.serve.admission import ADMITTED, AdmissionController
 from repro.serve.batcher import (
     DISPATCH_POLICIES,
@@ -183,6 +185,7 @@ class ExplanationService:
         warm_min_gap_seconds: float = 0.25,
         warm_max_per_gap: int = 4,
         warm_tracked: int = 64,
+        metrics_name: str | None = "serve",
     ) -> None:
         if granularity not in GRANULARITIES:
             raise ValueError(
@@ -283,6 +286,58 @@ class ExplanationService:
         self._key_memo: dict = {}
         self._spec_memo: dict = {}
         self._digest_memo = DigestMemo()
+        # Lifetime observability counters (across process() calls) and
+        # the weak metrics-registry hookup: registering never extends
+        # the service's lifetime, and a dead service drops out of
+        # snapshots silently.
+        self._lifetime = {
+            "requests": 0,
+            "completed": 0,
+            "rejected": 0,
+            "cache_hit_completions": 0,
+            "dispatches": 0,
+            "waves": 0,
+            "warm_recomputes": 0,
+        }
+        self.dispatch_counts: dict[tuple, int] = {}
+        if metrics_name is not None:
+            register_metrics_source(
+                metrics_name, self.metrics_counters,
+                reset=self.reset_metrics_counters, weak=True,
+            )
+
+    # ------------------------------------------------------------------
+    # Metrics surface
+    # ------------------------------------------------------------------
+    def metrics_counters(self) -> dict:
+        """Flat labeled counters for the metrics registry.
+
+        Lifetime lifecycle counters, cache hit/miss/eviction totals,
+        admission admit/shed totals (per bound), warmer recomputes, and
+        per-key dispatch counts (labeled by the key tuple).
+        """
+        out = dict(self._lifetime)
+        if self.cache is not None:
+            out["cache_hits"] = self.cache.hits
+            out["cache_misses"] = self.cache.misses
+            out["cache_evictions"] = self.cache.evictions
+        if self.admission is not None:
+            out["admitted"] = self.admission.admitted
+            out["shed"] = self.admission.shed
+            for bound, count in sorted(self.admission.sheds_by_reason.items()):
+                out[f"shed_{bound}"] = count
+        if self.warmer is not None:
+            out["warmed"] = self.warmer.warmed
+        for key_tuple, count in sorted(self.dispatch_counts.items(), key=repr):
+            label = ":".join(str(part) for part in key_tuple)
+            out[f"dispatches[{label}]"] = count
+        return out
+
+    def reset_metrics_counters(self) -> None:
+        """Zero the service's own lifetime counters (reset-for-tests)."""
+        for name in self._lifetime:
+            self._lifetime[name] = 0
+        self.dispatch_counts.clear()
 
     # ------------------------------------------------------------------
     # Request resolution
@@ -434,6 +489,14 @@ class ExplanationService:
             weights=self.key_weights,
         )
         ledger = LatencyLedger()
+        if tracer.enabled:
+            # The serve host owns pid 0; device/pod lanes are aligned
+            # onto the service clock via tracer.origin at dispatch time.
+            tracer.set_process_name(0, "service")
+            tracer.set_thread_name(0, 0, "requests")
+            tracer.set_thread_name(0, 1, "dispatch")
+            tracer.set_thread_name(0, 2, "controller")
+            tracer.set_thread_name(0, 3, "warmer")
         self.device.reset_stats()
         cache_before = (
             (self.cache.hits, self.cache.misses, self.cache.evictions)
@@ -512,6 +575,12 @@ class ExplanationService:
         """
         key = self.batch_key(request)
         spec = self._spec(key.precision)
+        self._lifetime["requests"] += 1
+        if tracer.enabled:
+            tracer.instant(
+                "arrival", "serve", clock.now, 0, 0,
+                {"id": request.request_id, "key": list(key.as_tuple())},
+            )
 
         feed_nbytes = feed_bytes([request.x, request.y], spec)
         decision = ADMITTED
@@ -524,6 +593,12 @@ class ExplanationService:
                 key_bytes=batcher.pending_bytes_for(key),
             )
         if not decision.admitted:
+            self._lifetime["rejected"] += 1
+            if tracer.enabled:
+                tracer.instant(
+                    "admission_shed", "serve", clock.now, 0, 0,
+                    {"id": request.request_id, "reason": decision.reason},
+                )
             ledger.add(
                 RequestRecord(
                     request_id=request.request_id,
@@ -547,6 +622,13 @@ class ExplanationService:
             if hit is not None:
                 # Served from memory: bit-identical to the cold result,
                 # zero device work, completion at the current clock.
+                self._lifetime["completed"] += 1
+                self._lifetime["cache_hit_completions"] += 1
+                if tracer.enabled:
+                    tracer.instant(
+                        "cache_hit", "serve", clock.now, 0, 0,
+                        {"id": request.request_id, "digest": digest},
+                    )
                 ledger.add(
                     RequestRecord(
                         request_id=request.request_id,
@@ -563,6 +645,11 @@ class ExplanationService:
 
         plan = self._plan(key, request.x.shape)
         self._executor(key)  # ensure the drain path knows this key
+        if tracer.enabled:
+            tracer.instant(
+                "enqueue", "serve", clock.now, 0, 0,
+                {"id": request.request_id, "key": list(key.as_tuple())},
+            )
         batcher.enqueue(
             key,
             QueuedRequest(
@@ -587,6 +674,12 @@ class ExplanationService:
         executor = self._executor(key)
         dispatch_time = clock.now
         before = self.device.stats.seconds
+        traced = tracer.enabled
+        if traced:
+            # Align the device/pod trace lanes onto the service clock:
+            # emitters add the origin to their run-local positions, so
+            # this dispatch's device spans start at dispatch_time.
+            tracer.origin = dispatch_time - self.device.trace_seconds
         fleet = executor.run(
             [(q.request.x, q.request.y) for q in batch],
             pipelined=True,
@@ -599,6 +692,33 @@ class ExplanationService:
         dispatch_index = counters["dispatches"]
         counters["dispatches"] += 1
         counters["waves"] += fleet.num_waves
+        self._lifetime["dispatches"] += 1
+        self._lifetime["waves"] += fleet.num_waves
+        key_tuple = key.as_tuple()
+        self.dispatch_counts[key_tuple] = (
+            self.dispatch_counts.get(key_tuple, 0) + 1
+        )
+        if traced and tracer.enabled:
+            tracer.complete(
+                "dispatch", "serve", dispatch_time,
+                clock.now - dispatch_time, 0, 1,
+                {
+                    "key": list(key_tuple),
+                    "batch": len(batch),
+                    "waves": fleet.num_waves,
+                    "dispatch_index": dispatch_index,
+                },
+            )
+            for queued in batch:
+                tracer.flow(
+                    "queued", "serve",
+                    src=(queued.enqueue_time, 0, 0),
+                    dst=(dispatch_time, 0, 1),
+                    args={
+                        "id": queued.request.request_id,
+                        "wait": dispatch_time - queued.enqueue_time,
+                    },
+                )
         records = []
         for queued, result in zip(batch, fleet.results):
             if self.cache is not None and queued.digest is not None:
@@ -607,7 +727,7 @@ class ExplanationService:
                 request_id=queued.request.request_id,
                 arrival_time=queued.request.arrival_time,
                 status="completed",
-                batch_key=key.as_tuple(),
+                batch_key=key_tuple,
                 enqueue_time=queued.enqueue_time,
                 dispatch_time=dispatch_time,
                 completion_time=clock.now,
@@ -616,10 +736,35 @@ class ExplanationService:
             )
             records.append(record)
             ledger.add(record)
+            self._lifetime["completed"] += 1
+            if traced and tracer.enabled:
+                tracer.instant(
+                    "completion", "serve", clock.now, 0, 0,
+                    {
+                        "id": queued.request.request_id,
+                        "dispatch_index": dispatch_index,
+                    },
+                )
         if self.controller is not None:
             # Close the autopilot loop: this batch's lifecycles steer
             # the key's (max_wait, max_batch) for the next dispatch.
+            log_mark = len(self.controller.decision_log)
             self.controller.observe(key, records)
+            if traced and tracer.enabled:
+                for decision in self.controller.decision_log[log_mark:]:
+                    tracer.instant(
+                        "controller_decision", "serve", decision.time, 0, 2,
+                        {
+                            "key": list(key_tuple),
+                            "reasons": list(decision.reasons),
+                            "dominant": decision.dominant,
+                            "old_wait": decision.old_wait,
+                            "new_wait": decision.new_wait,
+                            "old_cap": decision.old_cap,
+                            "new_cap": decision.new_cap,
+                            "p95_estimate": decision.p95_estimate,
+                        },
+                    )
 
     def _warm(
         self,
@@ -649,6 +794,10 @@ class ExplanationService:
             digest, x, y, key, plan = candidates[0]
             executor = self._executor(key)
             before = self.device.stats.seconds
+            start = clock.now
+            traced = tracer.enabled
+            if traced:
+                tracer.origin = start - self.device.trace_seconds
             fleet = executor.run([(x, y)], pipelined=True, plans=[plan])
             cost = self.device.stats.seconds - before
             clock.advance(cost)
@@ -656,3 +805,9 @@ class ExplanationService:
             self.cache.put(digest, fleet.results[0])
             self.warmer.warmed += 1
             counters["warmed"] += 1
+            self._lifetime["warm_recomputes"] += 1
+            if traced and tracer.enabled:
+                tracer.complete(
+                    "warm", "serve", start, cost, 0, 3,
+                    {"digest": digest, "key": list(key.as_tuple())},
+                )

@@ -1,0 +1,20 @@
+"""Shared fixtures for the observability suite.
+
+The tracer is a process-wide singleton; every test here must start
+from a clean, disabled tracer and leave one behind, or span state from
+one test leaks into the next (and into suites that never asked for
+tracing).
+"""
+
+import pytest
+
+from repro.obs.tracer import tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    tracer.disable()
+    tracer.clear()
+    yield tracer
+    tracer.disable()
+    tracer.clear()
